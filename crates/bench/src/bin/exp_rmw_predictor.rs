@@ -1,0 +1,44 @@
+//! §6.3 read-modify-write prediction effects.
+//!
+//! "We give speedups of BASE with the predictor ... with respect to
+//! BASE without the predictor (BASE-no-opt: a more conventional base
+//! case). The speedups are — ocean-cont: 1.00, water-nsq: 1.04,
+//! raytrace: 1.28, radiosity: 1.05, barnes: 1.04, cholesky: 1.33, and
+//! mp3d: 1.13."
+//!
+//! ```text
+//! cargo run --release -p tlr-bench --bin exp_rmw_predictor [--quick] [--procs 16]
+//! ```
+
+use tlr_core::run::run_workload;
+use tlr_bench::BenchOpts;
+use tlr_sim::config::{MachineConfig, Scheme};
+use tlr_workloads::apps::figure11_apps;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let procs = *opts.procs.last().unwrap_or(&16);
+    let scale = opts.scale(512);
+    println!("Read-modify-write predictor effect on BASE, {procs} processors, scale {scale}");
+    println!("{:<12} {:>16} {:>16} {:>10} {:>8}", "app", "BASE-no-opt", "BASE", "speedup", "paper");
+    let paper = [1.00, 1.04, 1.28, 1.05, 1.04, 1.33, 1.13];
+    for (w, paper_speedup) in figure11_apps(procs, scale).into_iter().zip(paper) {
+        let mut no_opt = MachineConfig::paper_default(Scheme::Base, procs);
+        no_opt.rmw_predictor_enabled = false;
+        no_opt.max_cycles = 60_000_000_000;
+        let mut with = no_opt.clone();
+        with.rmw_predictor_enabled = true;
+        let r_no = run_workload(&no_opt, w.as_ref());
+        r_no.assert_valid();
+        let r_with = run_workload(&with, w.as_ref());
+        r_with.assert_valid();
+        println!(
+            "{:<12} {:>16} {:>16} {:>10.2} {:>8.2}",
+            w.name(),
+            r_no.stats.parallel_cycles,
+            r_with.stats.parallel_cycles,
+            r_no.stats.parallel_cycles as f64 / r_with.stats.parallel_cycles as f64,
+            paper_speedup,
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 8: the multiple-counter microbenchmark
+//! (coarse-grain locking / no data conflicts).
+//!
+//! Paper shape: BASE degrades sharply with processor count (lock
+//! contention), MCS is flat with a fixed software overhead, SLE and
+//! TLR behave identically (no conflicts) and scale perfectly, beating
+//! both.
+//!
+//! ```text
+//! cargo run --release -p tlr-bench --bin fig08_multiple_counter [--quick] [--procs 1,2,4]
+//! ```
+
+use tlr_bench::{print_events, print_series, run_cell_seeded, write_series_csv, BenchOpts};
+use tlr_sim::config::Scheme;
+use tlr_workloads::micro::multiple_counter;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    // Paper: 2^24 total increments; scaled down (DESIGN.md).
+    let total = opts.scale(1 << 14);
+    let schemes = [Scheme::Base, Scheme::Mcs, Scheme::Sle, Scheme::Tlr];
+    let mut rows = Vec::new();
+    for &procs in &opts.procs {
+        let w = multiple_counter(procs, total);
+        let reports: Vec<_> = schemes.iter().map(|&s| run_cell_seeded(s, procs, &w, opts.seeds)).collect();
+        print!(".");
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        rows.push((procs, reports));
+    }
+    println!();
+    print_series(
+        &format!("Figure 8: multiple-counter, {total} total increments (cycles, lower is better)"),
+        &schemes,
+        &rows,
+    );
+    if let Some((_, last)) = rows.last() {
+        print_events(&schemes, last);
+    }
+    if let Some(path) = &opts.csv {
+        write_series_csv(path, &schemes, &rows);
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 9: the single-counter microbenchmark
+//! (fine-grain locking / high conflict).
+//!
+//! Paper shape: BASE degrades badly; SLE behaves like BASE (frequent
+//! conflicts turn speculation off); MCS is flat plus software
+//! overhead; TLR achieves ideal queued behaviour — no restarts, each
+//! transaction completing with a single cache miss. TLR-strict-ts
+//! (the §3.2 relaxation disabled) sits between TLR and MCS because
+//! protocol-order/timestamp-order mismatches cause restarts.
+//!
+//! ```text
+//! cargo run --release -p tlr-bench --bin fig09_single_counter [--quick] [--procs 1,2,4]
+//! ```
+
+use tlr_bench::{print_events, print_series, run_cell_seeded, write_series_csv, BenchOpts};
+use tlr_sim::config::Scheme;
+use tlr_workloads::micro::single_counter;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    // Paper: 2^16 total increments; scaled down (DESIGN.md).
+    let total = opts.scale(1 << 12);
+    let schemes =
+        [Scheme::Base, Scheme::Mcs, Scheme::Sle, Scheme::TlrStrictTs, Scheme::Tlr];
+    let mut rows = Vec::new();
+    for &procs in &opts.procs {
+        let w = single_counter(procs, total);
+        let reports: Vec<_> = schemes.iter().map(|&s| run_cell_seeded(s, procs, &w, opts.seeds)).collect();
+        print!(".");
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        rows.push((procs, reports));
+    }
+    println!();
+    print_series(
+        &format!("Figure 9: single-counter, {total} total increments (cycles, lower is better)"),
+        &schemes,
+        &rows,
+    );
+    if let Some((_, last)) = rows.last() {
+        print_events(&schemes, last);
+    }
+    if let Some(path) = &opts.csv {
+        write_series_csv(path, &schemes, &rows);
+    }
+}

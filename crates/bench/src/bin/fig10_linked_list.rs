@@ -1,0 +1,45 @@
+//! Figure 10: the doubly-linked-list microbenchmark
+//! (fine-grain locking / dynamic conflicts).
+//!
+//! Paper shape: BASE degrades with contention; SLE performs like BASE
+//! (deciding when to speculate is hard under dynamic concurrency);
+//! MCS is flat plus overhead; TLR exploits the enqueue/dequeue
+//! concurrency a lock cannot and wins.
+//!
+//! ```text
+//! cargo run --release -p tlr-bench --bin fig10_linked_list [--quick] [--procs 1,2,4]
+//! ```
+
+use tlr_bench::{print_events, print_series, run_cell_seeded, write_series_csv, BenchOpts};
+use tlr_sim::config::Scheme;
+use tlr_workloads::micro::doubly_linked_list;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    // Paper: 2^16 enqueue/dequeue operations; scaled down (DESIGN.md).
+    let total_pairs = opts.scale(1 << 11);
+    let schemes = [Scheme::Base, Scheme::Mcs, Scheme::Sle, Scheme::Tlr];
+    let mut rows = Vec::new();
+    for &procs in &opts.procs {
+        let w = doubly_linked_list(procs, total_pairs);
+        let reports: Vec<_> = schemes.iter().map(|&s| run_cell_seeded(s, procs, &w, opts.seeds)).collect();
+        print!(".");
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        rows.push((procs, reports));
+    }
+    println!();
+    print_series(
+        &format!(
+            "Figure 10: doubly-linked list, {total_pairs} dequeue+enqueue pairs (cycles, lower is better)"
+        ),
+        &schemes,
+        &rows,
+    );
+    if let Some((_, last)) = rows.last() {
+        print_events(&schemes, last);
+    }
+    if let Some(path) = &opts.csv {
+        write_series_csv(path, &schemes, &rows);
+    }
+}

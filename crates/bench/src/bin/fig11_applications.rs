@@ -1,0 +1,52 @@
+//! Figure 11: application performance at 16 processors.
+//!
+//! For each application kernel, prints BASE / BASE+SLE / BASE+SLE+TLR
+//! execution time normalized to BASE, split into lock-variable and
+//! non-lock contributions (the two-part bars of Figure 11), plus the
+//! §6.3 TLR-vs-BASE and MCS-vs-BASE speedups.
+//!
+//! Paper shape: TLR ≥ BASE everywhere; radiosity ≈ 1.47×, mp3d ≈
+//! 1.40×, raytrace ≈ 1.17×, barnes ≈ 1.16× (with MCS slightly ahead
+//! of TLR there), cholesky ≈ 1.05×, ocean-cont / water-nsq ≈ 1.0×.
+//!
+//! ```text
+//! cargo run --release -p tlr-bench --bin fig11_applications [--quick] [--procs 16]
+//! ```
+
+use tlr_bench::{run_cell, speedup, BenchOpts};
+use tlr_sim::config::Scheme;
+use tlr_workloads::apps::figure11_apps;
+
+fn main() {
+    let opts = BenchOpts::from_args();
+    let procs = *opts.procs.last().unwrap_or(&16);
+    let scale = opts.scale(512);
+    println!("Figure 11: application performance, {procs} processors, scale {scale}");
+    println!(
+        "{:<12} {:>9} {:>22} {:>22} {:>22} {:>9} {:>9}",
+        "app", "BASE(cyc)", "BASE lock/other", "SLE lock/other", "TLR lock/other", "TLR/BASE", "MCS/BASE"
+    );
+    for w in figure11_apps(procs, scale) {
+        let base = run_cell(Scheme::Base, procs, w.as_ref());
+        let sle = run_cell(Scheme::Sle, procs, w.as_ref());
+        let tlr = run_cell(Scheme::Tlr, procs, w.as_ref());
+        let mcs = run_cell(Scheme::Mcs, procs, w.as_ref());
+        let part = |r: &tlr_core::run::RunReport| {
+            let total = (r.stats.parallel_cycles * procs as u64).max(1) as f64;
+            let lock = r.stats.total_lock_cycles() as f64 / total;
+            let norm = r.stats.parallel_cycles as f64 / base.stats.parallel_cycles as f64;
+            format!("{:>6.3} ({:>4.1}%/{:>4.1}%)", norm, lock * 100.0, (1.0 - lock) * 100.0)
+        };
+        println!(
+            "{:<12} {:>9} {:>22} {:>22} {:>22} {:>9.2} {:>9.2}",
+            w.name(),
+            base.stats.parallel_cycles,
+            part(&base),
+            part(&sle),
+            part(&tlr),
+            speedup(&tlr, &base),
+            speedup(&mcs, &base),
+        );
+    }
+    println!("\n(normalized execution time; lock% = cycles attributed to lock variables)");
+}

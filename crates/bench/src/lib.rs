@@ -1,0 +1,218 @@
+//! Benchmark harness for regenerating every table and figure of the
+//! paper's evaluation (§5, §6).
+//!
+//! Each figure/table has its own binary (see `src/bin/`); this
+//! library holds the shared sweep and reporting machinery. Binaries
+//! accept two optional flags:
+//!
+//! * `--quick` — smaller work totals (CI-sized, ~seconds per series);
+//! * `--procs 1,2,4,8,16` — override the processor counts.
+//!
+//! Run lengths are scaled down from the paper (2^24/2^16 iterations)
+//! as documented in `DESIGN.md`; shapes, not absolute cycle counts,
+//! are the reproduction target.
+
+use tlr_core::run::{run_workload, RunReport, WorkloadSpec};
+use tlr_sim::config::{MachineConfig, Scheme};
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Processor counts to sweep (x-axis of Figures 8-10).
+    pub procs: Vec<usize>,
+    /// Work scale divisor: 1 for the default, larger for `--quick`.
+    pub quick: bool,
+    /// Number of seeds to average over (the Alameldeen methodology:
+    /// perturbed runs instead of a single sample).
+    pub seeds: u64,
+    /// Optional path to also write the results as CSV (for plotting).
+    pub csv: Option<std::path::PathBuf>,
+}
+
+impl BenchOpts {
+    /// Parses `--quick` and `--procs a,b,c` from the process args.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut opts =
+            BenchOpts { procs: vec![1, 2, 4, 8, 12, 16], quick: false, seeds: 1, csv: None };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--procs" => {
+                    let v = args.next().expect("--procs needs a value like 1,2,4");
+                    opts.procs = v
+                        .split(',')
+                        .map(|s| s.parse().unwrap_or_else(|_| panic!("bad proc count {s:?}")))
+                        .collect();
+                }
+                "--seeds" => {
+                    let v = args.next().expect("--seeds needs a count");
+                    opts.seeds = v.parse().expect("bad seed count");
+                    assert!(opts.seeds >= 1, "--seeds must be at least 1");
+                }
+                "--csv" => {
+                    let v = args.next().expect("--csv needs a file path");
+                    opts.csv = Some(std::path::PathBuf::from(v));
+                }
+                other => {
+                    panic!(
+                        "unknown argument {other:?} (supported: --quick, --procs, --seeds, --csv)"
+                    )
+                }
+            }
+        }
+        opts
+    }
+
+    /// Scales a default work total down for quick mode.
+    pub fn scale(&self, full: u64) -> u64 {
+        if self.quick {
+            (full / 16).max(64)
+        } else {
+            full
+        }
+    }
+}
+
+/// Runs one (scheme, procs) cell of a sweep.
+pub fn run_cell(scheme: Scheme, procs: usize, workload: &dyn WorkloadSpec) -> RunReport {
+    let mut cfg = MachineConfig::paper_default(scheme, procs);
+    cfg.max_cycles = 60_000_000_000;
+    let report = run_workload(&cfg, workload);
+    report.assert_valid();
+    report
+}
+
+/// Runs one cell averaged over `seeds` perturbed runs; the returned
+/// report carries the mean parallel cycle count (other counters come
+/// from the first seed).
+pub fn run_cell_seeded(
+    scheme: Scheme,
+    procs: usize,
+    workload: &dyn WorkloadSpec,
+    seeds: u64,
+) -> RunReport {
+    let mut first: Option<RunReport> = None;
+    let mut total_cycles = 0u64;
+    for s in 0..seeds {
+        let mut cfg = MachineConfig::paper_default(scheme, procs);
+        cfg.max_cycles = 60_000_000_000;
+        cfg.seed = cfg.seed.wrapping_add(s.wrapping_mul(0x9e37_79b9));
+        let report = run_workload(&cfg, workload);
+        report.assert_valid();
+        total_cycles += report.stats.parallel_cycles;
+        if first.is_none() {
+            first = Some(report);
+        }
+    }
+    let mut report = first.expect("at least one seed");
+    report.stats.parallel_cycles = total_cycles / seeds;
+    report
+}
+
+/// Prints a figure-style series table: one row per processor count,
+/// one column per scheme, cells in execution cycles.
+pub fn print_series(title: &str, schemes: &[Scheme], rows: &[(usize, Vec<RunReport>)]) {
+    println!("\n== {title} ==");
+    print!("{:>6}", "procs");
+    for s in schemes {
+        print!("{:>28}", s.label());
+    }
+    println!();
+    for (procs, reports) in rows {
+        print!("{procs:>6}");
+        for r in reports {
+            print!("{:>28}", r.stats.parallel_cycles);
+        }
+        println!();
+    }
+}
+
+/// Prints per-scheme event diagnostics for one row (restarts,
+/// commits, fallbacks, deferrals) — the quantities §6 discusses.
+pub fn print_events(schemes: &[Scheme], reports: &[RunReport]) {
+    print!("{:>6}", "");
+    for (s, r) in schemes.iter().zip(reports) {
+        print!(
+            "{:>28}",
+            format!(
+                "c{} r{} f{} d{}",
+                r.stats.total_commits(),
+                r.stats.total_restarts(),
+                r.stats.total_fallbacks(),
+                r.stats.sum(|n| n.requests_deferred),
+            )
+        );
+        let _ = s;
+    }
+    println!("   (c=commits r=restarts f=fallbacks d=deferrals)");
+}
+
+/// Writes a sweep as CSV: header `procs,<scheme>,...`, one row per
+/// processor count, cells in parallel execution cycles.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written (benchmark binaries surface
+/// I/O problems immediately).
+pub fn write_series_csv(
+    path: &std::path::Path,
+    schemes: &[Scheme],
+    rows: &[(usize, Vec<RunReport>)],
+) {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+    let header: Vec<String> =
+        std::iter::once("procs".to_string()).chain(schemes.iter().map(|s| s.label().to_string())).collect();
+    writeln!(f, "{}", header.join(",")).expect("csv write");
+    for (procs, reports) in rows {
+        let cells: Vec<String> = std::iter::once(procs.to_string())
+            .chain(reports.iter().map(|r| r.stats.parallel_cycles.to_string()))
+            .collect();
+        writeln!(f, "{}", cells.join(",")).expect("csv write");
+    }
+    println!("(csv written to {})", path.display());
+}
+
+/// Speedup of `a` over `b` as the paper defines it: cycles(b) /
+/// cycles(a); > 1 means `a` is faster.
+pub fn speedup(a: &RunReport, b: &RunReport) -> f64 {
+    b.stats.parallel_cycles as f64 / a.stats.parallel_cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_workloads::micro::single_counter;
+
+    #[test]
+    fn run_cell_produces_valid_report() {
+        let w = single_counter(2, 64);
+        let r = run_cell(Scheme::Tlr, 2, &w);
+        assert!(r.stats.parallel_cycles > 0);
+        assert_eq!(r.procs, 2);
+    }
+
+    #[test]
+    fn speedup_orientation() {
+        let w = single_counter(2, 64);
+        let a = run_cell(Scheme::Tlr, 2, &w);
+        let mut b = a.clone();
+        b.stats.parallel_cycles = a.stats.parallel_cycles * 2;
+        assert!((speedup(&a, &b) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opts_scaling() {
+        let quick = BenchOpts { procs: vec![2], quick: true, seeds: 1, csv: None };
+        let full = BenchOpts { procs: vec![2], quick: false, seeds: 1, csv: None };
+        assert_eq!(full.scale(1 << 14), 1 << 14);
+        assert_eq!(quick.scale(1 << 14), 1 << 10);
+        assert_eq!(quick.scale(100), 64, "quick floor");
+    }
+}

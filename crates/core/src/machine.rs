@@ -1,0 +1,2105 @@
+//! The simulated multiprocessor machine.
+//!
+//! Assembles N [`Node`]s (core + L1 + victim cache + buffers + TLR
+//! controller), the ordered broadcast address bus, the point-to-point
+//! data network, and the shared L2/memory into the target system of
+//! §5.3 / Table 2, and runs the TLR algorithm of Figure 3 on top of
+//! the plain MOESI protocol:
+//!
+//! * lock elision at predicted store-conditionals (SLE),
+//! * timestamped transactional misses,
+//! * deferral of later-timestamp conflicting requests at the owner,
+//! * marker/probe propagation along coherence chains (§3.1.1),
+//! * the §3.2 single-block timestamp relaxation,
+//! * resource-exhaustion fallback to actual lock acquisition (§3.3),
+//! * restartable critical sections and de-scheduling (§4).
+//!
+//! The machine is cycle-stepped and fully deterministic for a given
+//! configuration and seed.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use tlr_cpu::{AccessKind, Core, CoreStep, MemAccess, Program};
+use tlr_mem::addr::{Addr, LineAddr};
+use tlr_mem::line::{CacheLine, Moesi};
+use tlr_mem::mshr::{Intervention, MshrEntry};
+use tlr_mem::msg::{BusReqKind, BusRequest, DataGrant, NetMsg};
+use tlr_mem::protocol;
+use tlr_mem::timestamp::Timestamp;
+use tlr_mem::{Bus, MemorySystem, Network};
+use tlr_sim::config::{MachineConfig, UntimestampedPolicy};
+use tlr_sim::trace::{Trace, TraceKind};
+use tlr_sim::{Cycle, MachineStats, NodeId, SimRng};
+
+use crate::node::{DeferredReq, Node, PendingWriteback, SnoopEvent, Wait};
+use crate::sle::{AbortKind, ElidedLock, Txn};
+
+/// Cycles an [`tlr_cpu::Op::Io`] operation takes outside speculation.
+const IO_LATENCY: u64 = 30;
+
+/// Error returned when a run exceeds the configured cycle budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimTimeout {
+    /// The cycle at which the run was abandoned.
+    pub cycle: Cycle,
+}
+
+impl std::fmt::Display for SimTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "simulation did not quiesce within {} cycles", self.cycle)
+    }
+}
+
+impl std::error::Error for SimTimeout {}
+
+/// Machine-global context threaded through the controller logic so a
+/// node can be mutated while the shared structures stay reachable.
+struct Ctx<'a> {
+    cfg: &'a MachineConfig,
+    now: Cycle,
+    net: &'a mut Network<NetMsg>,
+    memsys: &'a mut MemorySystem,
+    bus: &'a mut Bus,
+    /// The protocol-owner ledger; kept in the context for policy
+    /// extensions that must follow bus order when touching it.
+    #[allow(dead_code)]
+    owner: &'a mut HashMap<LineAddr, NodeId>,
+    stats: &'a mut MachineStats,
+    trace: &'a mut Trace,
+    rng: &'a mut SimRng,
+    lock_addrs: &'a HashSet<Addr>,
+}
+
+impl Ctx<'_> {
+    fn data_latency(&mut self) -> u64 {
+        self.cfg.latency.data_network + self.rng.below(self.cfg.latency_jitter + 1)
+    }
+
+    fn ts_bits(&self) -> u32 {
+        self.cfg.timestamp_bits
+    }
+}
+
+/// Whether `TLR_DEBUG` diagnostics are enabled (checked once).
+fn debug_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("TLR_DEBUG").is_some())
+}
+
+macro_rules! dbglog {
+    ($($t:tt)*) => {
+        if debug_enabled() { eprintln!($($t)*); }
+    };
+}
+
+/// The simulated multiprocessor.
+#[derive(Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    cycle: Cycle,
+    nodes: Vec<Node>,
+    bus: Bus,
+    net: Network<NetMsg>,
+    memsys: MemorySystem,
+    /// Protocol-owner ledger: the node last granted exclusive (or
+    /// clean-exclusive) ownership. Absent means memory owns the line.
+    /// In the real broadcast system every snooper derives this from
+    /// the observed request stream; centralizing it changes no
+    /// ordering or timing (see `DESIGN.md`).
+    owner: HashMap<LineAddr, NodeId>,
+    stats: MachineStats,
+    trace: Trace,
+    rng: SimRng,
+    lock_addrs: HashSet<Addr>,
+}
+
+impl Machine {
+    /// Builds a machine running one program per processor.
+    ///
+    /// `lock_addrs` is the set of lock-variable addresses, used only
+    /// for the Figure 11 stall attribution — the hardware itself never
+    /// consults it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of programs differs from
+    /// `cfg.num_procs`, or the configured line size is not 64 bytes.
+    pub fn new(cfg: MachineConfig, programs: Vec<Arc<Program>>, lock_addrs: HashSet<Addr>) -> Self {
+        assert_eq!(programs.len(), cfg.num_procs, "one program per processor required");
+        assert_eq!(cfg.line_bytes(), tlr_mem::LINE_BYTES, "line size fixed at 64 bytes");
+        let mut rng = SimRng::new(cfg.seed);
+        let nodes = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Node::new(i, Core::new(p, rng.fork(i as u64)), &cfg))
+            .collect::<Vec<_>>();
+        let stats = MachineStats::new(cfg.num_procs);
+        Machine {
+            bus: Bus::new(cfg.num_procs, cfg.latency.bus_occupancy),
+            net: Network::new(),
+            memsys: MemorySystem::new(cfg.l2_sets, cfg.l2_ways, cfg.latency.l2, cfg.latency.memory),
+            owner: HashMap::new(),
+            stats,
+            trace: Trace::new(),
+            rng,
+            lock_addrs,
+            nodes,
+            cycle: 0,
+            cfg,
+        }
+    }
+
+    /// Writes one word of the initial memory image.
+    pub fn init_word(&mut self, addr: Addr, val: u64) {
+        self.memsys.init_word(addr, val);
+    }
+
+    /// Enables event tracing (used by the worked-example tests).
+    pub fn enable_trace(&mut self) {
+        self.trace = Trace::enabled();
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Run statistics collected so far.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Sets an initial register of one core (harnesses pass per-thread
+    /// parameters this way).
+    pub fn set_reg(&mut self, node: NodeId, reg: tlr_cpu::Reg, val: u64) {
+        self.nodes[node].core.set_reg(reg, val);
+    }
+
+    /// Reads a register of one core (tests and demos).
+    pub fn reg(&self, node: NodeId, reg: tlr_cpu::Reg) -> u64 {
+        self.nodes[node].core.reg(reg)
+    }
+
+    /// Whether node `id` is currently executing a speculative
+    /// lock-free transaction.
+    pub fn in_txn(&self, id: NodeId) -> bool {
+        self.nodes[id].txn.is_some()
+    }
+
+    /// Whether node `id`'s thread has finished.
+    pub fn is_done(&self, id: NodeId) -> bool {
+        self.nodes[id].core.is_done()
+    }
+
+    /// Whether every thread has finished and the memory system is
+    /// idle.
+    pub fn is_quiesced(&self) -> bool {
+        self.nodes.iter().all(|n| {
+            n.core.is_done()
+                && n.sb.is_empty()
+                && n.mshrs.is_empty()
+                && n.pending_wb.is_empty()
+                && n.deferred.is_empty()
+                && n.snoops.is_empty()
+                && n.nack_retries.is_empty()
+                && n.txn.is_none()
+        }) && self.bus.pending() == 0
+            && self.net.is_empty()
+    }
+
+    /// Runs until quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimTimeout`] if the configured `max_cycles` budget is
+    /// exhausted first (livelock would show up here; TLR's guarantees
+    /// make that a bug, and the integration tests rely on it).
+    pub fn run(&mut self) -> Result<(), SimTimeout> {
+        while !self.is_quiesced() {
+            if self.cycle >= self.cfg.max_cycles {
+                return Err(SimTimeout { cycle: self.cycle });
+            }
+            self.step();
+        }
+        self.finalize_stats();
+        Ok(())
+    }
+
+    /// Fills in end-of-run aggregates (the parallel cycle count).
+    /// Called automatically by [`Machine::run`]; external driver loops
+    /// (e.g. [`crate::os::run_preemptive`]) call it after quiescence.
+    pub fn finalize_stats(&mut self) {
+        self.stats.parallel_cycles =
+            self.nodes.iter().filter_map(|n| n.done_at).max().unwrap_or(self.cycle);
+    }
+
+    /// The architecturally current value of a word after (or during)
+    /// a run: a dirty cached copy wins over the memory system.
+    pub fn final_word(&self, addr: Addr) -> u64 {
+        let line = addr.line();
+        for n in &self.nodes {
+            if let Some(l) = n.line(line) {
+                if l.state.dirty() || l.state == Moesi::Exclusive || l.state == Moesi::Modified {
+                    return l.data.word(addr);
+                }
+            }
+            if let Some(p) = n.pending_wb.iter().find(|p| p.line == line && !p.cancelled) {
+                return p.data.word(addr);
+            }
+        }
+        // Fall back to any clean shared copy, then the memory system.
+        for n in &self.nodes {
+            if let Some(l) = n.line(line) {
+                if l.state.is_valid() {
+                    return l.data.word(addr);
+                }
+            }
+        }
+        self.memsys.word(addr)
+    }
+
+    /// De-schedules a thread (§4): an in-flight transaction is
+    /// discarded (the lock stays free), then the core stops ticking
+    /// until [`Machine::reschedule`].
+    pub fn deschedule(&mut self, id: NodeId) {
+        self.with_ctx(|nodes, ctx| {
+            let node = &mut nodes[id];
+            if node.txn.is_some() {
+                abort_txn(node, ctx, AbortKind::Descheduled);
+            }
+            node.paused = true;
+        });
+    }
+
+    /// Resumes a de-scheduled thread.
+    pub fn reschedule(&mut self, id: NodeId) {
+        self.nodes[id].paused = false;
+    }
+
+    /// Kills a thread (§4 restartable critical sections): speculative
+    /// updates are discarded, deferred requests are serviced, and the
+    /// core halts. Shared state is left consistent.
+    pub fn kill(&mut self, id: NodeId) {
+        self.with_ctx(|nodes, ctx| {
+            let node = &mut nodes[id];
+            if node.txn.is_some() {
+                abort_txn(node, ctx, AbortKind::Descheduled);
+            }
+            node.core.halt();
+            node.wait = None;
+            node.waiting_access = None;
+        });
+    }
+
+    fn with_ctx<R>(&mut self, f: impl FnOnce(&mut [Node], &mut Ctx) -> R) -> R {
+        let mut ctx = Ctx {
+            cfg: &self.cfg,
+            now: self.cycle,
+            net: &mut self.net,
+            memsys: &mut self.memsys,
+            bus: &mut self.bus,
+            owner: &mut self.owner,
+            stats: &mut self.stats,
+            trace: &mut self.trace,
+            rng: &mut self.rng,
+            lock_addrs: &self.lock_addrs,
+        };
+        f(&mut self.nodes, &mut ctx)
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step(&mut self) {
+        self.cycle += 1;
+        // 1. Order at most one address-bus transaction.
+        if let Some(req) = self.bus.tick(self.cycle) {
+            self.order_request(req);
+        }
+        // 2. Deliver data-network messages.
+        let msgs = self.net.drain_ready(self.cycle);
+        for msg in msgs {
+            self.handle_net(msg);
+        }
+        // 3. Process due snoops, then tick each node.
+        for i in 0..self.nodes.len() {
+            self.process_snoops(i);
+        }
+        for i in 0..self.nodes.len() {
+            self.node_tick(i);
+        }
+    }
+
+    /// Handles an address-bus transaction at its ordering point.
+    fn order_request(&mut self, req: BusRequest) {
+        let now = self.cycle;
+        self.stats.bus.arbitration_wait_cycles += now.saturating_sub(req.enqueued_at);
+        match req.kind {
+            BusReqKind::WriteBack => {
+                self.stats.bus.writebacks += 1;
+                let node = &mut self.nodes[req.requester];
+                if let Some(pos) = node.pending_wb.iter().position(|p| p.line == req.line) {
+                    let p = node.pending_wb.remove(pos);
+                    if !p.cancelled {
+                        self.memsys.writeback(req.line, p.data);
+                        if self.owner.get(&req.line) == Some(&req.requester) {
+                            self.owner.remove(&req.line);
+                        }
+                    }
+                }
+            }
+            BusReqKind::GetS | BusReqKind::GetX => {
+                if debug_enabled() {
+                    eprintln!(
+                        "[{}] ORDER n{} {:?} line={} owner={:?}",
+                        now, req.requester, req.kind, req.line.0, self.owner.get(&req.line)
+                    );
+                }
+                if req.kind == BusReqKind::GetX {
+                    self.stats.bus.get_x += 1;
+                } else {
+                    self.stats.bus.get_s += 1;
+                }
+                let other_sharers = self.nodes.iter().enumerate().any(|(j, n)| {
+                    j != req.requester && n.line_state(req.line).is_valid()
+                });
+                let supplier = match self.owner.get(&req.line) {
+                    Some(&o) if o != req.requester => Some(o),
+                    _ => None,
+                };
+                let self_owner = self.owner.get(&req.line) == Some(&req.requester);
+                // NACK retention (§3): the owner's refusal is asserted
+                // at the ordering point — the transaction is annulled,
+                // no ownership transfers, every snooper ignores it.
+                if self.cfg.retention == tlr_sim::config::RetentionPolicy::Nack {
+                    if let Some(o) = supplier {
+                        if self.nack_at_order(o, &req) {
+                            let deliver = now + self.cfg.latency.snoop;
+                            self.net.send(
+                                deliver,
+                                NetMsg::Nack { to: req.requester, line: req.line },
+                            );
+                            return;
+                        }
+                    }
+                }
+                // Ledger update at the ordering point.
+                if req.kind == BusReqKind::GetX || (supplier.is_none() && !other_sharers) {
+                    self.owner.insert(req.line, req.requester);
+                }
+                if supplier.is_none() {
+                    dbglog!("[{}] MEMSUPPLY line={} to={} self_owner={}", now, req.line.0, req.requester, self_owner);
+                    // The requester's own un-ordered writeback holds
+                    // newer data than memory: serve (and cancel) it.
+                    if let Some(p) = self.nodes[req.requester].pending_wb_mut(req.line) {
+                        p.cancelled = true;
+                        let data = p.data;
+                        let deliver = now + self.cfg.latency.snoop + 1;
+                        self.net.send(
+                            deliver,
+                            NetMsg::Data {
+                                to: req.requester,
+                                line: req.line,
+                                data,
+                                grant: DataGrant::Modified,
+                                from_cache: true,
+                            },
+                        );
+                        let due = now + self.cfg.latency.snoop;
+                        for node in self.nodes.iter_mut() {
+                            node.snoops.push_back(SnoopEvent {
+                                due,
+                                order_cycle: now,
+                                req: req.clone(),
+                                supplier: false,
+                                other_sharers,
+                            });
+                        }
+                        return;
+                    }
+                    // A requester that is itself the ledger owner holds
+                    // a dirty-but-unwritable (Owned) copy: this is an
+                    // upgrade, granted without a data transfer — memory
+                    // may be stale. Its own data rides along so the
+                    // fill path stays uniform.
+                    let self_upgrade = self_owner
+                        .then(|| self.nodes[req.requester].line(req.line).map(|l| l.data))
+                        .flatten();
+                    if let Some(data) = self_upgrade {
+                        // One cycle after the requester processes its
+                        // own ordering snoop, so the fill records the
+                        // correct coherence position.
+                        let deliver = now + self.cfg.latency.snoop + 1;
+                        self.net.send(
+                            deliver,
+                            NetMsg::Data {
+                                to: req.requester,
+                                line: req.line,
+                                data,
+                                grant: DataGrant::Modified,
+                                from_cache: true,
+                            },
+                        );
+                    } else {
+                        // Memory-side supply.
+                        let (data, res) = self.memsys.supply(req.line);
+                        if res.l2_hit {
+                            self.stats.l2_supplies += 1;
+                        } else {
+                            self.stats.memory_supplies += 1;
+                        }
+                        let grant = protocol::fill_grant(req.kind, other_sharers, false);
+                        let jitter = self.rng.below(self.cfg.latency_jitter + 1);
+                        let deliver = now
+                            + self.cfg.latency.snoop
+                            + res.latency
+                            + self.cfg.latency.data_network
+                            + jitter;
+                        self.net.send(
+                            deliver,
+                            NetMsg::Data { to: req.requester, line: req.line, data, grant, from_cache: false },
+                        );
+                    }
+                }
+                let due = now + self.cfg.latency.snoop;
+                for (j, node) in self.nodes.iter_mut().enumerate() {
+                    node.snoops.push_back(SnoopEvent {
+                        due,
+                        order_cycle: now,
+                        req: req.clone(),
+                        supplier: supplier == Some(j),
+                        other_sharers,
+                    });
+                }
+            }
+            BusReqKind::Upgrade => {
+                unreachable!("upgrades are modeled as GetX (see node documentation)")
+            }
+        }
+    }
+
+    /// Decides, at the bus ordering point, whether owner `o` refuses
+    /// the request (NACK retention): it must hold the block with data,
+    /// be inside a transaction the request conflicts with, and win the
+    /// timestamp comparison outright (no §3.2 relaxation — a NACKed
+    /// earlier-timestamp waiter would starve).
+    fn nack_at_order(&mut self, o: NodeId, req: &BusRequest) -> bool {
+        let bits = self.cfg.timestamp_bits;
+        let node = &mut self.nodes[o];
+        if node.txn.is_none() || node.mshrs.get(req.line).is_some() {
+            return false;
+        }
+        let Some(l) = node.line(req.line) else { return false };
+        if !l.state.retainable() || !l.conflicts_with(req.kind.is_exclusive()) {
+            return false;
+        }
+        let wins = match req.ts {
+            None => {
+                self.cfg.untimestamped_policy == UntimestampedPolicy::DeferAsLowestPriority
+            }
+            Some(in_ts) => {
+                node.clock.observe_conflicting(in_ts);
+                node.timestamp().wins_over(in_ts, bits)
+            }
+        };
+        if wins {
+            self.stats.node_mut(o).nacks_sent += 1;
+        }
+        wins
+    }
+
+    /// Processes node `i`'s due snoop events in order.
+    fn process_snoops(&mut self, i: usize) {
+        let now = self.cycle;
+        loop {
+            let due = matches!(self.nodes[i].snoops.front(), Some(ev) if ev.due <= now);
+            if !due {
+                return;
+            }
+            let ev = self.nodes[i].snoops.pop_front().unwrap();
+            self.with_ctx(|nodes, ctx| snoop_one(&mut nodes[i], ctx, ev));
+        }
+    }
+
+    /// Delivers one data-network message.
+    fn handle_net(&mut self, msg: NetMsg) {
+        let to = msg.destination();
+        self.with_ctx(|nodes, ctx| {
+            let node = &mut nodes[to];
+            match msg {
+                NetMsg::Data { line, data, grant, from_cache, .. } => {
+                    handle_fill(node, ctx, line, data, grant, from_cache)
+                }
+                NetMsg::Marker { from, line, .. } => handle_marker(node, ctx, line, from),
+                NetMsg::Nack { line, .. } => handle_nack(node, ctx, line),
+                NetMsg::Probe { line, ts, .. } => handle_probe(node, ctx, line, ts),
+            }
+        });
+    }
+
+    /// One cycle of node `i`: buffer drains, commit progress, core
+    /// execution.
+    fn node_tick(&mut self, i: usize) {
+        self.with_ctx(|nodes, ctx| {
+            let node = &mut nodes[i];
+            if node.core.is_done() {
+                if node.done_at.is_none() {
+                    node.done_at = Some(ctx.now);
+                } else {
+                    ctx.stats.node_mut(node.id).done_cycles += 1;
+                }
+                drain_store_buffer(node, ctx);
+                return;
+            }
+            if node.paused {
+                return;
+            }
+            retry_nacked(node, ctx);
+            retry_txn_pending_x(node, ctx);
+            drain_store_buffer(node, ctx);
+            if node.txn.as_ref().is_some_and(|t| t.committing) {
+                try_commit(node, ctx);
+                if node.txn.is_some() {
+                    ctx.stats.node_mut(node.id).commit_wait_cycles += 1;
+                }
+                return;
+            }
+            if ctx.now < node.stall_until {
+                ctx.stats.node_mut(node.id).data_stall_cycles += 1;
+                return;
+            }
+            if node.wait.is_some() {
+                retry_wait(node, ctx);
+                return;
+            }
+            node.instr_snapshot();
+            match node.core.tick() {
+                CoreStep::Busy => ctx.stats.node_mut(node.id).busy_cycles += 1,
+                CoreStep::Waiting => {
+                    // Core blocked without a wait record: only possible
+                    // transiently; charge as a data stall.
+                    ctx.stats.node_mut(node.id).data_stall_cycles += 1;
+                }
+                CoreStep::Access(acc) => handle_access(node, ctx, acc),
+                CoreStep::Io => {
+                    if node.txn.is_some() {
+                        abort_txn(node, ctx, AbortKind::Io);
+                    } else {
+                        node.wait = Some(Wait::Io { until: ctx.now + IO_LATENCY });
+                    }
+                }
+                CoreStep::Done => {
+                    assert!(
+                        node.txn.is_none(),
+                        "thread {} finished inside a critical section",
+                        node.id
+                    );
+                }
+            }
+            node.commit_instructions(ctx.stats);
+        });
+    }
+}
+
+impl Node {
+    fn instr_snapshot(&mut self) {
+        // placeholder for symmetric bookkeeping; instruction counts are
+        // read from the core on commit below.
+    }
+
+    fn commit_instructions(&mut self, stats: &mut MachineStats) {
+        stats.node_mut(self.id).instructions = self.core.instructions;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Controller logic (free functions over Node + Ctx).
+// ---------------------------------------------------------------------------
+
+/// Issues a miss: allocates an MSHR and queues the bus request.
+/// Returns `false` when the MSHR file is full.
+fn issue_miss(node: &mut Node, ctx: &mut Ctx, line: LineAddr, exclusive: bool, ts: Option<Timestamp>) -> bool {
+    if node.mshrs.is_full() || node.mshrs.get(line).is_some() {
+        return false;
+    }
+    let e = node.mshrs.alloc(MshrEntry::new(line, exclusive, ts)).expect("mshr alloc");
+    e.issued = true;
+    dbglog!("[{}] n{} issue_miss line={} x={}", ctx.now, node.id, line.0, exclusive);
+    ctx.bus.enqueue(
+        node.id,
+        BusRequest {
+            requester: node.id,
+            line,
+            kind: if exclusive { BusReqKind::GetX } else { BusReqKind::GetS },
+            ts,
+            wb_data: None,
+            enqueued_at: ctx.now,
+        },
+    );
+    ctx.stats.node_mut(node.id).l1_misses += 1;
+    true
+}
+
+/// Installs a line into the L1, spilling evictions into the victim
+/// cache and dirty victim evictions into the writeback path.
+///
+/// Returns `Err(())` when a transactional line would be lost (the
+/// caller must abandon the elision, §3.3).
+fn install_line(node: &mut Node, ctx: &mut Ctx, entry: CacheLine) -> Result<(), ()> {
+    // Never allow two copies of one line to coexist across the L1 and
+    // victim cache: drop any stale resident copy first.
+    node.l1.take(entry.line);
+    node.victim.take(entry.line);
+    let Some(evicted) = node.l1.insert(entry) else { return Ok(()) };
+    let Some(evicted2) = node.victim.insert(evicted) else { return Ok(()) };
+    // The victim cache overflowed; evicted2 leaves the hierarchy.
+    if node.core.link() == Some(evicted2.line) {
+        node.core.clear_link();
+    }
+    // Transactional lines are parked in the writeback buffer even when
+    // clean: the node may still owe a deferred response for them.
+    if evicted2.state.dirty() || evicted2.spec_accessed() {
+        node.pending_wb.push(PendingWriteback { line: evicted2.line, data: evicted2.data, cancelled: false });
+        ctx.bus.enqueue(
+            node.id,
+            BusRequest {
+                requester: node.id,
+                line: evicted2.line,
+                kind: BusReqKind::WriteBack,
+                ts: None,
+                wb_data: Some(evicted2.data),
+                enqueued_at: ctx.now,
+            },
+        );
+    }
+    if evicted2.spec_accessed() {
+        return Err(());
+    }
+    Ok(())
+}
+
+/// Supplies a line to a requester from this node's cached copy,
+/// applying the protocol transition.
+fn supply_from_line(node: &mut Node, ctx: &mut Ctx, line: LineAddr, to: NodeId, exclusive: bool) {
+    let kind = if exclusive { BusReqKind::GetX } else { BusReqKind::GetS };
+    let delay = ctx.data_latency();
+    if node.line(line).is_none() {
+        // The line was evicted into the writeback buffer while we
+        // still owed a (deferred) response: supply from there.
+        let p = node
+            .pending_wb_mut(line)
+            .unwrap_or_else(|| panic!("supplying line {line} that is not resident"));
+        let data = p.data;
+        if exclusive {
+            p.cancelled = true;
+        }
+        let grant = if exclusive { DataGrant::Modified } else { DataGrant::Shared };
+        ctx.net.send(ctx.now + delay, NetMsg::Data { to, line, data, grant, from_cache: true });
+        ctx.stats.cache_to_cache_transfers += 1;
+        return;
+    }
+    let l = node
+        .line_mut(line)
+        .unwrap_or_else(|| panic!("supplying line {line} that is not resident"));
+    let outcome = protocol::snoop(l.state, kind);
+    debug_assert!(outcome.supply, "supply_from_line on non-owning state {:?}", l.state);
+    let data = l.data;
+    let grant = if exclusive { DataGrant::Modified } else { DataGrant::Shared };
+    if outcome.next == Moesi::Invalid {
+        let la = l.line;
+        node.l1.take(la);
+        node.victim.take(la);
+        if node.core.link() == Some(la) {
+            node.core.clear_link();
+        }
+    } else {
+        l.state = outcome.next;
+    }
+    dbglog!("[{}] n{} SUPPLY line={} to={} x={}", ctx.now, node.id, line.0, to, exclusive);
+    ctx.net.send(ctx.now + delay, NetMsg::Data { to, line, data, grant, from_cache: true });
+    ctx.stats.cache_to_cache_transfers += 1;
+}
+
+/// Services the whole deferred queue in order (transaction end, or a
+/// lost conflict: "service earlier deferred requests in-order").
+fn service_deferred_all(node: &mut Node, ctx: &mut Ctx) {
+    while let Some(d) = node.deferred.pop_front() {
+        ctx.trace.record(ctx.now, node.id, TraceKind::ServiceDeferred { line: d.line.0, to: d.from });
+        supply_from_line(node, ctx, d.line, d.from, d.exclusive);
+    }
+}
+
+/// Ends the current transaction without committing.
+fn abort_txn(node: &mut Node, ctx: &mut Ctx, kind: AbortKind) {
+    let Some(txn) = node.txn.take() else { return };
+    let ns = ctx.stats.node_mut(node.id);
+    match kind {
+        AbortKind::Conflict => ns.restarts_conflict += 1,
+        AbortKind::SharerInvalidation => ns.restarts_sharer_invalidation += 1,
+        AbortKind::LockWrite => ns.restarts_lock_write += 1,
+        AbortKind::Resource => ns.fallbacks_resource += 1,
+        AbortKind::Io => ns.fallbacks_io += 1,
+        AbortKind::Nesting => ns.fallbacks_nesting += 1,
+        AbortKind::Descheduled => {}
+    }
+    let outer_pc = txn.elided[0].pc;
+    let sle_conflict_fallback = !ctx.cfg.scheme.tlr_enabled()
+        && matches!(kind, AbortKind::Conflict | AbortKind::SharerInvalidation);
+    if kind.forces_fallback() || sle_conflict_fallback {
+        if sle_conflict_fallback {
+            ctx.stats.node_mut(node.id).fallbacks_conflict += 1;
+        }
+        node.suppress_elide_at = Some(outer_pc);
+        node.sle_pred.elision_failed(outer_pc);
+        ctx.trace.record(
+            ctx.now,
+            node.id,
+            TraceKind::TxnFallback {
+                reason: match kind {
+                    AbortKind::Resource => "resource",
+                    AbortKind::Io => "io",
+                    AbortKind::Nesting => "nesting",
+                    _ => "conflict",
+                },
+            },
+        );
+    } else {
+        ctx.trace.record(ctx.now, node.id, TraceKind::TxnRestart { line: 0 });
+    }
+    dbglog!("[{}] n{} ABORT {:?}", ctx.now, node.id, kind);
+    if kind == AbortKind::SharerInvalidation {
+        node.sharer_inval_streak += 1;
+    } else if kind.forces_fallback() {
+        node.sharer_inval_streak = 0;
+    }
+    node.core.restore(&txn.checkpoint);
+    node.wait = None;
+    node.waiting_access = None;
+    node.stall_until = ctx.now + ctx.cfg.latency.restart_penalty;
+    node.wb.clear();
+    node.clear_spec_bits();
+    node.txn_pending_x.clear();
+    node.sle_pred.clear_candidates();
+    // "Give up any retained ownerships."
+    service_deferred_all(node, ctx);
+}
+
+/// Attempts to finish a committing transaction: all write-buffer lines
+/// must be resident and writable; then buffered words become visible
+/// atomically, deferred requests are serviced in order, and the
+/// logical clock advances (Figure 3, step 4).
+fn try_commit(node: &mut Node, ctx: &mut Ctx) {
+    retry_txn_pending_x(node, ctx);
+    let ready = node.txn_pending_x.is_empty()
+        && node
+            .wb
+            .entries()
+            .iter()
+            .all(|e| node.line(e.line).is_some_and(|l| l.state.writable()));
+    if !ready {
+        return;
+    }
+    let txn = node.txn.take().expect("commit without transaction");
+    for e in node.wb.entries().to_vec() {
+        let id = node.id;
+        let l = node.line_mut(e.line).expect("writable line vanished at commit");
+        tlr_mem::WriteBuffer::apply_entry(&e, &mut l.data);
+        l.state = Moesi::Modified;
+        let w0 = l.data.0[0];
+        dbglog!("[{}] n{} COMMIT line={} w0={:#x}", ctx.now, id, e.line.0, w0);
+    }
+    node.wb.clear();
+    node.clear_spec_bits();
+    for el in &txn.elided {
+        node.sle_pred.elision_succeeded(el.pc);
+    }
+    node.sharer_inval_streak = 0;
+    ctx.stats.node_mut(node.id).commits += 1;
+    ctx.trace.record(ctx.now, node.id, TraceKind::TxnCommit);
+    service_deferred_all(node, ctx);
+    node.clock.advance();
+    // The release store that triggered the commit now completes.
+    node.core.complete_store();
+    node.wait = None;
+    node.waiting_access = None;
+}
+
+/// Retries exclusive-ownership requests for transactional stores that
+/// could not be issued earlier (MSHR pressure or a shared fill in
+/// flight).
+fn retry_txn_pending_x(node: &mut Node, ctx: &mut Ctx) {
+    if node.txn_pending_x.is_empty() {
+        return;
+    }
+    let ts = node.txn.as_ref().map(|_| node.timestamp());
+    let lines = std::mem::take(&mut node.txn_pending_x);
+    for line in lines {
+        if node.line(line).is_some_and(|l| l.state.writable()) {
+            continue;
+        }
+        if node.mshrs.get(line).is_some() {
+            // A shared fill is in flight; we must re-request exclusive
+            // after it lands.
+            node.txn_pending_x.push(line);
+            continue;
+        }
+        if enforce_ts_order_before_miss(node, ctx, line) {
+            return; // transaction aborted; remaining lines are moot
+        }
+        if !issue_miss(node, ctx, line, true, ts) {
+            node.txn_pending_x.push(line);
+        }
+    }
+}
+
+/// Drains at most one store-buffer entry into the cache per cycle.
+fn drain_store_buffer(node: &mut Node, ctx: &mut Ctx) {
+    let Some((addr, val)) = node.sb.head() else { return };
+    let line = addr.line();
+    if let Some(l) = node.line_mut(line) {
+        if l.state.writable() {
+            l.data.set_word(addr, val);
+            l.state = Moesi::Modified;
+            node.sb.pop();
+            dbglog!("[{}] n{} STORE [{:#x}]={:#x}", ctx.now, node.id, addr.0, val);
+            return;
+        }
+    }
+    if node.mshrs.get(line).is_some() {
+        return; // fill in flight
+    }
+    if node.line(line).is_none() {
+        if let Some(p) = node.pending_wb_mut(line) {
+            // Re-acquire a line parked in the writeback buffer.
+            p.cancelled = true;
+            let data = p.data;
+            let mut entry = CacheLine::new(line, Moesi::Modified, data);
+            entry.acquired_at = ctx.now;
+            let _ = install_line(node, ctx, entry);
+            return;
+        }
+    }
+    issue_miss(node, ctx, line, true, None);
+}
+
+/// Decides a transactional conflict at a node that currently owns the
+/// contested block (Figure 3, step 3).
+enum ConflictDecision {
+    Defer { relaxed: bool },
+    Lose,
+}
+
+fn decide_conflict(node: &mut Node, ctx: &mut Ctx, line: LineAddr, incoming: Option<Timestamp>) -> ConflictDecision {
+    if !ctx.cfg.scheme.tlr_enabled() {
+        // Plain SLE: any conflict restarts and falls back to the lock.
+        return ConflictDecision::Lose;
+    }
+    match incoming {
+        None => match ctx.cfg.untimestamped_policy {
+            // Un-timestamped requests are assumed to have the latest
+            // timestamp in the system (lowest priority).
+            UntimestampedPolicy::DeferAsLowestPriority => ConflictDecision::Defer { relaxed: false },
+            UntimestampedPolicy::Restart => ConflictDecision::Lose,
+        },
+        Some(in_ts) => {
+            node.clock.observe_conflicting(in_ts);
+            let ours = node.timestamp();
+            if ours.wins_over(in_ts, ctx.ts_bits()) {
+                ConflictDecision::Defer { relaxed: false }
+            } else if ctx.cfg.scheme.relax_single_block()
+                && ctx.cfg.retention == tlr_sim::config::RetentionPolicy::Deferral
+                && !node.mshrs.has_transactional_miss()
+                && node.txn_pending_x.is_empty()
+                && !node.defers_other_lines(line)
+            {
+                // The relaxation is deferral-specific: a deferred
+                // earlier-timestamp request is still queued and will
+                // be answered at commit; a NACKed one would be refused
+                // indefinitely, breaking starvation freedom.
+                // §3.2: deadlock is impossible with a single contended
+                // block, so the timestamp-induced restart is avoided.
+                ConflictDecision::Defer { relaxed: true }
+            } else {
+                ConflictDecision::Lose
+            }
+        }
+    }
+}
+
+/// Handles a conflicting request at the owner that holds the data.
+fn owner_conflict(node: &mut Node, ctx: &mut Ctx, req: &BusRequest) {
+    let line = req.line;
+    let exclusive = req.kind.is_exclusive();
+    // If we have our own exclusive request in flight for this line
+    // (an Owned-copy upgrade), the incoming request was ordered
+    // *before* ours: deferring it would make our own upgrade wait on
+    // our own commit. We must lose.
+    let upgrade_in_flight = node.mshrs.get(line).is_some();
+    let decision = if upgrade_in_flight {
+        ConflictDecision::Lose
+    } else {
+        decide_conflict(node, ctx, line, req.ts)
+    };
+    let decision = match decision {
+        // Under NACK retention the refusal must happen at the bus
+        // ordering point (order_request); by snoop time the transfer
+        // is architecturally committed, so a late win degrades to a
+        // loss (service and restart).
+        ConflictDecision::Defer { .. }
+            if ctx.cfg.retention == tlr_sim::config::RetentionPolicy::Nack =>
+        {
+            ConflictDecision::Lose
+        }
+        d => d,
+    };
+    match decision {
+        ConflictDecision::Defer { relaxed } if node.deferred.len() < node.deferred_cap => {
+            node.deferred.push_back(DeferredReq { line, from: req.requester, exclusive, ts: req.ts });
+            let ns = ctx.stats.node_mut(node.id);
+            ns.requests_deferred += 1;
+            ns.markers_sent += 1;
+            if relaxed {
+                ns.single_block_relaxations += 1;
+            }
+            ctx.trace.record(ctx.now, node.id, TraceKind::Defer { line: line.0, from: req.requester });
+            let delay = ctx.data_latency();
+            ctx.net.send(delay + ctx.now, NetMsg::Marker { to: req.requester, from: node.id, line });
+        }
+        _ => {
+            // Lose (or deferred queue full): service earlier deferred
+            // requests in order, then the conflicting request, then
+            // restart.
+            ctx.stats.node_mut(node.id).conflicts_lost += 1;
+            ctx.trace.record(ctx.now, node.id, TraceKind::ConflictLost { line: line.0, to: req.requester });
+            service_deferred_all(node, ctx);
+            supply_from_line(node, ctx, line, req.requester, exclusive);
+            abort_txn(node, ctx, AbortKind::Conflict);
+        }
+    }
+}
+
+/// Processes one snooped bus transaction at this node.
+fn snoop_one(node: &mut Node, ctx: &mut Ctx, ev: SnoopEvent) {
+    let req = &ev.req;
+    let line = req.line;
+    let exclusive = req.kind.is_exclusive();
+    if req.requester == node.id {
+        if let Some(m) = node.mshrs.get_mut(line) {
+            m.ordered = true;
+            m.ordered_at = ev.order_cycle;
+        }
+        return;
+    }
+    // 1a. We have an ordered shared miss outstanding and a later
+    //     exclusive request is passing by (routed to someone else):
+    //     our fill will be stale the moment it arrives.
+    if !ev.supplier && exclusive {
+        if let Some(m) = node.mshrs.get_mut(line) {
+            if m.ordered && !m.exclusive {
+                m.invalidate_after_fill = true;
+            }
+        }
+    }
+    // 1b. Our own ordered request precedes this one and the ledger
+    //     routed it to us: it chains at our MSHR.
+    if ev.supplier && node.mshrs.get(line).is_some_and(|m| m.ordered) {
+        let our_exclusive;
+        let our_ts;
+        {
+            let m = node.mshrs.get_mut(line).unwrap();
+            our_exclusive = m.exclusive;
+            our_ts = m.ts;
+            m.interventions.push_back(Intervention { from: req.requester, exclusive, ts: req.ts });
+        }
+        ctx.stats.node_mut(node.id).markers_sent += 1;
+        ctx.trace.record(ctx.now, node.id, TraceKind::Marker { line: line.0, to: req.requester });
+        let delay = ctx.data_latency();
+        ctx.net.send(ctx.now + delay, NetMsg::Marker { to: req.requester, from: node.id, line });
+        // Probe propagation (§3.1.1): if our transactional request is
+        // going to lose to the incoming one, push the conflict
+        // upstream toward the data holder.
+        if node.txn.is_some() && our_ts.is_some() {
+            let conflict = exclusive || our_exclusive;
+            if conflict {
+                if let Some(in_ts) = req.ts {
+                    node.clock.observe_conflicting(in_ts);
+                    let ours = node.timestamp();
+                    if in_ts.wins_over(ours, ctx.ts_bits()) {
+                        let m = node.mshrs.get_mut(line).unwrap();
+                        if let Some(up) = m.marker_from {
+                            ctx.stats.node_mut(node.id).probes_sent += 1;
+                            ctx.trace.record(ctx.now, node.id, TraceKind::Probe { line: line.0, to: up });
+                            let delay = ctx.data_latency();
+                            ctx.net.send(ctx.now + delay, NetMsg::Probe { to: up, line, ts: in_ts });
+                        } else {
+                            m.pending_probe = Some(in_ts);
+                        }
+                    }
+                }
+            }
+        }
+        return;
+    }
+    // 2. Line resident?
+    if node.line(line).is_some() {
+        let (state, conflicts, acquired_at) = {
+            let l = node.line(line).unwrap();
+            (l.state, node.txn.is_some() && l.conflicts_with(exclusive), l.acquired_at)
+        };
+        // Stale snoop: this copy was produced by a request ordered
+        // *after* the snooped one, which was therefore satisfied by
+        // the chain upstream of us. It cannot touch this copy.
+        if acquired_at > ev.order_cycle {
+            if ev.supplier {
+                redirect_to_memory(ctx, req, ev.other_sharers);
+            }
+            return;
+        }
+        if ev.supplier && state.supplies() {
+            if conflicts && state.retainable() {
+                owner_conflict(node, ctx, req);
+            } else {
+                supply_from_line(node, ctx, line, req.requester, exclusive);
+            }
+            return;
+        }
+        if state.supplies() {
+            // We hold the line exclusively but the ledger routed this
+            // request elsewhere: we are in the middle of a coherence
+            // chain, our successor is already recorded (deferred or as
+            // an intervention), and this later request will be
+            // satisfied downstream of us. Not our business.
+            return;
+        }
+        // Plain snooper: state is Shared.
+        if conflicts {
+            // A shared block's invalidation cannot be deferred
+            // (§3.1.2): misspeculate. A write to the elided lock
+            // itself means another thread is *acquiring* it — restart
+            // and re-elide once it is free again (§2.2), without
+            // punishing the elision predictor.
+            let kind = if is_lock_line(node, line) {
+                AbortKind::LockWrite
+            } else {
+                AbortKind::SharerInvalidation
+            };
+            abort_txn(node, ctx, kind);
+        }
+        let outcome = protocol::snoop(state, req.kind);
+        if outcome.next == Moesi::Invalid {
+            node.l1.take(line);
+            node.victim.take(line);
+            // The link register is cleared only by writes ordered
+            // *before* our own pending exclusive request: if our GetX
+            // is already ordered, this (later) request cannot break
+            // the LL/SC atomicity of the store-conditional whose write
+            // occupies our ordering slot.
+            let our_x_ordered =
+                node.mshrs.get(line).is_some_and(|m| m.ordered && m.exclusive);
+            if node.core.link() == Some(line) && !our_x_ordered {
+                node.core.clear_link();
+            }
+        } else if let Some(l) = node.line_mut(line) {
+            l.state = outcome.next;
+        }
+        if ev.supplier {
+            redirect_to_memory(ctx, req, ev.other_sharers);
+        }
+        return;
+    }
+    // 3. Parked in the writeback buffer?
+    if node.pending_wb_mut(line).is_some() {
+        if ev.supplier {
+            let p = node.pending_wb_mut(line).unwrap();
+            let data = p.data;
+            if exclusive {
+                p.cancelled = true;
+            }
+            let grant = if exclusive { DataGrant::Modified } else { DataGrant::Shared };
+            let delay = ctx.data_latency();
+            ctx.net.send(ctx.now + delay, NetMsg::Data { to: req.requester, line, data, grant, from_cache: true });
+            ctx.stats.cache_to_cache_transfers += 1;
+        }
+        return;
+    }
+    // 4. Nothing here; if the ledger pointed at us it is stale (a
+    //    silently evicted clean line): memory supplies.
+    if ev.supplier {
+        redirect_to_memory(ctx, req, ev.other_sharers);
+    }
+}
+
+/// Supplies a request from the memory side after a stale-owner snoop
+/// miss.
+fn redirect_to_memory(ctx: &mut Ctx, req: &BusRequest, other_sharers: bool) {
+    dbglog!("[{}] REDIRECT line={} to={} kind={:?}", ctx.now, req.line.0, req.requester, req.kind);
+    let _ = other_sharers;
+    let (data, res) = ctx.memsys.supply(req.line);
+    if res.l2_hit {
+        ctx.stats.l2_supplies += 1;
+    } else {
+        ctx.stats.memory_supplies += 1;
+    }
+    // A redirect means the ledger-designated cache could not supply —
+    // other caches may have picked up Shared copies since the request
+    // was ordered, so a shared request must never be granted
+    // Exclusive here (the order-time sharers snapshot is stale).
+    let grant = protocol::fill_grant(req.kind, true, false);
+    let delay = res.latency + ctx.data_latency();
+    ctx.net.send(
+        ctx.now + delay,
+        NetMsg::Data { to: req.requester, line: req.line, data, grant, from_cache: false },
+    );
+}
+
+/// Handles an arriving data response: installs the line, completes the
+/// blocked core access, then services the intervention chain in order.
+fn handle_fill(
+    node: &mut Node,
+    ctx: &mut Ctx,
+    line: LineAddr,
+    data: tlr_mem::LineData,
+    grant: DataGrant,
+    from_cache: bool,
+) {
+    let _ = from_cache;
+    dbglog!("[{}] n{} FILL line={} grant={:?} ivs={} w2={:#x}", ctx.now, node.id, line.0, grant, node.mshrs.get(line).map(|m| m.interventions.len()).unwrap_or(99), data.0[2]);
+    let mshr = node.mshrs.remove(line).expect("fill without MSHR");
+    // Replace any existing copy (e.g. the Shared copy an exclusive
+    // request upgraded over), carrying over its transactional access
+    // bits — the upgrade is part of the same transaction. A dirty
+    // local copy also keeps its data: it is newer than anything the
+    // memory side could have supplied. The link register is *not*
+    // cleared by our own upgrade.
+    let old_copy = node.l1.take(line).or_else(|| node.victim.take(line));
+    let mut entry = CacheLine::new(line, protocol::grant_state(grant), data);
+    entry.acquired_at = if mshr.ordered { mshr.ordered_at } else { ctx.now };
+    if let Some(old) = old_copy {
+        if old.state.dirty() {
+            entry.data = old.data;
+        }
+        entry.spec_read = old.spec_read;
+        entry.spec_written = old.spec_written;
+    }
+    if node.txn.is_some() && node.wb.contains_line(line) {
+        entry.spec_written = true;
+    }
+    if install_line(node, ctx, entry).is_err() {
+        // A transactional line fell out of the victim cache: resource
+        // fallback (§3.3). Speculative bits are cleared by the abort,
+        // so the installed line stays resident as a normal line.
+        abort_txn(node, ctx, AbortKind::Resource);
+    }
+    // Complete the blocked core access, if it targets this line.
+    if let (Some(acc), Some(Wait::Fill { line: wline, is_lock })) = (node.waiting_access, node.wait) {
+        if wline == line {
+            complete_access_after_fill(node, ctx, acc, line, is_lock);
+        }
+    }
+    // Retire store-buffer entries that were waiting for this fill
+    // *atomically with it* — otherwise a snoop arriving between the
+    // fill and the next drain tick could steal the line before the
+    // store lands, and under contention that race can repeat forever.
+    loop {
+        let before = node.sb.len();
+        drain_store_buffer(node, ctx);
+        if node.sb.len() == before {
+            break;
+        }
+    }
+    // A later exclusive request was ordered while this shared miss was
+    // in flight: the waiting access consumed the (coherence-ordered-
+    // correct) value above; the copy itself is already stale.
+    if mshr.invalidate_after_fill {
+        let was_spec = node.line(line).is_some_and(|l| l.spec_accessed());
+        let kind = if is_lock_line(node, line) {
+            AbortKind::LockWrite
+        } else {
+            AbortKind::SharerInvalidation
+        };
+        node.l1.take(line);
+        node.victim.take(line);
+        if node.core.link() == Some(line) {
+            node.core.clear_link();
+        }
+        if was_spec && node.txn.is_some() {
+            abort_txn(node, ctx, kind);
+        }
+    }
+    // Service the intervention chain in order.
+    process_interventions(node, ctx, line, mshr.interventions.into_iter().collect());
+}
+
+fn complete_access_after_fill(node: &mut Node, ctx: &mut Ctx, acc: MemAccess, line: LineAddr, is_lock: bool) {
+    let _ = is_lock;
+    match acc.kind {
+        AccessKind::Load { .. } | AccessKind::LoadLinked { .. } => {
+            let in_txn = node.txn.is_some();
+            let l = node.line_mut(line).expect("filled line resident");
+            if in_txn {
+                l.spec_read = true;
+            }
+            let v = l.data.word(acc.addr);
+            node.core.complete_load(v);
+            if matches!(acc.kind, AccessKind::Load { .. }) {
+                node.rmw_pred.record_load(acc.pc, line);
+            }
+            ctx.stats.node_mut(node.id).loads += 1;
+        }
+        AccessKind::StoreCond { val, .. } => {
+            if node.core.link() != Some(line) {
+                node.core.complete_sc(false);
+                ctx.stats.node_mut(node.id).sc_fail += 1;
+                node.wait = None;
+                node.waiting_access = None;
+                return;
+            }
+            if !node.line(line).is_some_and(|l| l.state.writable()) {
+                // The fill that completed was a shared grant (the SC
+                // piggybacked on an earlier GetS miss): exclusive
+                // ownership is still required before the write.
+                if node.mshrs.get(line).is_some() || issue_miss(node, ctx, line, true, None) {
+                    // keep waiting on the new exclusive fill
+                } else {
+                    node.wait = Some(Wait::MshrFull { is_lock });
+                }
+                return;
+            }
+            {
+                let l = node.line_mut(line).expect("filled line resident");
+                let old = l.data.word(acc.addr);
+                l.data.set_word(acc.addr, val);
+                l.state = Moesi::Modified;
+                dbglog!("[{}] n{} SCf [{:#x}]={:#x} (old {:#x})", ctx.now, node.id, acc.addr.0, val, old);
+                node.core.complete_sc(true);
+                let ns = ctx.stats.node_mut(node.id);
+                ns.sc_success += 1;
+                ns.stores += 1;
+                node.sle_pred.observe_atomic_store(acc.pc, acc.addr, old, val);
+                if node.suppress_elide_at == Some(acc.pc) {
+                    node.suppress_elide_at = None;
+                }
+                if ctx.lock_addrs.contains(&acc.addr) {
+                    ctx.trace.record(ctx.now, node.id, TraceKind::LockAcquired { lock_addr: acc.addr.0 });
+                }
+            }
+        }
+        AccessKind::Store { .. } | AccessKind::Fence => {
+            unreachable!("stores and fences never block on fills")
+        }
+    }
+    node.wait = None;
+    node.waiting_access = None;
+}
+
+/// Services interventions queued behind a completed miss, applying the
+/// same conflict rules as direct snoops.
+fn process_interventions(node: &mut Node, ctx: &mut Ctx, line: LineAddr, ivs: Vec<Intervention>) {
+    for (idx, iv) in ivs.iter().enumerate() {
+        let conflicts = node.txn.is_some()
+            && node.line(line).is_some_and(|l| l.conflicts_with(iv.exclusive));
+        if !conflicts {
+            chain_supply(node, ctx, line, iv);
+            continue;
+        }
+        // Note: even under NACK retention, interventions use the
+        // deferral machinery — they were ordered into the coherence
+        // chain before this node had data, i.e. before any NACK could
+        // have been asserted at the bus. Only order-point refusals
+        // (`nack_at_order`) implement the NACK policy proper.
+        match decide_conflict(node, ctx, line, iv.ts) {
+            ConflictDecision::Defer { relaxed } if node.deferred.len() < node.deferred_cap => {
+                node.deferred.push_back(DeferredReq {
+                    line,
+                    from: iv.from,
+                    exclusive: iv.exclusive,
+                    ts: iv.ts,
+                });
+                let ns = ctx.stats.node_mut(node.id);
+                ns.requests_deferred += 1;
+                if relaxed {
+                    ns.single_block_relaxations += 1;
+                }
+                ctx.trace.record(ctx.now, node.id, TraceKind::Defer { line: line.0, from: iv.from });
+                // The marker was already sent when the intervention was
+                // queued.
+            }
+            _ => {
+                ctx.stats.node_mut(node.id).conflicts_lost += 1;
+                ctx.trace.record(ctx.now, node.id, TraceKind::ConflictLost { line: line.0, to: iv.from });
+                service_deferred_all(node, ctx);
+                chain_supply(node, ctx, line, iv);
+                abort_txn(node, ctx, AbortKind::Conflict);
+                // Remaining interventions are serviced outside any
+                // transaction.
+                for later in &ivs[idx + 1..] {
+                    chain_supply(node, ctx, line, later);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Supplies an intervention from the current copy, even when the local
+/// state would not normally supply (request-response decoupling: the
+/// chain made us the temporary owner).
+fn chain_supply(node: &mut Node, ctx: &mut Ctx, line: LineAddr, iv: &Intervention) {
+    let delay = ctx.data_latency();
+    if node.line(line).is_none() {
+        // The line was evicted into the writeback buffer, or (under
+        // NACK retention, where retried orderings can stack several
+        // exclusive interventions on one MSHR) already handed to an
+        // earlier intervener.
+        if let Some(p) = node.pending_wb_mut(line) {
+            let data = p.data;
+            if iv.exclusive {
+                p.cancelled = true;
+            }
+            let grant = if iv.exclusive { DataGrant::Modified } else { DataGrant::Shared };
+            ctx.net.send(ctx.now + delay, NetMsg::Data { to: iv.from, line, data, grant, from_cache: true });
+            ctx.stats.cache_to_cache_transfers += 1;
+            return;
+        }
+        debug_assert!(
+            ctx.cfg.retention == tlr_sim::config::RetentionPolicy::Nack,
+            "chain supply for line {line} that is not resident"
+        );
+        ctx.stats.node_mut(node.id).nacks_sent += 1;
+        ctx.net.send(ctx.now + delay, NetMsg::Nack { to: iv.from, line });
+        return;
+    }
+    let l = node
+        .line_mut(line)
+        .unwrap_or_else(|| panic!("chain supply for line {line} that is not resident"));
+    let data = l.data;
+    let grant = if iv.exclusive { DataGrant::Modified } else { DataGrant::Shared };
+    if iv.exclusive {
+        node.l1.take(line);
+        node.victim.take(line);
+        if node.core.link() == Some(line) {
+            node.core.clear_link();
+        }
+    } else if l.state == Moesi::Modified {
+        l.state = Moesi::Owned;
+    } else if l.state == Moesi::Exclusive {
+        l.state = Moesi::Shared;
+    }
+    dbglog!("[{}] n{} CHAIN line={} to={} x={} w2={:#x}", ctx.now, node.id, line.0, iv.from, iv.exclusive, data.0[2]);
+    ctx.net.send(ctx.now + delay, NetMsg::Data { to: iv.from, line, data, grant, from_cache: true });
+    ctx.stats.cache_to_cache_transfers += 1;
+}
+
+/// Handles an arriving marker: remembers the upstream neighbour and
+/// forwards any pending probe (or a losing queued intervention's
+/// timestamp) toward it.
+fn handle_marker(node: &mut Node, ctx: &mut Ctx, line: LineAddr, from: NodeId) {
+    let in_txn = node.txn.is_some();
+    let ours = node.timestamp();
+    let bits = ctx.ts_bits();
+    let Some(m) = node.mshrs.get_mut(line) else { return };
+    m.marker_from = Some(from);
+    let mut fwd: Option<Timestamp> = m.pending_probe.take();
+    if in_txn && m.ts.is_some() {
+        let our_exclusive = m.exclusive;
+        for iv in &m.interventions {
+            if let Some(ts) = iv.ts {
+                if (iv.exclusive || our_exclusive)
+                    && ts.wins_over(ours, bits)
+                    && fwd.is_none_or(|f| ts.wins_over(f, bits))
+                {
+                    fwd = Some(ts);
+                }
+            }
+        }
+    }
+    if let Some(ts) = fwd {
+        ctx.stats.node_mut(node.id).probes_sent += 1;
+        ctx.trace.record(ctx.now, node.id, TraceKind::Probe { line: line.0, to: from });
+        let delay = ctx.data_latency();
+        ctx.net.send(ctx.now + delay, NetMsg::Probe { to: from, line, ts });
+    }
+}
+
+/// Handles an arriving probe (§3.1.1): a conflicting earlier
+/// timestamp is chasing the data. If we hold the block and are
+/// deferring, we lose and release; if we are also pending, forward the
+/// probe upstream.
+fn handle_probe(node: &mut Node, ctx: &mut Ctx, line: LineAddr, ts: Timestamp) {
+    ctx.stats.node_mut(node.id).probes_received += 1;
+    if node.txn.is_none() {
+        return;
+    }
+    node.clock.observe_conflicting(ts);
+    let ours = node.timestamp();
+    if !ts.wins_over(ours, ctx.ts_bits()) {
+        return; // we have priority; the prober waits
+    }
+    if node.deferred.iter().any(|d| d.line == line) {
+        ctx.stats.node_mut(node.id).conflicts_lost += 1;
+        ctx.trace.record(ctx.now, node.id, TraceKind::ConflictLost { line: line.0, to: usize::MAX });
+        service_deferred_all(node, ctx);
+        abort_txn(node, ctx, AbortKind::Conflict);
+    } else if let Some(m) = node.mshrs.get_mut(line) {
+        if let Some(up) = m.marker_from {
+            ctx.stats.node_mut(node.id).probes_sent += 1;
+            let delay = ctx.data_latency();
+            ctx.net.send(ctx.now + delay, NetMsg::Probe { to: up, line, ts });
+        } else {
+            m.pending_probe = Some(ts);
+        }
+    }
+}
+
+/// Retries the wait the core is blocked on.
+fn retry_wait(node: &mut Node, ctx: &mut Ctx) {
+    match node.wait.expect("retry without wait") {
+        Wait::Fill { is_lock, .. } => charge_stall(node, ctx, is_lock),
+        Wait::StoreBufFull => {
+            if node.sb.is_full() {
+                ctx.stats.node_mut(node.id).store_buffer_full_cycles += 1;
+            } else {
+                redo_access(node, ctx);
+            }
+        }
+        Wait::MshrFull { is_lock } => {
+            if node.mshrs.is_full() {
+                charge_stall(node, ctx, is_lock);
+            } else {
+                redo_access(node, ctx);
+            }
+        }
+        Wait::Drain { is_lock } => {
+            if node.sb.is_empty() {
+                redo_access(node, ctx);
+            } else {
+                charge_stall(node, ctx, is_lock);
+            }
+        }
+        Wait::Commit => unreachable!("commit wait handled before core dispatch"),
+        Wait::Io { until } => {
+            if ctx.now >= until {
+                node.core.complete_io();
+                node.wait = None;
+            } else {
+                ctx.stats.node_mut(node.id).data_stall_cycles += 1;
+            }
+        }
+    }
+}
+
+fn charge_stall(node: &mut Node, ctx: &mut Ctx, is_lock: bool) {
+    let ns = ctx.stats.node_mut(node.id);
+    if is_lock {
+        ns.lock_stall_cycles += 1;
+    } else {
+        ns.data_stall_cycles += 1;
+    }
+}
+
+fn redo_access(node: &mut Node, ctx: &mut Ctx) {
+    node.wait = None;
+    let acc = node.waiting_access.take().expect("redo without access");
+    handle_access(node, ctx, acc);
+}
+
+fn charge_busy(node: &mut Node, ctx: &mut Ctx, is_lock: bool) {
+    let ns = ctx.stats.node_mut(node.id);
+    if is_lock {
+        ns.lock_busy_cycles += 1;
+    } else {
+        ns.busy_cycles += 1;
+    }
+}
+
+/// Sends a negative acknowledgement for `line` to `to` and reverts
+/// protocol ownership to this node (NACK retention, §3).
+/// Handles an incoming NACK (the request's bus transaction was
+/// annulled at the ordering point, so no chain ever formed behind
+/// it): simply retry after a randomized backoff.
+fn handle_nack(node: &mut Node, ctx: &mut Ctx, line: LineAddr) {
+    ctx.stats.node_mut(node.id).nacks_received += 1;
+    if node.mshrs.get(line).is_some() {
+        let backoff = ctx.cfg.latency.data_network + ctx.rng.below(32);
+        node.nack_retries.push((ctx.now + backoff, line));
+    }
+}
+
+/// Re-issues NACKed requests whose backoff has expired.
+fn retry_nacked(node: &mut Node, ctx: &mut Ctx) {
+    if node.nack_retries.is_empty() {
+        return;
+    }
+    let due: Vec<LineAddr> = {
+        let now = ctx.now;
+        let (ready, later): (Vec<_>, Vec<_>) =
+            node.nack_retries.drain(..).partition(|&(t, _)| t <= now);
+        node.nack_retries = later;
+        ready.into_iter().map(|(_, l)| l).collect()
+    };
+    for line in due {
+        if let Some(m) = node.mshrs.get(line) {
+            ctx.bus.enqueue(
+                node.id,
+                BusRequest {
+                    requester: node.id,
+                    line,
+                    kind: if m.exclusive { BusReqKind::GetX } else { BusReqKind::GetS },
+                    ts: m.ts,
+                    wb_data: None,
+                    enqueued_at: ctx.now,
+                },
+            );
+        }
+    }
+}
+
+/// Whether `line` holds one of the transaction's elided lock words.
+fn is_lock_line(node: &Node, line: LineAddr) -> bool {
+    node.txn
+        .as_ref()
+        .is_some_and(|t| t.elided.iter().any(|e| e.addr.line() == line))
+}
+
+/// §3.2 enforcement: the single-block relaxation may have deferred a
+/// request with an *earlier* timestamp; that is deadlock-free only
+/// while the transaction touches no other contested block. The moment
+/// it is about to generate another transactional miss, strict
+/// timestamp order must be restored: lose the held conflict now.
+/// Returns `true` if the transaction was aborted (the caller's access
+/// was squashed by the restore).
+fn enforce_ts_order_before_miss(node: &mut Node, ctx: &mut Ctx, line: LineAddr) -> bool {
+    if node.txn.is_none() || node.deferred.is_empty() {
+        return false;
+    }
+    let ours = node.timestamp();
+    // Losing cases: (a) a deferred request has an earlier timestamp
+    // (the §3.2 relaxation must now yield), or (b) the new exclusive
+    // request targets a line we are deferring — it would be ordered
+    // *behind* the deferred requester and wait on our own commit.
+    let must_lose = node.deferred.iter().any(|d| {
+        d.line == line || d.ts.is_some_and(|t| t.wins_over(ours, ctx.ts_bits()))
+    });
+    if !must_lose {
+        return false;
+    }
+    ctx.stats.node_mut(node.id).conflicts_lost += 1;
+    service_deferred_all(node, ctx);
+    abort_txn(node, ctx, AbortKind::Conflict);
+    true
+}
+
+/// Dispatches a fresh core memory access.
+fn handle_access(node: &mut Node, ctx: &mut Ctx, acc: MemAccess) {
+    let is_lock = ctx.lock_addrs.contains(&acc.addr);
+    match acc.kind {
+        AccessKind::Fence => {
+            if node.sb.is_empty() {
+                node.core.complete_fence();
+                charge_busy(node, ctx, false);
+            } else {
+                node.wait = Some(Wait::Drain { is_lock: false });
+                node.waiting_access = Some(acc);
+            }
+        }
+        AccessKind::Load { .. } | AccessKind::LoadLinked { .. } => {
+            handle_load(node, ctx, acc, is_lock)
+        }
+        AccessKind::Store { val } => handle_store(node, ctx, acc, val, is_lock),
+        AccessKind::StoreCond { val, .. } => handle_sc(node, ctx, acc, val, is_lock),
+    }
+}
+
+fn handle_load(node: &mut Node, ctx: &mut Ctx, acc: MemAccess, is_lock: bool) {
+    let line = acc.addr.line();
+    let is_ll = matches!(acc.kind, AccessKind::LoadLinked { .. });
+    let in_txn = node.txn.is_some();
+    ctx.stats.node_mut(node.id).loads += 1;
+    if is_ll {
+        ctx.stats.node_mut(node.id).ll_ops += 1;
+        // LL orders after older stores to the same line (link
+        // semantics require observing memory, not the store buffer).
+        if node.sb.has_store_to_line(line) {
+            ctx.stats.node_mut(node.id).loads -= 1;
+            node.wait = Some(Wait::Drain { is_lock });
+            node.waiting_access = Some(acc);
+            return;
+        }
+    }
+    // Transactional loads see the transaction's own buffered stores.
+    if in_txn {
+        if let Some(v) = node.wb.read_word(acc.addr) {
+            node.core.complete_load(v);
+            if !is_ll {
+                node.rmw_pred.record_load(acc.pc, line);
+            }
+            ctx.stats.node_mut(node.id).l1_hits += 1;
+            charge_busy(node, ctx, is_lock);
+            return;
+        }
+    } else if !is_ll {
+        if let Some(v) = node.sb.forward(acc.addr) {
+            node.core.complete_load(v);
+            node.rmw_pred.record_load(acc.pc, line);
+            ctx.stats.node_mut(node.id).l1_hits += 1;
+            charge_busy(node, ctx, is_lock);
+            return;
+        }
+    }
+    if node.line(line).is_some() {
+        let hit_in_victim = !node.l1.contains(line);
+        let l = node.line_mut(line).unwrap();
+        if in_txn {
+            l.spec_read = true;
+        }
+        let state = l.state;
+        let v = l.data.word(acc.addr);
+        node.core.complete_load(v);
+        if !is_ll {
+            node.rmw_pred.record_load(acc.pc, line);
+        }
+        let ns = ctx.stats.node_mut(node.id);
+        ns.l1_hits += 1;
+        if hit_in_victim {
+            ns.victim_hits += 1;
+        }
+        // Escalation (§3.1.2): after repeated shared-block
+        // invalidations, convert read-shared transactional blocks to
+        // owned state so external requests become deferrable. The
+        // elided lock line itself stays shared — upgrading it would
+        // needlessly restart every other eliding processor.
+        if in_txn
+            && ctx.cfg.scheme.tlr_enabled()
+            && node.reads_exclusive()
+            && state == Moesi::Shared
+            && !is_lock_line(node, line)
+            && node.mshrs.get(line).is_none()
+            && !enforce_ts_order_before_miss(node, ctx, line)
+        {
+            let ts = Some(node.timestamp());
+            issue_miss(node, ctx, line, true, ts);
+        }
+        charge_busy(node, ctx, is_lock);
+        return;
+    }
+    if node.pending_wb_mut(line).is_some() {
+        // Re-acquire the dirty line from the writeback buffer.
+        let p = node.pending_wb_mut(line).unwrap();
+        p.cancelled = true;
+        let data = p.data;
+        let mut entry = CacheLine::new(line, Moesi::Modified, data);
+        entry.acquired_at = ctx.now;
+        if in_txn {
+            entry.spec_read = true;
+        }
+        let v = data.word(acc.addr);
+        if install_line(node, ctx, entry).is_err() {
+            abort_txn(node, ctx, AbortKind::Resource);
+            return;
+        }
+        node.core.complete_load(v);
+        if !is_ll {
+            node.rmw_pred.record_load(acc.pc, line);
+        }
+        charge_busy(node, ctx, is_lock);
+        return;
+    }
+    // Miss.
+    if node.mshrs.get(line).is_some() {
+        node.wait = Some(Wait::Fill { line, is_lock });
+        node.waiting_access = Some(acc);
+        return;
+    }
+    if node.mshrs.is_full() {
+        node.wait = Some(Wait::MshrFull { is_lock });
+        node.waiting_access = Some(acc);
+        return;
+    }
+    if in_txn && enforce_ts_order_before_miss(node, ctx, line) {
+        return;
+    }
+    let escalated = in_txn
+        && ctx.cfg.scheme.tlr_enabled()
+        && node.reads_exclusive()
+        && !is_lock_line(node, line);
+    let exclusive = node.rmw_pred.predicts_store(acc.pc) || escalated;
+    if exclusive {
+        ctx.stats.node_mut(node.id).rmw_upgraded_loads += 1;
+    }
+    let ts = if in_txn { Some(node.timestamp()) } else { None };
+    issue_miss(node, ctx, line, exclusive, ts);
+    node.wait = Some(Wait::Fill { line, is_lock });
+    node.waiting_access = Some(acc);
+}
+
+fn handle_store(node: &mut Node, ctx: &mut Ctx, acc: MemAccess, val: u64, is_lock: bool) {
+    let line = acc.addr.line();
+    ctx.stats.node_mut(node.id).stores += 1;
+    if node.txn.is_some() {
+        // Release-store detection: the second, silent store of the
+        // elided pair.
+        let closed = node.txn.as_mut().unwrap().try_close(acc.addr, val);
+        if closed {
+            if ctx.lock_addrs.contains(&acc.addr) {
+                ctx.trace.record(ctx.now, node.id, TraceKind::LockReleased { lock_addr: acc.addr.0 });
+            }
+            if node.txn.as_ref().unwrap().all_closed() {
+                // Transaction end: hold the release store until commit.
+                node.txn.as_mut().unwrap().committing = true;
+                node.wait = Some(Wait::Commit);
+                node.waiting_access = Some(acc);
+                try_commit(node, ctx);
+            } else {
+                node.core.complete_store();
+                charge_busy(node, ctx, is_lock);
+            }
+            return;
+        }
+        // Ordinary speculative data store: buffer in the write buffer
+        // and request exclusive ownership asynchronously.
+        if node.wb.write(acc.addr, val).is_err() {
+            abort_txn(node, ctx, AbortKind::Resource);
+            return;
+        }
+        node.rmw_pred.record_store(line);
+        let mut need_exclusive = true;
+        if let Some(l) = node.line_mut(line) {
+            l.spec_written = true;
+            if l.state.writable() {
+                need_exclusive = false;
+            }
+        }
+        if need_exclusive && !node.line(line).is_some_and(|l| l.state.writable()) {
+            if node.mshrs.get(line).is_none() && enforce_ts_order_before_miss(node, ctx, line) {
+                return;
+            }
+            let ts = Some(node.timestamp());
+            if node.mshrs.get(line).is_some_and(|m| m.exclusive) {
+                // Exclusive request already in flight.
+            } else if node.mshrs.get(line).is_some() || !issue_miss(node, ctx, line, true, ts) {
+                node.txn_pending_x.push(line);
+            }
+        }
+        node.core.complete_store();
+        charge_busy(node, ctx, is_lock);
+        return;
+    }
+    // Non-speculative store: retire into the store buffer.
+    if node.sb.is_full() {
+        node.wait = Some(Wait::StoreBufFull);
+        node.waiting_access = Some(acc);
+        return;
+    }
+    node.sb.push(acc.addr, val);
+    node.rmw_pred.record_store(line);
+    node.sle_pred.observe_store(acc.addr, val);
+    if ctx.lock_addrs.contains(&acc.addr) {
+        ctx.trace.record(ctx.now, node.id, TraceKind::LockReleased { lock_addr: acc.addr.0 });
+    }
+    node.core.complete_store();
+    charge_busy(node, ctx, is_lock);
+}
+
+fn handle_sc(node: &mut Node, ctx: &mut Ctx, acc: MemAccess, val: u64, is_lock: bool) {
+    let line = acc.addr.line();
+    // The SC marks its line as a lock word: the read-modify-write
+    // predictor must never turn spin loads of it into exclusive
+    // fetches (§3.1.2 optimizes data inside critical sections).
+    node.rmw_pred.record_atomic(line);
+    // Atomic operations drain the store buffer first.
+    if !node.sb.is_empty() {
+        node.wait = Some(Wait::Drain { is_lock });
+        node.waiting_access = Some(acc);
+        return;
+    }
+    let in_txn = node.txn.is_some();
+    let link_ok = node.core.link() == Some(line);
+    let cur_val = node.line(line).map(|l| l.data.word(acc.addr));
+    // --- Elision decision (Figure 3, step 2) ---
+    let may_elide = ctx.cfg.scheme.elision_enabled()
+        && node.suppress_elide_at != Some(acc.pc)
+        && node.sle_pred.should_elide(acc.pc)
+        && link_ok
+        && cur_val.is_some_and(|old| old != val);
+    if may_elide {
+        let old = cur_val.unwrap();
+        if let Some(txn) = node.txn.as_mut() {
+            if txn.open_depth() < ctx.cfg.max_elision_depth {
+                // Nested elision.
+                txn.elided.push(ElidedLock {
+                    addr: acc.addr,
+                    free_value: old,
+                    held_value: val,
+                    pc: acc.pc,
+                    closed: false,
+                });
+                node.line_mut(line).expect("lock line resident").spec_read = true;
+                node.core.complete_sc(true);
+                ctx.stats.node_mut(node.id).sc_elided += 1;
+                charge_busy(node, ctx, is_lock);
+                return;
+            }
+            // Nesting exhausted: "the inner lock is treated as data"
+            // (§4) — fall through to the transactional-write path.
+        } else {
+            let cp = node.core.checkpoint();
+            node.txn = Some(Txn::new(
+                cp,
+                ElidedLock {
+                    addr: acc.addr,
+                    free_value: old,
+                    held_value: val,
+                    pc: acc.pc,
+                    closed: false,
+                },
+                ctx.now,
+            ));
+            node.line_mut(line).expect("lock line resident").spec_read = true;
+            node.core.complete_sc(true);
+            let ns = ctx.stats.node_mut(node.id);
+            ns.sc_elided += 1;
+            ns.elisions_started += 1;
+            ctx.trace.record(ctx.now, node.id, TraceKind::TxnStart { lock_addr: acc.addr.0 });
+            charge_busy(node, ctx, is_lock);
+            return;
+        }
+    }
+    if in_txn {
+        // A store-conditional executed inside a transaction that is
+        // not (or cannot be) elided is a speculative data write.
+        if !link_ok {
+            node.core.complete_sc(false);
+            ctx.stats.node_mut(node.id).sc_fail += 1;
+            charge_busy(node, ctx, is_lock);
+            return;
+        }
+        if node.wb.write(acc.addr, val).is_err() {
+            abort_txn(node, ctx, AbortKind::Resource);
+            return;
+        }
+        node.rmw_pred.record_store(line);
+        let needs_issue = match node.line_mut(line) {
+            Some(l) => {
+                l.spec_written = true;
+                !l.state.writable() && node.mshrs.get(line).is_none()
+            }
+            None => node.mshrs.get(line).is_none(),
+        };
+        if needs_issue {
+            if enforce_ts_order_before_miss(node, ctx, line) {
+                return;
+            }
+            let ts = Some(node.timestamp());
+            if !issue_miss(node, ctx, line, true, ts) {
+                node.txn_pending_x.push(line);
+            }
+        }
+        node.core.complete_sc(true);
+        ctx.stats.node_mut(node.id).sc_success += 1;
+        charge_busy(node, ctx, is_lock);
+        return;
+    }
+    // --- Real (non-elided) store-conditional ---
+    if !link_ok {
+        node.core.complete_sc(false);
+        ctx.stats.node_mut(node.id).sc_fail += 1;
+        charge_busy(node, ctx, is_lock);
+        return;
+    }
+    if node.line(line).is_some_and(|l| l.state.writable()) {
+        let l = node.line_mut(line).unwrap();
+        let old = l.data.word(acc.addr);
+        l.data.set_word(acc.addr, val);
+        l.state = Moesi::Modified;
+        dbglog!("[{}] n{} SC [{:#x}]={:#x} (old {:#x})", ctx.now, node.id, acc.addr.0, val, old);
+        node.core.complete_sc(true);
+        let ns = ctx.stats.node_mut(node.id);
+        ns.sc_success += 1;
+        ns.stores += 1;
+        node.sle_pred.observe_atomic_store(acc.pc, acc.addr, old, val);
+        if node.suppress_elide_at == Some(acc.pc) {
+            node.suppress_elide_at = None;
+        }
+        if ctx.lock_addrs.contains(&acc.addr) {
+            ctx.trace.record(ctx.now, node.id, TraceKind::LockAcquired { lock_addr: acc.addr.0 });
+        }
+        charge_busy(node, ctx, is_lock);
+        return;
+    }
+    // Need exclusive ownership first.
+    if node.mshrs.get(line).is_some() {
+        node.wait = Some(Wait::Fill { line, is_lock });
+        node.waiting_access = Some(acc);
+        return;
+    }
+    if node.mshrs.is_full() {
+        node.wait = Some(Wait::MshrFull { is_lock });
+        node.waiting_access = Some(acc);
+        return;
+    }
+    issue_miss(node, ctx, line, true, None);
+    node.wait = Some(Wait::Fill { line, is_lock });
+    node.waiting_access = Some(acc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_cpu::Asm;
+    use tlr_sim::config::Scheme;
+
+    type ProgramBuilder = Box<dyn FnOnce(&mut Asm)>;
+
+    fn machine_with(scheme: Scheme, builders: Vec<ProgramBuilder>) -> Machine {
+        let n = builders.len();
+        let mut cfg = MachineConfig::small(scheme, n);
+        cfg.max_cycles = 2_000_000;
+        let programs = builders
+            .into_iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let mut a = Asm::new(format!("p{i}"));
+                b(&mut a);
+                a.done();
+                Arc::new(a.finish())
+            })
+            .collect();
+        Machine::new(cfg, programs, HashSet::new())
+    }
+
+    #[test]
+    fn single_node_store_then_load_roundtrip() {
+        let mut m = machine_with(
+            Scheme::Base,
+            vec![Box::new(|a: &mut Asm| {
+                let (v, addr, out) = (a.reg(), a.reg(), a.reg());
+                a.li(addr, 0x1000);
+                a.li(v, 77);
+                a.store(v, addr, 0);
+                a.load(out, addr, 0);
+                a.li(addr, 0x2000);
+                a.store(out, addr, 0);
+            })],
+        );
+        m.run().unwrap();
+        assert_eq!(m.final_word(Addr(0x1000)), 77);
+        assert_eq!(m.final_word(Addr(0x2000)), 77);
+    }
+
+    #[test]
+    fn initial_image_is_visible() {
+        let mut m = machine_with(
+            Scheme::Base,
+            vec![Box::new(|a: &mut Asm| {
+                let (addr, v, dst) = (a.reg(), a.reg(), a.reg());
+                a.li(addr, 0x40);
+                a.load(v, addr, 0);
+                a.li(dst, 0x2000);
+                a.store(v, dst, 0);
+            })],
+        );
+        m.init_word(Addr(0x40), 1234);
+        m.run().unwrap();
+        assert_eq!(m.final_word(Addr(0x2000)), 1234);
+    }
+
+    #[test]
+    fn two_nodes_transfer_modified_line() {
+        // Node 0 stores, node 1 spins until it observes the value.
+        let mut m = machine_with(
+            Scheme::Base,
+            vec![
+                Box::new(|a: &mut Asm| {
+                    let (v, addr) = (a.reg(), a.reg());
+                    a.li(addr, 0x1000);
+                    a.li(v, 9);
+                    a.store(v, addr, 0);
+                }),
+                Box::new(|a: &mut Asm| {
+                    let (v, addr, nine) = (a.reg(), a.reg(), a.reg());
+                    a.li(addr, 0x1000);
+                    a.li(nine, 9);
+                    let spin = a.here();
+                    a.load(v, addr, 0);
+                    a.bne(v, nine, spin);
+                }),
+            ],
+        );
+        m.run().unwrap();
+        assert_eq!(m.final_word(Addr(0x1000)), 9);
+        assert!(m.stats().cache_to_cache_transfers + m.stats().memory_supplies > 0);
+    }
+
+    #[test]
+    fn ll_sc_increments_atomically_across_nodes() {
+        // Two nodes each perform 50 LL/SC increments of one word.
+        let builder = |a: &mut Asm| {
+            let (count, zero, addr, v, flag, one) = (a.reg(), a.reg(), a.reg(), a.reg(), a.reg(), a.reg());
+            a.li(count, 50);
+            a.li(zero, 0);
+            a.li(one, 1);
+            a.li(addr, 0x1000);
+            let top = a.here();
+            let retry = a.here();
+            a.ll(v, addr, 0);
+            a.add(v, v, one);
+            a.sc(flag, v, addr, 0);
+            a.beq(flag, zero, retry);
+            a.addi(count, count, -1);
+            a.bne(count, zero, top);
+        };
+        let mut m = machine_with(Scheme::Base, vec![Box::new(builder), Box::new(builder)]);
+        m.run().unwrap();
+        assert_eq!(m.final_word(Addr(0x1000)), 100);
+    }
+
+    #[test]
+    fn quiesce_waits_for_store_buffer_and_writebacks() {
+        let mut m = machine_with(
+            Scheme::Base,
+            vec![Box::new(|a: &mut Asm| {
+                let (v, addr) = (a.reg(), a.reg());
+                a.li(v, 5);
+                // Store to many distinct lines to force evictions and
+                // writebacks in the small test cache.
+                for i in 0..64u64 {
+                    a.li(addr, 0x1_0000 + i * 64);
+                    a.store(v, addr, 0);
+                }
+            })],
+        );
+        m.run().unwrap();
+        for i in 0..64u64 {
+            assert_eq!(m.final_word(Addr(0x1_0000 + i * 64)), 5, "line {i}");
+        }
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let mut m = machine_with(
+            Scheme::Base,
+            vec![Box::new(|a: &mut Asm| {
+                let (z, addr, v) = (a.reg(), a.reg(), a.reg());
+                a.li(z, 0);
+                a.li(addr, 0x40);
+                let spin = a.here();
+                a.load(v, addr, 0);
+                a.beq(v, z, spin); // spins forever on zero
+            })],
+        );
+        // Shrink the budget.
+        m.cfg.max_cycles = 5_000;
+        let err = m.run().unwrap_err();
+        assert!(err.cycle >= 5_000);
+        assert!(err.to_string().contains("did not quiesce"));
+    }
+}

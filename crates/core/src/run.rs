@@ -1,0 +1,113 @@
+//! Run harness: build a [`Machine`] from a workload description, run
+//! it to quiescence, validate the final memory state, and report.
+//!
+//! Workloads are described by the [`WorkloadSpec`] trait (implemented
+//! in `tlr-workloads`): per-processor programs, an initial memory
+//! image, the set of lock addresses (for Figure 11's stall
+//! attribution), and a validation function checking that the run was
+//! serializable (the paper validated executions with a shadow
+//! functional simulator; we check final-state invariants directly).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use tlr_cpu::Program;
+use tlr_mem::addr::Addr;
+use tlr_sim::config::{MachineConfig, Scheme};
+use tlr_sim::MachineStats;
+
+use crate::machine::Machine;
+
+/// A workload the harness can run: programs, memory image, lock set,
+/// and a final-state validator.
+///
+/// Programs receive the [`Scheme`] because the paper's MCS
+/// configuration runs a different binary (MCS queue locks) while
+/// BASE/SLE/TLR share one test&test&set binary (§5).
+pub trait WorkloadSpec {
+    /// Workload name (used in benchmark output).
+    fn name(&self) -> &str;
+
+    /// One program per processor.
+    fn programs(&self, scheme: Scheme) -> Vec<Arc<Program>>;
+
+    /// Initial memory image as (address, value) words.
+    fn memory_image(&self) -> Vec<(Addr, u64)>;
+
+    /// Addresses of lock variables (statistics attribution only).
+    fn lock_addrs(&self, scheme: Scheme) -> HashSet<Addr>;
+
+    /// Validates the final memory state; returns a description of the
+    /// violation if the run was not serializable.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable explanation of the first violated
+    /// invariant.
+    fn validate(&self, machine: &Machine) -> Result<(), String>;
+}
+
+/// The result of one run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label (scheme).
+    pub scheme: tlr_sim::config::Scheme,
+    /// Processor count.
+    pub procs: usize,
+    /// Collected statistics; `stats.parallel_cycles` is the paper's
+    /// wall-clock metric.
+    pub stats: MachineStats,
+    /// Outcome of the workload's serializability validation.
+    pub validation: Result<(), String>,
+}
+
+impl RunReport {
+    /// Parallel execution cycles (the y-axis of Figures 8-10).
+    pub fn cycles(&self) -> u64 {
+        self.stats.parallel_cycles
+    }
+
+    /// Panics with a diagnostic if validation failed (used by tests
+    /// and benches; a failed validation means the simulated hardware
+    /// broke serializability).
+    pub fn assert_valid(&self) {
+        if let Err(e) = &self.validation {
+            panic!("{} [{} x{}]: serializability violation: {e}", self.workload, self.scheme, self.procs);
+        }
+    }
+}
+
+/// Builds the machine for a workload without running it (used by
+/// tests that need mid-run control, e.g. the §4 stability scenarios).
+pub fn build_machine(cfg: &MachineConfig, workload: &dyn WorkloadSpec) -> Machine {
+    let mut machine =
+        Machine::new(cfg.clone(), workload.programs(cfg.scheme), workload.lock_addrs(cfg.scheme));
+    for (addr, val) in workload.memory_image() {
+        machine.init_word(addr, val);
+    }
+    machine
+}
+
+/// Runs a workload to completion under the given configuration.
+///
+/// # Panics
+///
+/// Panics if the simulation fails to quiesce within the configured
+/// cycle budget (a livelock, which TLR's guarantees rule out — so a
+/// budget overrun is a simulator bug or a pathological configuration).
+pub fn run_workload(cfg: &MachineConfig, workload: &dyn WorkloadSpec) -> RunReport {
+    let mut machine = build_machine(cfg, workload);
+    machine
+        .run()
+        .unwrap_or_else(|e| panic!("{} [{} x{}]: {e}", workload.name(), cfg.scheme, cfg.num_procs));
+    let validation = workload.validate(&machine);
+    RunReport {
+        workload: workload.name().to_string(),
+        scheme: cfg.scheme,
+        procs: cfg.num_procs,
+        stats: machine.stats().clone(),
+        validation,
+    }
+}

@@ -1,0 +1,205 @@
+//! The simulated instruction set.
+//!
+//! A deliberately small RISC-like ISA: 32 integer registers, aligned
+//! 64-bit loads and stores, load-linked/store-conditional (the
+//! paper's synchronization primitive, Table 2), branches, and a few
+//! simulation pseudo-ops ([`Op::Delay`], [`Op::RandDelay`] for the
+//! fairness methodology of §5.1, [`Op::Io`] for operations that
+//! cannot be undone, §2.2).
+
+use std::fmt;
+
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 32;
+
+/// A register name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Validates the register index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn index(self) -> usize {
+        assert!((self.0 as usize) < NUM_REGS, "register {self} out of range");
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// One instruction. Branch targets are absolute instruction indices
+/// (the assembler resolves labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `rd = imm`
+    Li(Reg, u64),
+    /// `rd = rs`
+    Mov(Reg, Reg),
+    /// `rd = ra + rb`
+    Add(Reg, Reg, Reg),
+    /// `rd = ra + imm`
+    AddI(Reg, Reg, i64),
+    /// `rd = ra - rb`
+    Sub(Reg, Reg, Reg),
+    /// `rd = ra * rb` (wrapping)
+    Mul(Reg, Reg, Reg),
+    /// `rd = ra & rb`
+    And(Reg, Reg, Reg),
+    /// `rd = ra | rb`
+    Or(Reg, Reg, Reg),
+    /// `rd = ra ^ rb`
+    Xor(Reg, Reg, Reg),
+    /// `rd = ra << sh`
+    ShlI(Reg, Reg, u8),
+    /// `rd = ra >> sh` (logical)
+    ShrI(Reg, Reg, u8),
+    /// `rd = MEM[ra + off]`
+    Load(Reg, Reg, i64),
+    /// `MEM[ra + off] = rs` — `Store(rs, ra, off)`
+    Store(Reg, Reg, i64),
+    /// `rd = MEM[ra + off]`, setting the link register.
+    LoadLinked(Reg, Reg, i64),
+    /// `flag = try { MEM[ra + off] = rs }` — `StoreCond(flag, rs, ra, off)`.
+    /// `flag` is 1 on success, 0 on failure.
+    StoreCond(Reg, Reg, Reg, i64),
+    /// Branch to `target` if `ra == rb`.
+    Beq(Reg, Reg, u32),
+    /// Branch to `target` if `ra != rb`.
+    Bne(Reg, Reg, u32),
+    /// Branch to `target` if `ra < rb` (unsigned).
+    Blt(Reg, Reg, u32),
+    /// Branch to `target` if `ra >= rb` (unsigned).
+    Bge(Reg, Reg, u32),
+    /// Unconditional branch.
+    Jmp(u32),
+    /// Consume `n` cycles of computation.
+    Delay(u32),
+    /// Consume a uniformly random number of cycles in `[min, max]`
+    /// (the post-release fairness delay of §5.1).
+    RandDelay(u32, u32),
+    /// An operation that cannot be undone (e.g. I/O): forces TLR to
+    /// fall back to lock acquisition when executed speculatively.
+    Io,
+    /// Memory fence: drains the store buffer.
+    Fence,
+    /// No operation.
+    Nop,
+    /// Thread finished.
+    Done,
+}
+
+impl Op {
+    /// Whether this instruction performs a memory access the
+    /// coherence controller must service.
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            Op::Load(..) | Op::Store(..) | Op::LoadLinked(..) | Op::StoreCond(..) | Op::Fence
+        )
+    }
+}
+
+/// An assembled program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    ops: Vec<Op>,
+}
+
+impl Program {
+    /// Creates a program from resolved instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any branch target is out of range — the assembler
+    /// never produces such programs; this guards hand-built vectors.
+    pub fn new(name: impl Into<String>, ops: Vec<Op>) -> Self {
+        let len = ops.len() as u32;
+        for (i, op) in ops.iter().enumerate() {
+            let target = match *op {
+                Op::Beq(_, _, t) | Op::Bne(_, _, t) | Op::Blt(_, _, t) | Op::Bge(_, _, t)
+                | Op::Jmp(t) => Some(t),
+                _ => None,
+            };
+            if let Some(t) = target {
+                assert!(t < len, "instruction {i}: branch target {t} out of range ({len} ops)");
+            }
+        }
+        Program { name: name.into(), ops }
+    }
+
+    /// The program's name (used in traces and panics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction at `pc`, or `None` past the end.
+    pub fn op(&self, pc: u32) -> Option<Op> {
+        self.ops.get(pc as usize).copied()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// All instructions.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_op_classification() {
+        assert!(Op::Load(Reg(0), Reg(1), 0).is_memory());
+        assert!(Op::Store(Reg(0), Reg(1), 0).is_memory());
+        assert!(Op::LoadLinked(Reg(0), Reg(1), 0).is_memory());
+        assert!(Op::StoreCond(Reg(0), Reg(1), Reg(2), 0).is_memory());
+        assert!(Op::Fence.is_memory());
+        assert!(!Op::Add(Reg(0), Reg(1), Reg(2)).is_memory());
+        assert!(!Op::Done.is_memory());
+    }
+
+    #[test]
+    fn program_lookup() {
+        let p = Program::new("t", vec![Op::Nop, Op::Done]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.op(0), Some(Op::Nop));
+        assert_eq!(p.op(1), Some(Op::Done));
+        assert_eq!(p.op(2), None);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "branch target")]
+    fn out_of_range_branch_rejected() {
+        Program::new("bad", vec![Op::Jmp(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn register_bounds_checked() {
+        Reg(32).index();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Reg(7).to_string(), "r7");
+    }
+}

@@ -1,0 +1,40 @@
+//! Processor model for the TLR reproduction.
+//!
+//! Workloads are programs in a small RISC-like instruction set
+//! ([`isa::Op`]) built with the [`asm::Asm`] assembler; the in-order
+//! [`core::Core`] executes them one instruction per cycle, emitting
+//! memory accesses that the node's coherence controller (in
+//! `tlr-core`) services.
+//!
+//! Synchronization uses load-linked/store-conditional, the paper's
+//! primitive (Table 2). The core supports register checkpointing and
+//! restoration, which SLE/TLR use for misspeculation recovery: the
+//! checkpoint is taken at the eliding store-conditional, so a restart
+//! naturally replays the lock-acquire sequence.
+//!
+//! # Example
+//!
+//! ```
+//! use tlr_cpu::asm::Asm;
+//! use tlr_cpu::isa::Reg;
+//!
+//! // A program that adds 2 + 3 and stores the result to address 64.
+//! let mut a = Asm::new("add");
+//! let (r1, r2, ra) = (Reg(1), Reg(2), Reg(3));
+//! a.li(r1, 2);
+//! a.li(r2, 3);
+//! a.add(r1, r1, r2);
+//! a.li(ra, 64);
+//! a.store(r1, ra, 0);
+//! a.done();
+//! let program = a.finish();
+//! assert_eq!(program.name(), "add");
+//! ```
+
+pub mod asm;
+pub mod core;
+pub mod isa;
+
+pub use crate::core::{AccessKind, Core, CoreCheckpoint, CoreStep, MemAccess};
+pub use asm::Asm;
+pub use isa::{Op, Program, Reg};

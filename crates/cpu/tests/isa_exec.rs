@@ -1,0 +1,204 @@
+//! Exhaustive execution tests for every ISA operation.
+
+use std::sync::Arc;
+
+use tlr_cpu::{Asm, Core, CoreStep, Reg};
+use tlr_sim::SimRng;
+
+fn run(build: impl FnOnce(&mut Asm)) -> Core {
+    let mut a = Asm::new("isa");
+    build(&mut a);
+    a.done();
+    let mut core = Core::new(Arc::new(a.finish()), SimRng::new(7));
+    for _ in 0..100_000 {
+        match core.tick() {
+            CoreStep::Done => return core,
+            CoreStep::Busy => {}
+            other => panic!("memory-free program hit {other:?}"),
+        }
+    }
+    panic!("program did not finish");
+}
+
+#[test]
+fn mov_copies() {
+    let c = run(|a| {
+        let (x, y) = (a.reg(), a.reg());
+        a.li(x, 77);
+        a.mov(y, x);
+        a.li(x, 1);
+    });
+    assert_eq!(c.reg(Reg(1)), 77);
+    assert_eq!(c.reg(Reg(0)), 1);
+}
+
+#[test]
+fn add_sub_wrap() {
+    let c = run(|a| {
+        let (x, y, s, d) = (a.reg(), a.reg(), a.reg(), a.reg());
+        a.li(x, u64::MAX);
+        a.li(y, 2);
+        a.add(s, x, y); // wraps to 1
+        a.li(x, 0);
+        a.sub(d, x, y); // wraps to MAX-1
+    });
+    assert_eq!(c.reg(Reg(2)), 1);
+    assert_eq!(c.reg(Reg(3)), u64::MAX - 1);
+}
+
+#[test]
+fn addi_negative_offsets() {
+    let c = run(|a| {
+        let x = a.reg();
+        a.li(x, 10);
+        a.addi(x, x, -3);
+        a.addi(x, x, -20); // wraps below zero
+    });
+    assert_eq!(c.reg(Reg(0)), 10u64.wrapping_sub(23));
+}
+
+#[test]
+fn mul_wraps() {
+    let c = run(|a| {
+        let (x, y, p) = (a.reg(), a.reg(), a.reg());
+        a.li(x, u64::MAX);
+        a.li(y, 3);
+        a.mul(p, x, y);
+    });
+    assert_eq!(c.reg(Reg(2)), u64::MAX.wrapping_mul(3));
+}
+
+#[test]
+fn bitwise_ops() {
+    let c = run(|a| {
+        let (x, y, r_and, r_or, r_xor) = (a.reg(), a.reg(), a.reg(), a.reg(), a.reg());
+        a.li(x, 0b1100);
+        a.li(y, 0b1010);
+        a.and(r_and, x, y);
+        a.or(r_or, x, y);
+        a.xor(r_xor, x, y);
+    });
+    assert_eq!(c.reg(Reg(2)), 0b1000);
+    assert_eq!(c.reg(Reg(3)), 0b1110);
+    assert_eq!(c.reg(Reg(4)), 0b0110);
+}
+
+#[test]
+fn shifts() {
+    let c = run(|a| {
+        let (x, l, r) = (a.reg(), a.reg(), a.reg());
+        a.li(x, 0x8000_0000_0000_0001);
+        a.shli(l, x, 1); // MSB drops out
+        a.shri(r, x, 1); // logical: zero-fill
+    });
+    assert_eq!(c.reg(Reg(1)), 2);
+    assert_eq!(c.reg(Reg(2)), 0x4000_0000_0000_0000);
+}
+
+#[test]
+fn branch_edges_unsigned() {
+    // blt/bge are unsigned: MAX is not < 1.
+    let c = run(|a| {
+        let (x, y, out) = (a.reg(), a.reg(), a.reg());
+        a.li(x, u64::MAX);
+        a.li(y, 1);
+        a.li(out, 0);
+        let skip = a.label();
+        a.blt(x, y, skip); // not taken
+        a.li(out, 1);
+        a.bind(skip);
+        let skip2 = a.label();
+        a.bge(x, y, skip2); // taken
+        a.li(out, 99); // skipped
+        a.bind(skip2);
+    });
+    assert_eq!(c.reg(Reg(2)), 1);
+}
+
+#[test]
+fn beq_bne_equal_values() {
+    let c = run(|a| {
+        let (x, y, out) = (a.reg(), a.reg(), a.reg());
+        a.li(x, 5);
+        a.li(y, 5);
+        a.li(out, 0);
+        let t1 = a.label();
+        a.beq(x, y, t1); // taken
+        a.li(out, 99);
+        a.bind(t1);
+        let t2 = a.label();
+        a.bne(x, y, t2); // not taken
+        a.addi(out, out, 7);
+        a.bind(t2);
+    });
+    assert_eq!(c.reg(Reg(2)), 7);
+}
+
+#[test]
+fn nested_loops() {
+    // 6 * 4 inner iterations.
+    let c = run(|a| {
+        let (i, j, acc, zero) = (a.reg(), a.reg(), a.reg(), a.reg());
+        a.li(zero, 0);
+        a.li(acc, 0);
+        a.li(i, 6);
+        let outer = a.here();
+        a.li(j, 4);
+        let inner = a.here();
+        a.addi(acc, acc, 1);
+        a.addi(j, j, -1);
+        a.bne(j, zero, inner);
+        a.addi(i, i, -1);
+        a.bne(i, zero, outer);
+    });
+    assert_eq!(c.reg(Reg(2)), 24);
+}
+
+#[test]
+fn nop_is_inert_and_cheap() {
+    let mut a = Asm::new("nops");
+    for _ in 0..5 {
+        a.nop();
+    }
+    a.done();
+    let mut core = Core::new(Arc::new(a.finish()), SimRng::new(0));
+    let mut cycles = 0;
+    while core.tick() != CoreStep::Done {
+        cycles += 1;
+    }
+    assert_eq!(cycles, 5, "one cycle per nop");
+}
+
+#[test]
+fn delay_zero_and_one_take_one_cycle() {
+    for n in [0u32, 1] {
+        let mut a = Asm::new("d");
+        a.delay(n);
+        a.done();
+        let mut core = Core::new(Arc::new(a.finish()), SimRng::new(0));
+        let mut busy = 0;
+        while core.tick() != CoreStep::Done {
+            busy += 1;
+        }
+        assert_eq!(busy, 1, "Delay({n}) costs one issue cycle");
+    }
+}
+
+#[test]
+fn halt_stops_mid_program() {
+    let mut a = Asm::new("h");
+    let x = a.reg();
+    a.li(x, 1);
+    let top = a.here();
+    a.addi(x, x, 1);
+    a.jmp(top); // endless
+    a.done();
+    let mut core = Core::new(Arc::new(a.finish()), SimRng::new(0));
+    for _ in 0..50 {
+        core.tick();
+    }
+    assert!(!core.is_done());
+    core.halt();
+    assert!(core.is_done());
+    assert_eq!(core.tick(), CoreStep::Done);
+}

@@ -1,0 +1,196 @@
+//! MOESI coherence states and cache lines.
+//!
+//! The paper's target system uses a Sun Gigaplane-type MOESI broadcast
+//! snooping protocol (Table 2). Each L1 line additionally carries the
+//! transactional *access bit* support of Figure 5 — we keep separate
+//! speculatively-read and speculatively-written bits so that the
+//! conflict rules (read-write vs write-write) can be expressed
+//! precisely.
+
+use crate::addr::{Addr, LineAddr, WORDS_PER_LINE};
+
+/// A MOESI coherence state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Moesi {
+    /// Not present / no permissions.
+    #[default]
+    Invalid,
+    /// Clean shared copy; other caches and/or memory may hold copies.
+    Shared,
+    /// Clean exclusive copy; no other cache holds the line.
+    Exclusive,
+    /// Dirty shared copy; this cache is responsible for supplying the
+    /// line and eventually writing it back.
+    Owned,
+    /// Dirty exclusive copy.
+    Modified,
+}
+
+impl Moesi {
+    /// Whether the line holds usable data.
+    pub fn is_valid(self) -> bool {
+        self != Moesi::Invalid
+    }
+
+    /// Whether this cache supplies data on a snoop hit (it is the
+    /// protocol owner of the block). In MOESI, E also supplies a clean
+    /// copy.
+    pub fn supplies(self) -> bool {
+        matches!(self, Moesi::Modified | Moesi::Owned | Moesi::Exclusive)
+    }
+
+    /// Whether the line may be written without a bus transaction.
+    /// Writing an `Exclusive` line silently upgrades it to `Modified`.
+    pub fn writable(self) -> bool {
+        matches!(self, Moesi::Modified | Moesi::Exclusive)
+    }
+
+    /// Whether eviction must write the line back.
+    pub fn dirty(self) -> bool {
+        matches!(self, Moesi::Modified | Moesi::Owned)
+    }
+
+    /// Whether the paper would call the block *retainable*: "a block
+    /// in an exclusively owned coherence state" (Figure 3 caption) —
+    /// requests for it are forwarded to this cache, which may defer
+    /// them. Owned is included: the O holder supplies data.
+    pub fn retainable(self) -> bool {
+        self.supplies()
+    }
+}
+
+/// The 64 bytes of a cache line, as eight 64-bit words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LineData(pub [u64; WORDS_PER_LINE]);
+
+impl LineData {
+    /// A zero-filled line.
+    pub fn zeroed() -> Self {
+        LineData::default()
+    }
+
+    /// Reads the word containing `addr`.
+    pub fn word(&self, addr: Addr) -> u64 {
+        self.0[addr.word_index()]
+    }
+
+    /// Writes the word containing `addr`.
+    pub fn set_word(&mut self, addr: Addr, val: u64) {
+        self.0[addr.word_index()] = val;
+    }
+}
+
+/// One L1 / victim-cache line: state, data, and the transactional
+/// access bits of Figure 5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheLine {
+    /// Which memory line this entry caches.
+    pub line: LineAddr,
+    /// Coherence state.
+    pub state: Moesi,
+    /// Non-speculative data. Speculative updates live in the write
+    /// buffer until commit, so this stays the pre-transaction value
+    /// ("valid non-speculative data" the paper responds with on a
+    /// restart).
+    pub data: LineData,
+    /// Set when the line was read inside the current transaction.
+    pub spec_read: bool,
+    /// Set when the line was written inside the current transaction
+    /// (the new value is buffered in the write buffer).
+    pub spec_written: bool,
+    /// Cycle at which the request that brought this copy in was
+    /// *ordered* on the address bus. Snoops of requests ordered before
+    /// this point do not affect the copy (they were satisfied by the
+    /// coherence chain that ultimately produced it).
+    pub acquired_at: u64,
+}
+
+impl CacheLine {
+    /// Creates a line in the given state with the given data.
+    pub fn new(line: LineAddr, state: Moesi, data: LineData) -> Self {
+        CacheLine { line, state, data, spec_read: false, spec_written: false, acquired_at: 0 }
+    }
+
+    /// Whether the line was accessed within the current transaction
+    /// (either access bit set).
+    pub fn spec_accessed(&self) -> bool {
+        self.spec_read || self.spec_written
+    }
+
+    /// Clears both access bits (transaction end / `end_defer`).
+    pub fn clear_spec(&mut self) {
+        self.spec_read = false;
+        self.spec_written = false;
+    }
+
+    /// Whether an incoming request of the given exclusivity conflicts
+    /// with this line's transactional use: a data conflict occurs if,
+    /// of all threads accessing a location, at least one is writing
+    /// (§1). A read request conflicts only with speculative writes; an
+    /// exclusive request conflicts with any speculative access.
+    pub fn conflicts_with(&self, incoming_is_exclusive: bool) -> bool {
+        if incoming_is_exclusive {
+            self.spec_accessed()
+        } else {
+            self.spec_written
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_predicates() {
+        use Moesi::*;
+        assert!(!Invalid.is_valid());
+        for s in [Shared, Exclusive, Owned, Modified] {
+            assert!(s.is_valid());
+        }
+        assert!(Modified.supplies() && Owned.supplies() && Exclusive.supplies());
+        assert!(!Shared.supplies() && !Invalid.supplies());
+        assert!(Modified.writable() && Exclusive.writable());
+        assert!(!Owned.writable() && !Shared.writable());
+        assert!(Modified.dirty() && Owned.dirty());
+        assert!(!Exclusive.dirty() && !Shared.dirty());
+        assert!(Modified.retainable() && Owned.retainable() && Exclusive.retainable());
+        assert!(!Shared.retainable());
+    }
+
+    #[test]
+    fn line_data_word_access() {
+        let mut d = LineData::zeroed();
+        d.set_word(Addr(8), 42);
+        d.set_word(Addr(64 + 8), 99); // same word index, different line base
+        assert_eq!(d.word(Addr(8)), 99);
+        assert_eq!(d.word(Addr(0)), 0);
+    }
+
+    #[test]
+    fn conflict_matrix() {
+        let mut l = CacheLine::new(LineAddr(1), Moesi::Modified, LineData::zeroed());
+        // No speculative access: no conflicts.
+        assert!(!l.conflicts_with(true));
+        assert!(!l.conflicts_with(false));
+        // Speculatively read: conflicts only with incoming writes.
+        l.spec_read = true;
+        assert!(l.conflicts_with(true));
+        assert!(!l.conflicts_with(false));
+        // Speculatively written: conflicts with everything.
+        l.spec_read = false;
+        l.spec_written = true;
+        assert!(l.conflicts_with(true));
+        assert!(l.conflicts_with(false));
+    }
+
+    #[test]
+    fn clear_spec_resets_bits() {
+        let mut l = CacheLine::new(LineAddr(1), Moesi::Shared, LineData::zeroed());
+        l.spec_read = true;
+        l.spec_written = true;
+        assert!(l.spec_accessed());
+        l.clear_spec();
+        assert!(!l.spec_accessed());
+    }
+}

@@ -1,0 +1,207 @@
+//! Miss Status Handling Registers.
+//!
+//! §3.1.1: "On a miss, a processor allocates a pending buffer, a miss
+//! status handling register (MSHR) and tracks the request. If the
+//! processor receives a request (an intervention) from another
+//! processor for the outstanding block, an intervention buffer or the
+//! MSHR tracks the incoming request. When the processor receives data
+//! for the block, the processor operates upon the data and sends it to
+//! the requestor based on the information stored in the local MSHR."
+//!
+//! The MSHR also remembers the *marker* sender — the upstream
+//! neighbour in the coherence chain — so probes can be forwarded
+//! toward the cache that actually holds the data.
+
+use std::collections::VecDeque;
+
+use tlr_sim::NodeId;
+
+use crate::addr::LineAddr;
+use crate::timestamp::Timestamp;
+
+/// An external request ordered behind this node's outstanding miss,
+/// to be serviced (or deferred) once the data arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Intervention {
+    /// The downstream requester.
+    pub from: NodeId,
+    /// Whether the downstream request is exclusive (GetX) rather than
+    /// shared (GetS).
+    pub exclusive: bool,
+    /// The downstream request's timestamp, if transactional.
+    pub ts: Option<Timestamp>,
+}
+
+/// One outstanding miss.
+#[derive(Debug, Clone)]
+pub struct MshrEntry {
+    /// The missing line.
+    pub line: LineAddr,
+    /// Whether we requested exclusive ownership.
+    pub exclusive: bool,
+    /// Our transaction timestamp at issue, if transactional.
+    pub ts: Option<Timestamp>,
+    /// Set once the request has been handed to bus arbitration.
+    pub issued: bool,
+    /// Set once the request has been *ordered* on the address bus
+    /// (protocol ownership may now precede data arrival — the
+    /// request-response decoupling of §3.1.1).
+    pub ordered: bool,
+    /// The bus cycle at which the request was ordered (valid when
+    /// `ordered`); the fill inherits it as the line's coherence
+    /// position.
+    pub ordered_at: u64,
+    /// A store arrived while a GetS was pending: after the fill,
+    /// upgrade to exclusive.
+    pub upgrade_after_fill: bool,
+    /// External requests ordered after ours, serviced in order once
+    /// data arrives.
+    pub interventions: VecDeque<Intervention>,
+    /// The upstream neighbour that sent us a marker for this line
+    /// (it holds or precedes us in the chain), used to forward probes.
+    pub marker_from: Option<NodeId>,
+    /// A conflicting earlier timestamp that must be propagated
+    /// upstream as a probe once the upstream neighbour is known.
+    pub pending_probe: Option<Timestamp>,
+    /// A later exclusive request was ordered while this (shared) miss
+    /// was outstanding: the fill may be consumed once and must then be
+    /// invalidated immediately, keeping the cache coherent.
+    pub invalidate_after_fill: bool,
+}
+
+impl MshrEntry {
+    /// Creates an entry for a miss on `line`.
+    pub fn new(line: LineAddr, exclusive: bool, ts: Option<Timestamp>) -> Self {
+        MshrEntry {
+            line,
+            exclusive,
+            ts,
+            issued: false,
+            ordered: false,
+            ordered_at: 0,
+            upgrade_after_fill: false,
+            interventions: VecDeque::new(),
+            marker_from: None,
+            pending_probe: None,
+            invalidate_after_fill: false,
+        }
+    }
+}
+
+/// The node's file of outstanding misses.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<MshrEntry>,
+    capacity: usize,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` registers.
+    pub fn new(capacity: usize) -> Self {
+        MshrFile { entries: Vec::new(), capacity }
+    }
+
+    /// The entry tracking `line`, if any.
+    pub fn get(&self, line: LineAddr) -> Option<&MshrEntry> {
+        self.entries.iter().find(|e| e.line == line)
+    }
+
+    /// Mutable access to the entry tracking `line`.
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut MshrEntry> {
+        self.entries.iter_mut().find(|e| e.line == line)
+    }
+
+    /// Allocates a new entry. Returns `None` (and does nothing) if the
+    /// file is full or the line is already tracked.
+    pub fn alloc(&mut self, entry: MshrEntry) -> Option<&mut MshrEntry> {
+        if self.entries.len() == self.capacity || self.get(entry.line).is_some() {
+            return None;
+        }
+        self.entries.push(entry);
+        self.entries.last_mut()
+    }
+
+    /// Removes and returns the entry for `line`.
+    pub fn remove(&mut self, line: LineAddr) -> Option<MshrEntry> {
+        let pos = self.entries.iter().position(|e| e.line == line)?;
+        Some(self.entries.remove(pos))
+    }
+
+    /// Iterates over outstanding entries.
+    pub fn iter(&self) -> impl Iterator<Item = &MshrEntry> {
+        self.entries.iter()
+    }
+
+    /// Iterates mutably over outstanding entries.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut MshrEntry> {
+        self.entries.iter_mut()
+    }
+
+    /// Number of outstanding misses.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no outstanding misses.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the file is at capacity (further misses stall).
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Whether any outstanding transactional (timestamped) miss
+    /// exists — used by the §3.2 single-block relaxation: deferring
+    /// out of timestamp order is only safe when the transaction has no
+    /// other block in flight that could form a cyclic wait.
+    pub fn has_transactional_miss(&self) -> bool {
+        self.entries.iter().any(|e| e.ts.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_lookup() {
+        let mut f = MshrFile::new(2);
+        assert!(f.alloc(MshrEntry::new(LineAddr(1), true, None)).is_some());
+        assert!(f.get(LineAddr(1)).is_some());
+        assert!(f.get(LineAddr(2)).is_none());
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn alloc_rejects_duplicates_and_overflow() {
+        let mut f = MshrFile::new(1);
+        assert!(f.alloc(MshrEntry::new(LineAddr(1), false, None)).is_some());
+        assert!(f.alloc(MshrEntry::new(LineAddr(1), true, None)).is_none(), "duplicate");
+        assert!(f.alloc(MshrEntry::new(LineAddr(2), true, None)).is_none(), "full");
+        assert!(f.is_full());
+    }
+
+    #[test]
+    fn interventions_queue_in_order() {
+        let mut f = MshrFile::new(2);
+        let e = f.alloc(MshrEntry::new(LineAddr(1), true, None)).unwrap();
+        e.interventions.push_back(Intervention { from: 2, exclusive: true, ts: None });
+        e.interventions.push_back(Intervention { from: 3, exclusive: false, ts: None });
+        let e = f.remove(LineAddr(1)).unwrap();
+        let froms: Vec<_> = e.interventions.iter().map(|i| i.from).collect();
+        assert_eq!(froms, vec![2, 3]);
+    }
+
+    #[test]
+    fn transactional_miss_detection() {
+        let mut f = MshrFile::new(2);
+        f.alloc(MshrEntry::new(LineAddr(1), true, None));
+        assert!(!f.has_transactional_miss());
+        f.alloc(MshrEntry::new(LineAddr(2), true, Some(Timestamp::new(0, 1))));
+        assert!(f.has_transactional_miss());
+        f.remove(LineAddr(2));
+        assert!(!f.has_transactional_miss());
+    }
+}

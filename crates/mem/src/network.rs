@@ -1,0 +1,93 @@
+//! Point-to-point pipelined data network (Table 2: 20-cycle latency).
+//!
+//! Messages are delivered exactly `latency` cycles after being sent,
+//! in sending order among messages delivered on the same cycle, which
+//! keeps the whole simulation deterministic.
+
+use std::collections::BTreeMap;
+
+use tlr_sim::Cycle;
+
+/// A delayed delivery queue.
+#[derive(Debug, Clone)]
+pub struct Network<T> {
+    inflight: BTreeMap<(Cycle, u64), T>,
+    seq: u64,
+}
+
+impl<T> Default for Network<T> {
+    fn default() -> Self {
+        Network { inflight: BTreeMap::new(), seq: 0 }
+    }
+}
+
+impl<T> Network<T> {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `msg` for delivery at cycle `deliver_at`.
+    pub fn send(&mut self, deliver_at: Cycle, msg: T) {
+        self.inflight.insert((deliver_at, self.seq), msg);
+        self.seq += 1;
+    }
+
+    /// Removes and returns every message due at or before `now`,
+    /// ordered by (delivery cycle, send order).
+    pub fn drain_ready(&mut self, now: Cycle) -> Vec<T> {
+        let mut ready = Vec::new();
+        while let Some((&key, _)) = self.inflight.iter().next() {
+            if key.0 > now {
+                break;
+            }
+            ready.push(self.inflight.remove(&key).unwrap());
+        }
+        ready
+    }
+
+    /// Number of undelivered messages.
+    pub fn len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Whether no messages are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_at_due_cycle() {
+        let mut n = Network::new();
+        n.send(10, "a");
+        n.send(5, "b");
+        assert!(n.drain_ready(4).is_empty());
+        assert_eq!(n.drain_ready(5), vec!["b"]);
+        assert_eq!(n.drain_ready(100), vec!["a"]);
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn same_cycle_preserves_send_order() {
+        let mut n = Network::new();
+        n.send(3, 1);
+        n.send(3, 2);
+        n.send(3, 3);
+        assert_eq!(n.drain_ready(3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn len_tracks_inflight() {
+        let mut n = Network::new();
+        n.send(1, ());
+        n.send(2, ());
+        assert_eq!(n.len(), 2);
+        n.drain_ready(1);
+        assert_eq!(n.len(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Pure MOESI transition rules.
+//!
+//! These functions encode, as side-effect-free tables, what a snooping
+//! cache does to its own copy when another node's request is ordered
+//! on the address bus, and what state a requester installs a fill in.
+//! The *policy* decisions layered on top by TLR (defer vs. service)
+//! live in `tlr-core`; the rules here are the plain protocol the paper
+//! builds on without modification ("We do not require changes to the
+//! coherence protocol state transitions", §3).
+
+use crate::line::Moesi;
+use crate::msg::{BusReqKind, DataGrant};
+
+/// What a snooping cache must do to its copy of a line when another
+/// node's request is ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnoopOutcome {
+    /// The state the local copy transitions to.
+    pub next: Moesi,
+    /// Whether this cache is responsible for supplying the data
+    /// (it was the protocol owner).
+    pub supply: bool,
+}
+
+/// Snoop transition for a *remote* request of `kind` against a local
+/// copy in `state`.
+///
+/// # Panics
+///
+/// Panics on an impossible combination (e.g. snooping a remote
+/// `Upgrade` while holding the line in Modified — the protocol cannot
+/// produce it because an upgrade requester holds a Shared copy, which
+/// excludes remote M/E).
+pub fn snoop(state: Moesi, kind: BusReqKind) -> SnoopOutcome {
+    use BusReqKind::*;
+    use Moesi::*;
+    match (state, kind) {
+        (Invalid, _) => SnoopOutcome { next: Invalid, supply: false },
+        // Writebacks from other nodes never touch our copy: the
+        // writer held the only valid cached copy (M) or is the owner
+        // of a shared line (O) and the write-back does not invalidate
+        // sharers.
+        (s, WriteBack) => SnoopOutcome { next: s, supply: false },
+        // Remote GetS: owners supply; M degrades to Owned (dirty
+        // shared), E degrades to Shared (clean), O and S stay.
+        (Modified, GetS) => SnoopOutcome { next: Owned, supply: true },
+        (Owned, GetS) => SnoopOutcome { next: Owned, supply: true },
+        (Exclusive, GetS) => SnoopOutcome { next: Shared, supply: true },
+        (Shared, GetS) => SnoopOutcome { next: Shared, supply: false },
+        // Remote GetX: everyone invalidates; owners supply.
+        (Modified, GetX) => SnoopOutcome { next: Invalid, supply: true },
+        (Owned, GetX) => SnoopOutcome { next: Invalid, supply: true },
+        (Exclusive, GetX) => SnoopOutcome { next: Invalid, supply: true },
+        (Shared, GetX) => SnoopOutcome { next: Invalid, supply: false },
+        // Remote Upgrade: requester already has data; sharers and the
+        // owner invalidate without supplying.
+        (Shared, Upgrade) => SnoopOutcome { next: Invalid, supply: false },
+        (Owned, Upgrade) => SnoopOutcome { next: Invalid, supply: false },
+        (Modified | Exclusive, Upgrade) => {
+            unreachable!("remote Upgrade while holding M/E: requester would hold S, impossible")
+        }
+    }
+}
+
+/// The state a requester installs a fill in, given the request kind
+/// and whether other caches held copies at order time.
+pub fn fill_grant(kind: BusReqKind, other_sharers: bool, from_cache: bool) -> DataGrant {
+    match kind {
+        BusReqKind::GetX | BusReqKind::Upgrade => DataGrant::Modified,
+        BusReqKind::GetS => {
+            if other_sharers || from_cache {
+                // A cache supplied (it retains O or degrades to S), or
+                // other Shared copies exist.
+                DataGrant::Shared
+            } else {
+                DataGrant::Exclusive
+            }
+        }
+        BusReqKind::WriteBack => unreachable!("writebacks receive no fill"),
+    }
+}
+
+/// The state a granted fill installs as.
+pub fn grant_state(grant: DataGrant) -> Moesi {
+    match grant {
+        DataGrant::Shared => Moesi::Shared,
+        DataGrant::Exclusive => Moesi::Exclusive,
+        DataGrant::Modified => Moesi::Modified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use BusReqKind::*;
+    use Moesi::*;
+
+    #[test]
+    fn gets_snoop_table() {
+        assert_eq!(snoop(Modified, GetS), SnoopOutcome { next: Owned, supply: true });
+        assert_eq!(snoop(Owned, GetS), SnoopOutcome { next: Owned, supply: true });
+        assert_eq!(snoop(Exclusive, GetS), SnoopOutcome { next: Shared, supply: true });
+        assert_eq!(snoop(Shared, GetS), SnoopOutcome { next: Shared, supply: false });
+        assert_eq!(snoop(Invalid, GetS), SnoopOutcome { next: Invalid, supply: false });
+    }
+
+    #[test]
+    fn getx_snoop_table() {
+        for (s, supplies) in [(Modified, true), (Owned, true), (Exclusive, true), (Shared, false)] {
+            let out = snoop(s, GetX);
+            assert_eq!(out.next, Invalid);
+            assert_eq!(out.supply, supplies, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn upgrade_snoop_table() {
+        assert_eq!(snoop(Shared, Upgrade), SnoopOutcome { next: Invalid, supply: false });
+        assert_eq!(snoop(Owned, Upgrade), SnoopOutcome { next: Invalid, supply: false });
+        assert_eq!(snoop(Invalid, Upgrade), SnoopOutcome { next: Invalid, supply: false });
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible")]
+    fn upgrade_against_modified_is_impossible() {
+        snoop(Modified, Upgrade);
+    }
+
+    #[test]
+    fn writeback_leaves_others_untouched() {
+        for s in [Invalid, Shared, Exclusive, Owned, Modified] {
+            assert_eq!(snoop(s, WriteBack).next, s);
+            assert!(!snoop(s, WriteBack).supply);
+        }
+    }
+
+    #[test]
+    fn fill_grants() {
+        assert_eq!(fill_grant(GetX, true, true), DataGrant::Modified);
+        assert_eq!(fill_grant(Upgrade, false, false), DataGrant::Modified);
+        assert_eq!(fill_grant(GetS, true, false), DataGrant::Shared);
+        assert_eq!(fill_grant(GetS, false, true), DataGrant::Shared);
+        assert_eq!(fill_grant(GetS, false, false), DataGrant::Exclusive);
+    }
+
+    #[test]
+    fn grant_states() {
+        assert_eq!(grant_state(DataGrant::Shared), Shared);
+        assert_eq!(grant_state(DataGrant::Exclusive), Exclusive);
+        assert_eq!(grant_state(DataGrant::Modified), Modified);
+    }
+
+    #[test]
+    fn snoop_never_invents_permissions() {
+        // Property: a snoop outcome never grants more rights than the
+        // original state had.
+        fn rank(s: Moesi) -> u8 {
+            match s {
+                Invalid => 0,
+                Shared => 1,
+                Owned => 2,
+                Exclusive => 3,
+                Modified => 4,
+            }
+        }
+        for s in [Invalid, Shared, Owned] {
+            for k in [GetS, GetX, Upgrade, WriteBack] {
+                assert!(rank(snoop(s, k).next) <= rank(s));
+            }
+        }
+        for s in [Exclusive, Modified] {
+            for k in [GetS, GetX, WriteBack] {
+                assert!(rank(snoop(s, k).next) <= rank(s));
+            }
+        }
+    }
+}

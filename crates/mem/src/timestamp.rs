@@ -1,0 +1,236 @@
+//! TLR timestamps (§2.1.2).
+//!
+//! "The timestamps we use have two components: a local logical clock
+//! and processor ID. ... Such ties are broken by using the processor
+//! ID. Thus the timestamp comprising of the local logical clock and
+//! the processor ID are globally unique."
+//!
+//! Earlier timestamp ⇒ higher priority ⇒ wins conflicts. Timestamps
+//! are retained across misspeculation restarts and only updated after
+//! a successful execution, which yields starvation freedom.
+//!
+//! "Timestamp roll-over due to fixed size timestamps is easily handled
+//! without loss of TLR properties" — we model fixed-width clocks with
+//! serial-number (wrapping window) comparison via
+//! [`Timestamp::wins_over`]: correct as long as concurrently live
+//! clocks span less than half the clock space, which the loose
+//! synchronization rule guarantees in practice.
+
+use tlr_sim::NodeId;
+
+/// A globally unique transaction timestamp: (logical clock, node id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Timestamp {
+    /// Local logical clock, in units of successful TLR executions.
+    pub clock: u64,
+    /// Processor id, breaking clock ties.
+    pub node: NodeId,
+}
+
+impl Timestamp {
+    /// Creates a timestamp.
+    pub fn new(clock: u64, node: NodeId) -> Self {
+        Timestamp { clock, node }
+    }
+
+    /// Whether `self` is *earlier* than `other` (and therefore higher
+    /// priority: it wins the conflict), comparing clocks in a wrapping
+    /// window of `bits` bits.
+    ///
+    /// With `bits = 64` this is a plain lexicographic comparison.
+    /// A timestamp never wins over itself (a probe can chase a cyclic
+    /// coherence chain back to its own originator).
+    pub fn wins_over(self, other: Timestamp, bits: u32) -> bool {
+        if self.clock == other.clock && self.node == other.node {
+            return false;
+        }
+        if self.clock == other.clock {
+            return self.node < other.node;
+        }
+        if bits >= 64 {
+            return self.clock < other.clock;
+        }
+        let mask = (1u64 << bits) - 1;
+        let half = 1u64 << (bits - 1);
+        // Serial-number arithmetic: self is earlier if the forward
+        // distance from self to other is less than half the space.
+        let dist = other.clock.wrapping_sub(self.clock) & mask;
+        dist != 0 && dist < half
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TS({},P{})", self.clock, self.node)
+    }
+}
+
+/// A node's local logical clock (§2.1.2).
+///
+/// "On a successful TLR execution, the processor increments its local
+/// logical clock to a value higher than the previous value (typically
+/// by 1) or to a value higher than the highest of all incoming
+/// conflicting requests received from other processors, whichever is
+/// larger."
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicalClock {
+    clock: u64,
+    node: NodeId,
+    bits: u32,
+    /// Highest conflicting clock observed since the last update.
+    observed_max: Option<u64>,
+}
+
+impl LogicalClock {
+    /// Creates a clock for node `node` with `bits`-wide clock values.
+    pub fn new(node: NodeId, bits: u32) -> Self {
+        assert!((1..=64).contains(&bits), "clock width must be 1..=64 bits");
+        LogicalClock { clock: 0, node, bits, observed_max: None }
+    }
+
+    /// The timestamp all requests of the current transaction carry.
+    pub fn timestamp(&self) -> Timestamp {
+        Timestamp::new(self.clock, self.node)
+    }
+
+    /// Records the clock of an incoming conflicting request, keeping
+    /// local clocks loosely synchronized.
+    pub fn observe_conflicting(&mut self, incoming: Timestamp) {
+        let inc = incoming.clock;
+        match self.observed_max {
+            // Use the wrapping comparison so that "later" is computed
+            // in the same serial-number window.
+            Some(m) if Timestamp::new(inc, 0).wins_over(Timestamp::new(m, 1), self.bits) => {}
+            _ => self.observed_max = Some(inc),
+        }
+    }
+
+    /// Advances the clock after a successful TLR execution: to
+    /// `max(clock + 1, observed_max + 1)`, wrapping at the configured
+    /// width. Misspeculation restarts must *not* call this — the
+    /// timestamp is retained and reused (§2.1.2).
+    pub fn advance(&mut self) {
+        let mask = if self.bits >= 64 { u64::MAX } else { (1u64 << self.bits) - 1 };
+        let next = self.clock.wrapping_add(1) & mask;
+        let candidate = match self.observed_max.take() {
+            Some(m) => {
+                let after_m = m.wrapping_add(1) & mask;
+                // Pick whichever is later in the wrapping window.
+                if after_m == next
+                    || !Timestamp::new(next, 0).wins_over(Timestamp::new(after_m, 1), self.bits)
+                {
+                    next
+                } else {
+                    after_m
+                }
+            }
+            None => next,
+        };
+        self.clock = candidate;
+    }
+
+    /// Current clock value (for inspection/tests).
+    pub fn value(&self) -> u64 {
+        self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earlier_clock_wins() {
+        let a = Timestamp::new(3, 1);
+        let b = Timestamp::new(5, 0);
+        assert!(a.wins_over(b, 64));
+        assert!(!b.wins_over(a, 64));
+    }
+
+    #[test]
+    fn node_id_breaks_ties() {
+        let a = Timestamp::new(4, 0);
+        let b = Timestamp::new(4, 7);
+        assert!(a.wins_over(b, 64));
+        assert!(!b.wins_over(a, 64));
+    }
+
+    #[test]
+    fn comparison_is_antisymmetric_at_any_width() {
+        for bits in [8u32, 16, 32, 64] {
+            for (ca, cb) in [(0u64, 1), (10, 200), (5, 5), (250, 3)] {
+                let a = Timestamp::new(ca, 0);
+                let b = Timestamp::new(cb, 1);
+                assert_ne!(a.wins_over(b, bits), b.wins_over(a, bits), "{a} vs {b} @{bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn rollover_window_orders_across_wrap() {
+        // With 8-bit clocks, 250 is "earlier" than 3 (it is 9 steps
+        // behind in the wrapping window).
+        let old = Timestamp::new(250, 0);
+        let new = Timestamp::new(3, 1);
+        assert!(old.wins_over(new, 8));
+        assert!(!new.wins_over(old, 8));
+        // But without wrapping (64-bit), 3 < 250.
+        assert!(new.wins_over(old, 64));
+    }
+
+    #[test]
+    fn timestamp_never_wins_over_itself() {
+        let t = Timestamp::new(1, 1);
+        assert!(!t.wins_over(t, 64));
+        assert!(!t.wins_over(t, 8));
+    }
+
+    #[test]
+    fn clock_advances_by_one_without_conflicts() {
+        let mut c = LogicalClock::new(0, 32);
+        assert_eq!(c.value(), 0);
+        c.advance();
+        c.advance();
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    fn clock_jumps_past_observed_conflicts() {
+        let mut c = LogicalClock::new(0, 32);
+        c.observe_conflicting(Timestamp::new(41, 3));
+        c.observe_conflicting(Timestamp::new(7, 2));
+        c.advance();
+        assert_eq!(c.value(), 42, "advance to observed max + 1");
+        // The observation is consumed.
+        c.advance();
+        assert_eq!(c.value(), 43);
+    }
+
+    #[test]
+    fn clock_wraps_at_width() {
+        let mut c = LogicalClock::new(0, 8);
+        // Walk the clock near the top of the 8-bit space, staying
+        // inside the half-window invariant, then wrap.
+        for _ in 0..254 {
+            c.advance();
+        }
+        assert_eq!(c.value(), 254);
+        c.observe_conflicting(Timestamp::new(255, 1));
+        c.advance();
+        assert_eq!(c.value(), 0, "255 + 1 wraps to 0 at 8 bits");
+        // A retained timestamp from before the wrap still wins.
+        assert!(Timestamp::new(250, 1).wins_over(c.timestamp(), 8));
+    }
+
+    #[test]
+    fn retained_timestamp_eventually_earliest() {
+        // A loser that never advances while others advance ends up
+        // winning every comparison: the starvation-freedom argument.
+        let loser = Timestamp::new(5, 9);
+        let mut winner_clock = LogicalClock::new(0, 32);
+        for _ in 0..10 {
+            winner_clock.advance();
+        }
+        assert!(loser.wins_over(winner_clock.timestamp(), 32));
+    }
+}

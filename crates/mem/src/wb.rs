@@ -1,0 +1,179 @@
+//! Speculative write buffer.
+//!
+//! "During speculative execution, data modified is buffered in the
+//! write buffer ... Since writes are merged in the write buffer and
+//! memory locations can be re-written within the write buffer (because
+//! atomicity is guaranteed), the number of unique cache lines written
+//! to within the critical section determines the size of the write
+//! buffer." (§3.3, Table 2: 64 entries of 64 bytes.)
+
+use crate::addr::{Addr, LineAddr, WORDS_PER_LINE};
+use crate::line::LineData;
+
+/// One write-buffer entry: a line's speculatively written words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WbEntry {
+    /// Which line the entry buffers.
+    pub line: LineAddr,
+    /// Bitmask of words that have been written.
+    pub mask: u8,
+    /// The written words (unwritten words are unspecified).
+    pub data: LineData,
+}
+
+/// Error returned when the write buffer cannot accept another unique
+/// line: the transaction has exceeded its buffering resources and must
+/// fall back to acquiring the lock (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteBufferFull;
+
+impl std::fmt::Display for WriteBufferFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("speculative write buffer is full")
+    }
+}
+
+impl std::error::Error for WriteBufferFull {}
+
+/// The speculative write buffer: per-line word-merged updates that
+/// become visible atomically at commit.
+#[derive(Debug, Clone)]
+pub struct WriteBuffer {
+    entries: Vec<WbEntry>,
+    capacity: usize,
+}
+
+impl WriteBuffer {
+    /// Creates a buffer holding up to `capacity` unique lines.
+    pub fn new(capacity: usize) -> Self {
+        WriteBuffer { entries: Vec::new(), capacity }
+    }
+
+    /// Buffers a speculative word store, merging into an existing
+    /// entry for the same line when possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WriteBufferFull`] when the store would require a new
+    /// entry and the buffer is at capacity; the caller abandons the
+    /// elision and acquires the lock.
+    pub fn write(&mut self, addr: Addr, val: u64) -> Result<(), WriteBufferFull> {
+        let line = addr.line();
+        let idx = addr.word_index();
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+            e.mask |= 1 << idx;
+            e.data.0[idx] = val;
+            return Ok(());
+        }
+        if self.entries.len() == self.capacity {
+            return Err(WriteBufferFull);
+        }
+        let mut e = WbEntry { line, mask: 1 << idx, data: LineData::zeroed() };
+        e.data.0[idx] = val;
+        self.entries.push(e);
+        Ok(())
+    }
+
+    /// Reads the buffered value of a word, if it has been written.
+    /// Speculative loads must check here before the cache so that a
+    /// transaction sees its own stores.
+    pub fn read_word(&self, addr: Addr) -> Option<u64> {
+        let line = addr.line();
+        let idx = addr.word_index();
+        self.entries
+            .iter()
+            .find(|e| e.line == line)
+            .filter(|e| e.mask & (1 << idx) != 0)
+            .map(|e| e.data.0[idx])
+    }
+
+    /// Whether the buffer holds writes for the given line.
+    pub fn contains_line(&self, line: LineAddr) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Applies an entry's written words onto a line's data (used at
+    /// commit to merge the buffered words into the cache line).
+    pub fn apply_entry(entry: &WbEntry, data: &mut LineData) {
+        for i in 0..WORDS_PER_LINE {
+            if entry.mask & (1 << i) != 0 {
+                data.0[i] = entry.data.0[i];
+            }
+        }
+    }
+
+    /// All buffered entries (commit walks these).
+    pub fn entries(&self) -> &[WbEntry] {
+        &self.entries
+    }
+
+    /// Discards all buffered writes (misspeculation: "the speculative
+    /// updates are discarded").
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of unique lines buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no writes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_forwards() {
+        let mut wb = WriteBuffer::new(4);
+        wb.write(Addr(8), 7).unwrap();
+        assert_eq!(wb.read_word(Addr(8)), Some(7));
+        assert_eq!(wb.read_word(Addr(16)), None, "unwritten word of same line");
+        assert_eq!(wb.read_word(Addr(64 + 8)), None, "different line");
+    }
+
+    #[test]
+    fn rewrites_merge_into_one_entry() {
+        let mut wb = WriteBuffer::new(1);
+        wb.write(Addr(0), 1).unwrap();
+        wb.write(Addr(0), 2).unwrap();
+        wb.write(Addr(56), 3).unwrap();
+        assert_eq!(wb.len(), 1);
+        assert_eq!(wb.read_word(Addr(0)), Some(2));
+        assert_eq!(wb.read_word(Addr(56)), Some(3));
+    }
+
+    #[test]
+    fn capacity_counts_unique_lines() {
+        let mut wb = WriteBuffer::new(2);
+        wb.write(Addr(0), 1).unwrap();
+        wb.write(Addr(64), 2).unwrap();
+        assert_eq!(wb.write(Addr(128), 3), Err(WriteBufferFull));
+        // Rewriting existing lines still works at capacity.
+        wb.write(Addr(8), 9).unwrap();
+    }
+
+    #[test]
+    fn apply_entry_merges_only_written_words() {
+        let mut wb = WriteBuffer::new(1);
+        wb.write(Addr(8), 11).unwrap();
+        wb.write(Addr(24), 33).unwrap();
+        let mut base = LineData([100, 101, 102, 103, 104, 105, 106, 107]);
+        WriteBuffer::apply_entry(&wb.entries()[0], &mut base);
+        assert_eq!(base.0, [100, 11, 102, 33, 104, 105, 106, 107]);
+    }
+
+    #[test]
+    fn clear_discards_everything() {
+        let mut wb = WriteBuffer::new(2);
+        wb.write(Addr(0), 1).unwrap();
+        wb.clear();
+        assert!(wb.is_empty());
+        assert_eq!(wb.read_word(Addr(0)), None);
+    }
+}

@@ -1,0 +1,332 @@
+//! Machine configuration, modeled on Table 2 of the paper.
+//!
+//! The paper's target system is a 16-way chip multiprocessor with
+//! snooping L1 caches over a Sun Gigaplane-like MOESI split-transaction
+//! broadcast protocol, a shared L2, and point-to-point data network.
+//! [`MachineConfig::paper_default`] reproduces those parameters.
+
+/// Which of the paper's four evaluated hardware/software configurations
+/// a run uses (§5: BASE, BASE+SLE, BASE+SLE+TLR, MCS), plus the
+/// `TLR-strict-ts` ablation of §3.2 / Figure 9.
+///
+/// `Base`, `Sle`, `Tlr` and `TlrStrictTs` all execute the *same*
+/// test&test&set binary; `Mcs` executes an MCS-lock binary on `Base`
+/// hardware (exactly the paper's methodology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scheme {
+    /// Plain hardware; locks are actually acquired.
+    Base,
+    /// Plain hardware; the benchmark uses MCS queue locks.
+    Mcs,
+    /// Speculative Lock Elision only: elide locks, but any data
+    /// conflict restarts the critical section and acquires the lock.
+    Sle,
+    /// Transactional Lock Removal (this paper): SLE plus
+    /// timestamp-based conflict resolution with request deferral.
+    Tlr,
+    /// TLR with the single-block relaxation of §3.2 disabled:
+    /// timestamp order is always enforced, even when only one block is
+    /// contended. Shown in Figure 9 as `BASE+SLE+TLR-strict-ts`.
+    TlrStrictTs,
+}
+
+impl Scheme {
+    /// Whether the hardware attempts to elide lock acquisitions (SLE).
+    pub fn elision_enabled(self) -> bool {
+        matches!(self, Scheme::Sle | Scheme::Tlr | Scheme::TlrStrictTs)
+    }
+
+    /// Whether timestamp-based deferral (TLR proper) is active.
+    pub fn tlr_enabled(self) -> bool {
+        matches!(self, Scheme::Tlr | Scheme::TlrStrictTs)
+    }
+
+    /// Whether the §3.2 single-block timestamp relaxation is active.
+    pub fn relax_single_block(self) -> bool {
+        matches!(self, Scheme::Tlr)
+    }
+
+    /// Whether the benchmark program should be emitted with MCS locks
+    /// instead of test&test&set locks.
+    pub fn uses_mcs_locks(self) -> bool {
+        matches!(self, Scheme::Mcs)
+    }
+
+    /// Short label used in benchmark output, matching the paper's
+    /// figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Base => "BASE",
+            Scheme::Mcs => "MCS",
+            Scheme::Sle => "BASE+SLE",
+            Scheme::Tlr => "BASE+SLE+TLR",
+            Scheme::TlrStrictTs => "BASE+SLE+TLR-strict-ts",
+        }
+    }
+
+    /// All schemes in the order the paper's figures present them.
+    pub const ALL: [Scheme; 5] =
+        [Scheme::Base, Scheme::Mcs, Scheme::Sle, Scheme::Tlr, Scheme::TlrStrictTs];
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How a conflict-winning processor retains ownership of a contested
+/// block (§3): "Two policies to retain exclusive ownership of cache
+/// blocks are NACK-based and deferral-based."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetentionPolicy {
+    /// Buffer the incoming request and respond after commit (the
+    /// paper's choice: needs no coherence-protocol support and hands
+    /// the data directly to the waiter).
+    #[default]
+    Deferral,
+    /// Refuse the request with a negative acknowledgement asserted at
+    /// the bus ordering point (the transaction is annulled and the
+    /// requester retries) — the coherence-protocol support the paper
+    /// notes NACKs require. Requests already inside a coherence chain
+    /// when the conflict arises still ride the deferral machinery.
+    Nack,
+}
+
+/// How requests without timestamps (issued from outside any critical
+/// section) interact with in-flight transactions (§2.2, last paragraph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UntimestampedPolicy {
+    /// Treat the un-timestamped request as having the latest timestamp
+    /// in the system: it is deferrable and ordered after the current
+    /// transaction. This is the paper's second option and our default.
+    #[default]
+    DeferAsLowestPriority,
+    /// Trigger a misspeculation whenever an un-timestamped request
+    /// conflicts; TLR is not applied in the presence of data races.
+    Restart,
+}
+
+/// Memory-system latencies in cycles (Table 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyConfig {
+    /// L1 access time on a hit.
+    pub l1_hit: u64,
+    /// Shared L2 access time.
+    pub l2: u64,
+    /// Main memory access time.
+    pub memory: u64,
+    /// Snoop latency on the broadcast address network.
+    pub snoop: u64,
+    /// Point-to-point pipelined data network latency.
+    pub data_network: u64,
+    /// Address-bus occupancy per transaction (arbitration + issue).
+    pub bus_occupancy: u64,
+    /// Pipeline redirection penalty charged on a misspeculation
+    /// restart (the paper charges its 3-cycle branch-mispredict
+    /// redirection penalty).
+    pub restart_penalty: u64,
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig {
+            l1_hit: 1,
+            l2: 12,
+            memory: 70,
+            snoop: 20,
+            data_network: 20,
+            bus_occupancy: 4,
+            restart_penalty: 3,
+        }
+    }
+}
+
+/// Full machine configuration (Table 2 of the paper plus the TLR
+/// parameters of §3.3 and §5.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of processors (the paper evaluates 2..16).
+    pub num_procs: usize,
+    /// Which hardware scheme is active.
+    pub scheme: Scheme,
+    /// Log2 of the cache line size in bytes (64-byte lines).
+    pub line_bytes_log2: u32,
+    /// Number of L1 data-cache sets (128 KB, 4-way, 64-byte lines
+    /// = 512 sets).
+    pub l1_sets: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// Victim cache entries (fully associative; §3.3).
+    pub victim_entries: usize,
+    /// Speculative write-buffer capacity in unique cache lines
+    /// (Table 2: 64-entry, 64 bytes wide).
+    pub write_buffer_lines: usize,
+    /// Non-speculative store-buffer entries (word-granularity stores).
+    pub store_buffer_entries: usize,
+    /// Outstanding misses per node (MSHRs).
+    pub mshrs: usize,
+    /// Entries in the hardware queue buffering deferred incoming
+    /// requests (Figure 5).
+    pub deferred_queue_entries: usize,
+    /// Silent store-pair predictor entries (Table 2: 64).
+    pub sle_predictor_entries: usize,
+    /// Maximum simultaneously elided store pairs, i.e. lock nesting
+    /// depth (Table 2: 8).
+    pub max_elision_depth: usize,
+    /// Entries in the PC-indexed read-modify-write predictor
+    /// (Table 2: 128).
+    pub rmw_predictor_entries: usize,
+    /// Whether the read-modify-write predictor is enabled. The paper
+    /// enables it for all experiments; `exp_rmw_predictor` turns it
+    /// off to reproduce the BASE-no-opt comparison of §6.3.
+    pub rmw_predictor_enabled: bool,
+    /// Number of L2 sets (4 MB, 8-way, 64-byte lines = 8192 sets).
+    pub l2_sets: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Width in bits of the timestamp logical-clock field, for the
+    /// fixed-size rollover handling discussed in §2.1.2.
+    pub timestamp_bits: u32,
+    /// Policy for conflicting un-timestamped requests.
+    pub untimestamped_policy: UntimestampedPolicy,
+    /// How conflict winners retain contested blocks (§3).
+    pub retention: RetentionPolicy,
+    /// Memory-system latencies.
+    pub latency: LatencyConfig,
+    /// Maximum uniform random perturbation (cycles) added to memory
+    /// latencies, per Alameldeen et al.; 0 disables perturbation.
+    pub latency_jitter: u64,
+    /// RNG seed for the run.
+    pub seed: u64,
+    /// Safety net: abort the simulation after this many cycles.
+    pub max_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The paper's Table 2 configuration for `num_procs` processors
+    /// under `scheme`.
+    pub fn paper_default(scheme: Scheme, num_procs: usize) -> Self {
+        MachineConfig {
+            num_procs,
+            scheme,
+            line_bytes_log2: 6,
+            l1_sets: 512,
+            l1_ways: 4,
+            victim_entries: 16,
+            write_buffer_lines: 64,
+            store_buffer_entries: 64,
+            mshrs: 16,
+            deferred_queue_entries: 64,
+            sle_predictor_entries: 64,
+            max_elision_depth: 8,
+            rmw_predictor_entries: 128,
+            rmw_predictor_enabled: true,
+            l2_sets: 8192,
+            l2_ways: 8,
+            timestamp_bits: 32,
+            untimestamped_policy: UntimestampedPolicy::default(),
+            retention: RetentionPolicy::default(),
+            latency: LatencyConfig::default(),
+            latency_jitter: 2,
+            seed: 0x7a3d_5eed,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// A scaled-down configuration useful in unit tests: tiny caches
+    /// so that capacity and victim-cache paths are easy to exercise.
+    pub fn small(scheme: Scheme, num_procs: usize) -> Self {
+        let mut cfg = Self::paper_default(scheme, num_procs);
+        cfg.l1_sets = 16;
+        cfg.l1_ways = 2;
+        cfg.victim_entries = 4;
+        cfg.write_buffer_lines = 8;
+        cfg.l2_sets = 64;
+        cfg.l2_ways = 4;
+        cfg.latency_jitter = 0;
+        cfg
+    }
+
+    /// The architecturally guaranteed transaction footprint (§4): the
+    /// number of distinct cache lines a critical section may *access*
+    /// and still be assured a lock-free execution. "If the system has
+    /// a 16 entry victim cache and a 4-way data cache, the programmer
+    /// can be sure any transaction accessing 20 cache lines or less is
+    /// ensured a lock-free execution." Worst case, every accessed line
+    /// maps to one L1 set: its `l1_ways` ways plus the victim cache.
+    pub fn guaranteed_txn_lines(&self) -> usize {
+        self.l1_ways + self.victim_entries
+    }
+
+    /// The architecturally guaranteed number of distinct lines a
+    /// critical section may *write*: additionally bounded by the
+    /// speculative write buffer (§3.3).
+    pub fn guaranteed_txn_written_lines(&self) -> usize {
+        self.guaranteed_txn_lines().min(self.write_buffer_lines)
+    }
+
+    /// Cache line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        1 << self.line_bytes_log2
+    }
+
+    /// Words (u64) per cache line.
+    pub fn words_per_line(&self) -> usize {
+        (self.line_bytes() / 8) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table2() {
+        let cfg = MachineConfig::paper_default(Scheme::Base, 16);
+        assert_eq!(cfg.line_bytes(), 64);
+        assert_eq!(cfg.words_per_line(), 8);
+        // 128 KB 4-way with 64 B lines.
+        assert_eq!(cfg.l1_sets * cfg.l1_ways * 64, 128 * 1024);
+        // 4 MB 8-way with 64 B lines.
+        assert_eq!(cfg.l2_sets * cfg.l2_ways * 64, 4 * 1024 * 1024);
+        assert_eq!(cfg.latency.l2, 12);
+        assert_eq!(cfg.latency.memory, 70);
+        assert_eq!(cfg.latency.snoop, 20);
+        assert_eq!(cfg.latency.data_network, 20);
+        assert_eq!(cfg.sle_predictor_entries, 64);
+        assert_eq!(cfg.max_elision_depth, 8);
+        assert_eq!(cfg.rmw_predictor_entries, 128);
+    }
+
+    #[test]
+    fn guaranteed_footprints_follow_the_paper_example() {
+        let cfg = MachineConfig::paper_default(Scheme::Tlr, 16);
+        // 4-way L1 + 16-entry victim cache = the paper's "20 cache
+        // lines or less".
+        assert_eq!(cfg.guaranteed_txn_lines(), 20);
+        assert_eq!(cfg.guaranteed_txn_written_lines(), 20);
+        let mut tiny = cfg.clone();
+        tiny.write_buffer_lines = 8;
+        assert_eq!(tiny.guaranteed_txn_written_lines(), 8);
+    }
+
+    #[test]
+    fn scheme_flags() {
+        assert!(!Scheme::Base.elision_enabled());
+        assert!(!Scheme::Mcs.elision_enabled());
+        assert!(Scheme::Sle.elision_enabled());
+        assert!(!Scheme::Sle.tlr_enabled());
+        assert!(Scheme::Tlr.tlr_enabled());
+        assert!(Scheme::Tlr.relax_single_block());
+        assert!(Scheme::TlrStrictTs.tlr_enabled());
+        assert!(!Scheme::TlrStrictTs.relax_single_block());
+        assert!(Scheme::Mcs.uses_mcs_locks());
+    }
+
+    #[test]
+    fn scheme_labels_match_figures() {
+        assert_eq!(Scheme::Tlr.to_string(), "BASE+SLE+TLR");
+        assert_eq!(Scheme::TlrStrictTs.label(), "BASE+SLE+TLR-strict-ts");
+    }
+}

@@ -1,0 +1,38 @@
+//! Simulation kernel for the TLR reproduction.
+//!
+//! This crate holds the pieces shared by every other crate in the
+//! workspace: the machine configuration ([`config::MachineConfig`],
+//! modeled on Table 2 of the paper), a deterministic random number
+//! generator ([`rng::SimRng`]), cycle statistics ([`stats`]) and a
+//! lightweight event trace ([`trace`]).
+//!
+//! The simulator is deterministic by construction: every source of
+//! "randomness" (fairness delays after lock releases, latency
+//! perturbation per Alameldeen et al. [1]) is driven by [`rng::SimRng`]
+//! seeded from the run configuration.
+//!
+//! # Example
+//!
+//! ```
+//! use tlr_sim::config::{MachineConfig, Scheme};
+//!
+//! let cfg = MachineConfig::paper_default(Scheme::Tlr, 16);
+//! assert_eq!(cfg.num_procs, 16);
+//! assert!(cfg.scheme.elision_enabled());
+//! ```
+
+pub mod config;
+pub mod rng;
+pub mod stats;
+pub mod trace;
+
+pub use config::{LatencyConfig, MachineConfig, Scheme, UntimestampedPolicy};
+pub use rng::SimRng;
+pub use stats::{MachineStats, NodeStats};
+
+/// A simulation cycle number. The whole machine advances in lockstep,
+/// one [`Cycle`] at a time.
+pub type Cycle = u64;
+
+/// Identifies a processor node (core + L1 + coherence controller).
+pub type NodeId = usize;

@@ -1,0 +1,245 @@
+//! Run statistics.
+//!
+//! The paper reports wall-clock parallel execution cycles and, for
+//! Figure 11, a breakdown into cycles attributable to lock-variable
+//! accesses versus everything else (accounted at instruction commit:
+//! the instruction that stalls commit is charged the stall). These
+//! structures collect exactly those quantities plus the event counts
+//! needed by the ablation experiments.
+
+use crate::NodeId;
+
+/// Per-processor statistics. All fields are plain counters; the struct
+/// is a passive data structure with public fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Dynamic instructions executed (including re-executions after a
+    /// misspeculation restart).
+    pub instructions: u64,
+    /// Committed loads (architectural, excludes squashed work).
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Load-linked operations.
+    pub ll_ops: u64,
+    /// Successful store-conditionals (actually performed, not elided).
+    pub sc_success: u64,
+    /// Failed store-conditionals.
+    pub sc_fail: u64,
+    /// Store-conditionals elided by SLE (treated as transaction start).
+    pub sc_elided: u64,
+
+    /// L1 hits (including speculative-write-buffer forwarding).
+    pub l1_hits: u64,
+    /// L1 misses that allocated an MSHR.
+    pub l1_misses: u64,
+    /// Misses satisfied by the victim cache.
+    pub victim_hits: u64,
+    /// Loads upgraded to exclusive fetches by the read-modify-write
+    /// predictor (§3.1.2).
+    pub rmw_upgraded_loads: u64,
+
+    /// Cycles the core retired work (ALU ops, delays, cache-hit
+    /// accesses).
+    pub busy_cycles: u64,
+    /// Cycles stalled on a memory access to a lock variable. Together
+    /// with `lock_busy_cycles` this is Figure 11's "lock contribution".
+    pub lock_stall_cycles: u64,
+    /// Busy cycles spent executing accesses to lock variables (spin
+    /// reads that hit, lock writes).
+    pub lock_busy_cycles: u64,
+    /// Cycles stalled on any other memory access.
+    pub data_stall_cycles: u64,
+    /// Cycles stalled because the store buffer was full.
+    pub store_buffer_full_cycles: u64,
+    /// Cycles waiting at commit for outstanding exclusive requests.
+    pub commit_wait_cycles: u64,
+    /// Cycles after this thread finished while others still ran.
+    pub done_cycles: u64,
+
+    /// Transactions started (lock elisions).
+    pub elisions_started: u64,
+    /// Transactions committed lock-free.
+    pub commits: u64,
+    /// Restarts caused by losing a timestamp conflict or by a data
+    /// conflict (SLE).
+    pub restarts_conflict: u64,
+    /// Restarts caused by invalidation of a shared-state block that
+    /// could not be deferred (§3.1.2 upgrade-induced violations).
+    pub restarts_sharer_invalidation: u64,
+    /// Restarts caused by a write to the elided lock variable itself.
+    pub restarts_lock_write: u64,
+    /// Elision abandoned: speculative buffering resources exhausted
+    /// (write buffer / cache + victim cache), §3.3.
+    pub fallbacks_resource: u64,
+    /// Elision abandoned: operation that cannot be undone (I/O).
+    pub fallbacks_io: u64,
+    /// Elision abandoned: nesting depth exceeded.
+    pub fallbacks_nesting: u64,
+    /// Elision abandoned after repeated conflicts (SLE gives up and
+    /// acquires the lock).
+    pub fallbacks_conflict: u64,
+
+    /// Incoming requests this node deferred (winner side of a
+    /// conflict).
+    pub requests_deferred: u64,
+    /// Conflicts this node lost (serviced an earlier-timestamp request
+    /// and restarted or gave up ownership).
+    pub conflicts_lost: u64,
+    /// Marker messages sent (§3.1.1).
+    pub markers_sent: u64,
+    /// Probe messages sent upstream (§3.1.1).
+    pub probes_sent: u64,
+    /// Probe messages received.
+    pub probes_received: u64,
+    /// Deferrals that used the §3.2 single-block relaxation to avoid a
+    /// timestamp-induced restart.
+    pub single_block_relaxations: u64,
+    /// Negative acknowledgements sent (NACK retention policy).
+    pub nacks_sent: u64,
+    /// Negative acknowledgements received (requests that must retry).
+    pub nacks_received: u64,
+}
+
+impl NodeStats {
+    /// Total cycles attributed to lock-variable accesses (Figure 11's
+    /// lock contribution).
+    pub fn lock_cycles(&self) -> u64 {
+        self.lock_stall_cycles + self.lock_busy_cycles
+    }
+
+    /// Total elision abandonments (lock actually acquired).
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks_resource
+            + self.fallbacks_io
+            + self.fallbacks_nesting
+            + self.fallbacks_conflict
+    }
+
+    /// Total misspeculation restarts.
+    pub fn restarts(&self) -> u64 {
+        self.restarts_conflict + self.restarts_sharer_invalidation + self.restarts_lock_write
+    }
+}
+
+/// Counts of bus transactions by kind.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Read-shared requests.
+    pub get_s: u64,
+    /// Read-exclusive requests (`rd_X` in the paper's figures).
+    pub get_x: u64,
+    /// Upgrade requests (S -> M without data transfer).
+    pub upgrades: u64,
+    /// Writebacks of dirty lines.
+    pub writebacks: u64,
+    /// Cycles a request waited for bus arbitration.
+    pub arbitration_wait_cycles: u64,
+}
+
+impl BusStats {
+    /// Total address-bus transactions.
+    pub fn total(&self) -> u64 {
+        self.get_s + self.get_x + self.upgrades + self.writebacks
+    }
+}
+
+/// Whole-machine statistics for one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Per-node counters.
+    pub nodes: Vec<NodeStats>,
+    /// Address-bus activity.
+    pub bus: BusStats,
+    /// Data responses supplied cache-to-cache.
+    pub cache_to_cache_transfers: u64,
+    /// Data responses supplied by the shared L2.
+    pub l2_supplies: u64,
+    /// Data responses supplied by memory.
+    pub memory_supplies: u64,
+    /// Wall-clock cycle at which the last thread finished: the paper's
+    /// "parallel execution cycle count".
+    pub parallel_cycles: u64,
+}
+
+impl MachineStats {
+    /// Creates statistics for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        MachineStats { nodes: vec![NodeStats::default(); n], ..Default::default() }
+    }
+
+    /// Mutable access to one node's counters.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut NodeStats {
+        &mut self.nodes[id]
+    }
+
+    /// Sum of a per-node counter over all nodes.
+    pub fn sum<F: Fn(&NodeStats) -> u64>(&self, f: F) -> u64 {
+        self.nodes.iter().map(f).sum()
+    }
+
+    /// Aggregate lock-attributed cycles across nodes (Figure 11).
+    pub fn total_lock_cycles(&self) -> u64 {
+        self.sum(NodeStats::lock_cycles)
+    }
+
+    /// Aggregate restarts across nodes.
+    pub fn total_restarts(&self) -> u64 {
+        self.sum(NodeStats::restarts)
+    }
+
+    /// Aggregate commits across nodes.
+    pub fn total_commits(&self) -> u64 {
+        self.sum(|n| n.commits)
+    }
+
+    /// Aggregate fallbacks (lock acquisitions after abandoning
+    /// elision) across nodes.
+    pub fn total_fallbacks(&self) -> u64 {
+        self.sum(NodeStats::fallbacks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_sum_over_nodes() {
+        let mut s = MachineStats::new(3);
+        s.node_mut(0).commits = 2;
+        s.node_mut(2).commits = 5;
+        s.node_mut(1).restarts_conflict = 1;
+        s.node_mut(1).restarts_lock_write = 4;
+        assert_eq!(s.total_commits(), 7);
+        assert_eq!(s.total_restarts(), 5);
+    }
+
+    #[test]
+    fn lock_cycles_combines_stall_and_busy() {
+        let n = NodeStats { lock_stall_cycles: 10, lock_busy_cycles: 3, ..Default::default() };
+        assert_eq!(n.lock_cycles(), 13);
+    }
+
+    #[test]
+    fn bus_total() {
+        let b = BusStats { get_s: 1, get_x: 2, upgrades: 3, writebacks: 4, ..Default::default() };
+        assert_eq!(b.total(), 10);
+    }
+
+    #[test]
+    fn fallback_and_restart_rollups() {
+        let n = NodeStats {
+            fallbacks_resource: 1,
+            fallbacks_io: 2,
+            fallbacks_nesting: 3,
+            fallbacks_conflict: 4,
+            restarts_conflict: 5,
+            restarts_sharer_invalidation: 6,
+            restarts_lock_write: 7,
+            ..Default::default()
+        };
+        assert_eq!(n.fallbacks(), 10);
+        assert_eq!(n.restarts(), 18);
+    }
+}

@@ -1,0 +1,121 @@
+//! Optional event tracing.
+//!
+//! A [`Trace`] records interesting machine events (transaction starts,
+//! conflicts, deferrals, probes, commits) with their cycle numbers.
+//! Tracing is used by the integration tests that replay the paper's
+//! worked examples (Figures 2, 4 and 6) and by the
+//! `conflict_walkthrough` example; it is disabled (zero-cost beyond a
+//! branch) during benchmark runs.
+
+use crate::{Cycle, NodeId};
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle at which the event occurred.
+    pub cycle: Cycle,
+    /// Node the event occurred at.
+    pub node: NodeId,
+    /// Event kind.
+    pub kind: TraceKind,
+}
+
+/// The kinds of events the machine can record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A lock elision began a speculative transaction; the payload is
+    /// the lock address.
+    TxnStart { lock_addr: u64 },
+    /// A transaction committed lock-free.
+    TxnCommit,
+    /// A transaction restarted; the payload is the line that
+    /// conflicted.
+    TxnRestart { line: u64 },
+    /// Elision abandoned; the lock will be acquired.
+    TxnFallback { reason: &'static str },
+    /// An incoming request was deferred (conflict won); `from` is the
+    /// requesting node.
+    Defer { line: u64, from: NodeId },
+    /// A deferred request was finally serviced.
+    ServiceDeferred { line: u64, to: NodeId },
+    /// A conflict was lost to an earlier timestamp.
+    ConflictLost { line: u64, to: NodeId },
+    /// A marker message was sent (§3.1.1).
+    Marker { line: u64, to: NodeId },
+    /// A probe propagated a conflicting timestamp upstream (§3.1.1).
+    Probe { line: u64, to: NodeId },
+    /// A lock was actually acquired (BASE behaviour or fallback).
+    LockAcquired { lock_addr: u64 },
+    /// A lock was released by an actual store.
+    LockReleased { lock_addr: u64 },
+}
+
+/// An event log. When disabled, [`Trace::record`] is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Creates a disabled trace (the default for benchmark runs).
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an enabled trace.
+    pub fn enabled() -> Self {
+        Trace { enabled: true, events: Vec::new() }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if tracing is enabled.
+    pub fn record(&mut self, cycle: Cycle, node: NodeId, kind: TraceKind) {
+        if self.enabled {
+            self.events.push(TraceEvent { cycle, node, kind });
+        }
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one node, in order.
+    pub fn events_for(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.node == node)
+    }
+
+    /// Counts events matching a predicate.
+    pub fn count<F: Fn(&TraceEvent) -> bool>(&self, f: F) -> usize {
+        self.events.iter().filter(|e| f(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new();
+        t.record(1, 0, TraceKind::TxnCommit);
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled();
+        t.record(1, 0, TraceKind::TxnStart { lock_addr: 64 });
+        t.record(5, 1, TraceKind::TxnCommit);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].cycle, 1);
+        assert_eq!(t.events_for(1).count(), 1);
+        assert_eq!(t.count(|e| matches!(e.kind, TraceKind::TxnCommit)), 1);
+    }
+}

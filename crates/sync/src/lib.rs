@@ -1,0 +1,31 @@
+//! Lock algorithms for the simulated machine, emitted as IR.
+//!
+//! The paper's BASE/SLE/TLR configurations all execute the same
+//! binary built on a **test&test&set** lock over load-linked /
+//! store-conditional ([`tatas`]); the MCS configuration runs a binary
+//! using **MCS queue locks** ([`mcs`]), the scalable software queue
+//! lock of Mellor-Crummey & Scott that the paper compares against
+//! (§5: "MCS locks are scalable software-queue locks that perform
+//! well under contention").
+//!
+//! # Example
+//!
+//! ```
+//! use tlr_cpu::Asm;
+//! use tlr_sync::tatas;
+//!
+//! let mut a = Asm::new("cs");
+//! let lock = a.reg();
+//! let regs = tatas::TatasRegs::alloc(&mut a);
+//! a.li(lock, 0x100);
+//! tatas::init_regs(&mut a, &regs);
+//! tatas::acquire(&mut a, lock, &regs);
+//! // ... critical section ...
+//! tatas::release(&mut a, lock, &regs);
+//! a.done();
+//! let program = a.finish();
+//! assert!(program.len() > 5);
+//! ```
+
+pub mod mcs;
+pub mod tatas;

@@ -1,0 +1,156 @@
+//! Test&test&set lock over LL/SC.
+//!
+//! The lock word holds 0 when free and 1 when held. Acquire spins on
+//! an ordinary load (the "test" that stays in the local cache), then
+//! attempts the atomic acquisition with load-linked /
+//! store-conditional. Release is a single ordinary store of 0 — which
+//! together with the acquiring store forms exactly the *silent
+//! store-pair* SLE elides (§2.2).
+
+use tlr_cpu::asm::Asm;
+use tlr_cpu::isa::Reg;
+
+/// Scratch registers used by the lock code. `zero` and `one` must
+/// hold the constants 0 and 1 (see [`init_regs`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TatasRegs {
+    /// Holds constant 0.
+    pub zero: Reg,
+    /// Holds constant 1.
+    pub one: Reg,
+    /// Scratch.
+    pub t1: Reg,
+    /// Scratch.
+    pub t2: Reg,
+}
+
+impl TatasRegs {
+    /// Allocates the four registers from the assembler.
+    pub fn alloc(a: &mut Asm) -> Self {
+        TatasRegs { zero: a.reg(), one: a.reg(), t1: a.reg(), t2: a.reg() }
+    }
+}
+
+/// Loads the constants the lock code relies on. Call once before the
+/// first [`acquire`].
+pub fn init_regs(a: &mut Asm, r: &TatasRegs) {
+    a.li(r.zero, 0);
+    a.li(r.one, 1);
+}
+
+/// Emits a test&test&set acquisition of the lock at address
+/// `lock_base + off`. Spins until acquired.
+pub fn acquire_off(a: &mut Asm, lock_base: Reg, off: i64, r: &TatasRegs) {
+    let spin = a.here();
+    // Test: spin locally while held.
+    a.load(r.t1, lock_base, off);
+    a.bne(r.t1, r.zero, spin);
+    // Test&set: LL/SC attempt.
+    a.ll(r.t1, lock_base, off);
+    a.bne(r.t1, r.zero, spin);
+    a.sc(r.t2, r.one, lock_base, off);
+    a.beq(r.t2, r.zero, spin);
+}
+
+/// Emits an acquisition of the lock at `lock_base + 0`.
+pub fn acquire(a: &mut Asm, lock_base: Reg, r: &TatasRegs) {
+    acquire_off(a, lock_base, 0, r);
+}
+
+/// Emits a release of the lock at `lock_base + off`: a single store
+/// of 0 (the second, silent store of the elidable pair).
+pub fn release_off(a: &mut Asm, lock_base: Reg, off: i64, r: &TatasRegs) {
+    a.store(r.zero, lock_base, off);
+}
+
+/// Emits a release of the lock at `lock_base + 0`.
+pub fn release(a: &mut Asm, lock_base: Reg, r: &TatasRegs) {
+    release_off(a, lock_base, 0, r);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+    use tlr_core::Machine;
+    use tlr_mem::Addr;
+    use tlr_sim::config::{MachineConfig, Scheme};
+
+    const LOCK: u64 = 0x100;
+    const COUNTER: u64 = 0x200;
+
+    /// A program that increments a shared counter `iters` times inside
+    /// the lock, using non-atomic load/add/store — mutual exclusion is
+    /// entirely the lock's job.
+    fn counter_program(iters: u64) -> Arc<tlr_cpu::Program> {
+        let mut a = Asm::new("tatas-counter");
+        let lock = a.reg();
+        let counter = a.reg();
+        let n = a.reg();
+        let v = a.reg();
+        let r = TatasRegs::alloc(&mut a);
+        init_regs(&mut a, &r);
+        a.li(lock, LOCK);
+        a.li(counter, COUNTER);
+        a.li(n, iters);
+        let top = a.here();
+        acquire(&mut a, lock, &r);
+        a.load(v, counter, 0);
+        a.addi(v, v, 1);
+        a.store(v, counter, 0);
+        release(&mut a, lock, &r);
+        a.rand_delay(1, 8);
+        a.addi(n, n, -1);
+        a.bne(n, r.zero, top);
+        a.done();
+        Arc::new(a.finish())
+    }
+
+    fn run(scheme: Scheme, procs: usize, iters: u64) -> Machine {
+        let mut cfg = MachineConfig::small(scheme, procs);
+        cfg.max_cycles = 50_000_000;
+        let programs = (0..procs).map(|_| counter_program(iters)).collect();
+        let mut m = Machine::new(cfg, programs, HashSet::from([Addr(LOCK)]));
+        m.run().expect("quiesce");
+        m
+    }
+
+    #[test]
+    fn mutual_exclusion_on_base_hardware() {
+        for procs in [1, 2, 4] {
+            let m = run(Scheme::Base, procs, 30);
+            assert_eq!(m.final_word(Addr(COUNTER)), 30 * procs as u64, "{procs} procs");
+            assert_eq!(m.final_word(Addr(LOCK)), 0, "lock left free");
+        }
+    }
+
+    #[test]
+    fn serializable_under_sle() {
+        let m = run(Scheme::Sle, 4, 30);
+        assert_eq!(m.final_word(Addr(COUNTER)), 120);
+        assert_eq!(m.final_word(Addr(LOCK)), 0);
+    }
+
+    #[test]
+    fn serializable_under_tlr() {
+        let m = run(Scheme::Tlr, 4, 30);
+        assert_eq!(m.final_word(Addr(COUNTER)), 120);
+        assert_eq!(m.final_word(Addr(LOCK)), 0);
+        // TLR must actually elide: after the one training acquisition
+        // per processor, critical sections commit lock-free.
+        assert!(m.stats().total_commits() > 0, "no lock-free commits under TLR");
+    }
+
+    #[test]
+    fn tlr_strict_ts_also_serializable() {
+        let m = run(Scheme::TlrStrictTs, 4, 20);
+        assert_eq!(m.final_word(Addr(COUNTER)), 80);
+    }
+
+    #[test]
+    fn single_thread_uncontended() {
+        let m = run(Scheme::Tlr, 1, 10);
+        assert_eq!(m.final_word(Addr(COUNTER)), 10);
+    }
+}

@@ -1,0 +1,121 @@
+//! Padded memory layout.
+//!
+//! "Where appropriate, the data structures are padded to eliminate
+//! false sharing" (§5.2). Every allocation from [`Layout`] starts on
+//! its own 64-byte cache line; multi-line allocations are contiguous.
+//! Address 0 is never handed out (workloads use 0 as a null pointer).
+
+use tlr_mem::addr::{Addr, LINE_BYTES};
+
+/// A bump allocator over the simulated physical address space that
+/// aligns every allocation to a cache line.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    next: u64,
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Layout {
+    /// Starts allocating at a fixed non-zero base.
+    pub fn new() -> Self {
+        Layout { next: 0x1_0000 }
+    }
+
+    /// Starts allocating at `base` (rounded up to a line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is zero (0 is the null pointer).
+    pub fn with_base(base: u64) -> Self {
+        assert!(base != 0, "base must be non-zero");
+        Layout { next: base.next_multiple_of(LINE_BYTES) }
+    }
+
+    /// Allocates one padded word: a word at the start of its own
+    /// cache line.
+    pub fn word(&mut self) -> Addr {
+        self.lines(1)
+    }
+
+    /// Allocates `n` contiguous cache lines, returning the base
+    /// address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn lines(&mut self, n: u64) -> Addr {
+        assert!(n > 0, "cannot allocate zero lines");
+        let a = Addr(self.next);
+        self.next += n * LINE_BYTES;
+        a
+    }
+
+    /// Allocates an array of `n` padded words (each on its own line),
+    /// returning their addresses.
+    pub fn padded_words(&mut self, n: usize) -> Vec<Addr> {
+        (0..n).map(|_| self.word()).collect()
+    }
+
+    /// Allocates an array of `n` words packed densely (8 per line),
+    /// returning the base address. Used when the paper's structure is
+    /// *not* padded (e.g. mp3d's lock array exceeding the L1).
+    pub fn packed_words(&mut self, n: u64) -> Addr {
+        let lines = n.div_ceil(8).max(1);
+        self.lines(lines)
+    }
+
+    /// The next free address (for tests).
+    pub fn watermark(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_land_on_distinct_lines() {
+        let mut l = Layout::new();
+        let a = l.word();
+        let b = l.word();
+        assert_ne!(a.line(), b.line());
+        assert_eq!(a.0 % LINE_BYTES, 0);
+        assert_ne!(a.0, 0);
+    }
+
+    #[test]
+    fn lines_are_contiguous() {
+        let mut l = Layout::new();
+        let a = l.lines(3);
+        let b = l.word();
+        assert_eq!(b.0 - a.0, 3 * LINE_BYTES);
+    }
+
+    #[test]
+    fn packed_words_share_lines() {
+        let mut l = Layout::new();
+        let base = l.packed_words(16);
+        assert_eq!(Addr(base.0 + 8).line(), base.line());
+        // 16 words = 2 lines consumed.
+        let next = l.word();
+        assert_eq!(next.0 - base.0, 2 * LINE_BYTES);
+    }
+
+    #[test]
+    fn with_base_rounds_up() {
+        let mut l = Layout::with_base(100);
+        assert_eq!(l.word().0, 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_base_rejected() {
+        Layout::with_base(0);
+    }
+}

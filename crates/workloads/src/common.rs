@@ -1,0 +1,176 @@
+//! Shared program-emission helpers.
+//!
+//! Workload generators emit the same critical-section bodies over
+//! either lock implementation: test&test&set for BASE/SLE/TLR runs
+//! and MCS queue locks for MCS runs (§5: same benchmark, different
+//! synchronization binary).
+
+use std::collections::HashSet;
+
+use tlr_cpu::asm::Asm;
+use tlr_cpu::isa::Reg;
+use tlr_mem::addr::Addr;
+use tlr_sim::config::Scheme;
+use tlr_sync::{mcs, tatas};
+
+use crate::alloc::Layout;
+
+/// Which lock implementation a program uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// Test&test&set over LL/SC (BASE, SLE, TLR, TLR-strict-ts).
+    Tatas,
+    /// MCS queue locks (the MCS configuration).
+    Mcs,
+}
+
+impl LockKind {
+    /// The lock implementation a scheme's binary uses.
+    pub fn of(scheme: Scheme) -> Self {
+        if scheme.uses_mcs_locks() {
+            LockKind::Mcs
+        } else {
+            LockKind::Tatas
+        }
+    }
+}
+
+/// Registers shared by both lock implementations. `zero` and `one`
+/// hold constants after [`SyncRegs::init`].
+#[derive(Debug, Clone, Copy)]
+pub struct SyncRegs {
+    /// Constant 0.
+    pub zero: Reg,
+    /// Constant 1.
+    pub one: Reg,
+    /// Scratch.
+    pub t1: Reg,
+    /// Scratch.
+    pub t2: Reg,
+    /// Scratch.
+    pub t3: Reg,
+}
+
+impl SyncRegs {
+    /// Allocates the registers.
+    pub fn alloc(a: &mut Asm) -> Self {
+        SyncRegs { zero: a.reg(), one: a.reg(), t1: a.reg(), t2: a.reg(), t3: a.reg() }
+    }
+
+    /// Emits the constant loads.
+    pub fn init(&self, a: &mut Asm) {
+        a.li(self.zero, 0);
+        a.li(self.one, 1);
+    }
+
+    fn tatas(&self) -> tatas::TatasRegs {
+        tatas::TatasRegs { zero: self.zero, one: self.one, t1: self.t1, t2: self.t2 }
+    }
+
+    fn mcs(&self) -> mcs::McsRegs {
+        mcs::McsRegs { zero: self.zero, one: self.one, t1: self.t1, t2: self.t2, t3: self.t3 }
+    }
+}
+
+/// Emits a lock acquisition. `lock` holds the lock-word (or MCS tail)
+/// address; `qnode` holds this thread's queue-node address (unused
+/// for test&test&set).
+pub fn acquire(a: &mut Asm, kind: LockKind, lock: Reg, qnode: Reg, r: &SyncRegs) {
+    match kind {
+        LockKind::Tatas => tatas::acquire(a, lock, &r.tatas()),
+        LockKind::Mcs => mcs::acquire(a, lock, qnode, &r.mcs()),
+    }
+}
+
+/// Emits a lock release.
+pub fn release(a: &mut Asm, kind: LockKind, lock: Reg, qnode: Reg, r: &SyncRegs) {
+    match kind {
+        LockKind::Tatas => tatas::release(a, lock, &r.tatas()),
+        LockKind::Mcs => mcs::release(a, lock, qnode, &r.mcs()),
+    }
+}
+
+/// Lock instances plus per-thread MCS queue nodes, laid out with
+/// padding. The layout is identical for every scheme so cycle counts
+/// are comparable.
+#[derive(Debug, Clone)]
+pub struct Locks {
+    /// Lock words (test&test&set) / tail pointers (MCS).
+    pub words: Vec<Addr>,
+    /// Per-processor queue nodes (MCS only, but always allocated).
+    pub qnodes: Vec<Addr>,
+}
+
+impl Locks {
+    /// Allocates `n` padded locks and one queue node per processor.
+    pub fn alloc(layout: &mut Layout, n: usize, procs: usize) -> Self {
+        Locks {
+            words: layout.padded_words(n),
+            qnodes: (0..procs).map(|_| layout.lines(mcs::QNODE_SIZE / 64)).collect(),
+        }
+    }
+
+    /// Allocates `n` locks packed 8 per cache line (un-padded, as in
+    /// mp3d's per-cell lock array whose footprint exceeds the L1).
+    pub fn alloc_packed(layout: &mut Layout, n: u64, procs: usize) -> Self {
+        let base = layout.packed_words(n);
+        Locks {
+            words: (0..n).map(|i| Addr(base.0 + i * 8)).collect(),
+            qnodes: (0..procs).map(|_| layout.lines(mcs::QNODE_SIZE / 64)).collect(),
+        }
+    }
+
+    /// The lock-variable address set for stall attribution under the
+    /// given scheme (MCS runs also count queue-node traffic as lock
+    /// overhead, matching the paper's "software overhead" analysis).
+    pub fn attribution_set(&self, scheme: Scheme) -> HashSet<Addr> {
+        let mut set: HashSet<Addr> = self.words.iter().copied().collect();
+        if scheme.uses_mcs_locks() {
+            for q in &self.qnodes {
+                set.insert(Addr(q.0 + mcs::LOCKED_OFF as u64));
+                set.insert(Addr(q.0 + mcs::NEXT_OFF as u64));
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_kind_follows_scheme() {
+        assert_eq!(LockKind::of(Scheme::Base), LockKind::Tatas);
+        assert_eq!(LockKind::of(Scheme::Tlr), LockKind::Tatas);
+        assert_eq!(LockKind::of(Scheme::Mcs), LockKind::Mcs);
+    }
+
+    #[test]
+    fn locks_are_padded_and_distinct() {
+        let mut l = Layout::new();
+        let locks = Locks::alloc(&mut l, 3, 2);
+        assert_eq!(locks.words.len(), 3);
+        assert_eq!(locks.qnodes.len(), 2);
+        let lines: HashSet<_> = locks.words.iter().map(|a| a.line()).collect();
+        assert_eq!(lines.len(), 3, "each lock on its own line");
+    }
+
+    #[test]
+    fn packed_locks_share_lines() {
+        let mut l = Layout::new();
+        let locks = Locks::alloc_packed(&mut l, 16, 1);
+        assert_eq!(locks.words[0].line(), locks.words[7].line());
+        assert_ne!(locks.words[0].line(), locks.words[8].line());
+    }
+
+    #[test]
+    fn attribution_includes_qnodes_only_for_mcs() {
+        let mut l = Layout::new();
+        let locks = Locks::alloc(&mut l, 1, 2);
+        let base = locks.attribution_set(Scheme::Base);
+        let mcs_set = locks.attribution_set(Scheme::Mcs);
+        assert_eq!(base.len(), 1);
+        assert_eq!(mcs_set.len(), 1 + 2 * 2);
+    }
+}

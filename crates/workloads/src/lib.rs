@@ -1,0 +1,26 @@
+//! Workloads for the TLR reproduction.
+//!
+//! * [`alloc`] — padded memory layout helper (the paper pads data
+//!   structures to eliminate false sharing, §5.2).
+//! * [`micro`] — the three microbenchmarks of §5.1:
+//!   `multiple-counter` (coarse-grain/no-conflicts), `single-counter`
+//!   (fine-grain/high-conflicts) and `doubly-linked list`
+//!   (fine-grain/dynamic-conflicts).
+//! * [`apps`] — synthetic kernels standing in for the SPLASH /
+//!   SPLASH-2 applications of §5.2 (Table 1). Each reproduces the
+//!   documented critical-section and locking structure of its
+//!   namesake; see `DESIGN.md` for the substitution rationale.
+//! * [`common`] — shared program-emission helpers (critical-section
+//!   bodies over either lock implementation, per the active scheme).
+//!
+//! Every workload implements [`tlr_core::run::WorkloadSpec`] and
+//! validates its final memory state, which directly checks the
+//! serializability TLR promises.
+
+pub mod alloc;
+pub mod apps;
+pub mod common;
+pub mod micro;
+
+/// Re-export for convenience: the trait all workloads implement.
+pub use tlr_core::run as spec;

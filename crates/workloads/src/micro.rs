@@ -1,0 +1,458 @@
+//! The three microbenchmarks of §5.1.
+//!
+//! Each captures a distinct locking / critical-section data-conflict
+//! behaviour:
+//!
+//! * [`multiple_counter`] — coarse-grain locking, **no** data
+//!   conflicts: n counters protected by a single lock, each processor
+//!   updates only its own counter (Figure 8).
+//! * [`single_counter`] — fine-grain, **high** conflicts: one counter,
+//!   one lock, everyone increments the same cache line (Figure 9).
+//! * [`doubly_linked_list`] — fine-grain, **dynamic** conflicts: a
+//!   lock-protected deque where enqueuers and dequeuers can run
+//!   concurrently only when the queue is non-empty (Figure 10).
+//!
+//! Methodology (§5.1, after Kumar et al.): each data point performs
+//! the *same total work* regardless of processor count, and a random
+//! delay after each lock release gives other processors a fair chance
+//! to acquire before a local re-acquire.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use tlr_core::run::WorkloadSpec;
+use tlr_core::Machine;
+use tlr_cpu::asm::Asm;
+use tlr_cpu::Program;
+use tlr_mem::addr::Addr;
+use tlr_sim::config::Scheme;
+
+use crate::alloc::Layout;
+use crate::common::{acquire, release, LockKind, Locks, SyncRegs};
+
+/// Post-release fairness delay bounds (cycles), per the §5.1
+/// methodology.
+const FAIR_DELAY: (u32, u32) = (4, 40);
+
+// ---------------------------------------------------------------------------
+// multiple-counter: coarse-grain / no-conflicts (Figure 8)
+// ---------------------------------------------------------------------------
+
+/// The multiple-counter microbenchmark (one lock, per-processor
+/// counters).
+#[derive(Debug, Clone)]
+pub struct MultipleCounter {
+    procs: usize,
+    iters_per_proc: u64,
+    locks: Locks,
+    counters: Vec<Addr>,
+}
+
+/// Builds the multiple-counter workload: `total_increments` split
+/// evenly over `procs` processors, each incrementing its own padded
+/// counter under one shared lock.
+///
+/// # Panics
+///
+/// Panics if `procs` is zero.
+pub fn multiple_counter(procs: usize, total_increments: u64) -> MultipleCounter {
+    assert!(procs > 0, "need at least one processor");
+    let mut layout = Layout::new();
+    let locks = Locks::alloc(&mut layout, 1, procs);
+    let counters = layout.padded_words(procs);
+    MultipleCounter { procs, iters_per_proc: total_increments / procs as u64, locks, counters }
+}
+
+fn counter_program(
+    name: String,
+    kind: LockKind,
+    lock: Addr,
+    qnode: Addr,
+    counter: Addr,
+    iters: u64,
+) -> Arc<Program> {
+    let mut a = Asm::new(name);
+    let r = SyncRegs::alloc(&mut a);
+    let lock_r = a.reg();
+    let qnode_r = a.reg();
+    let counter_r = a.reg();
+    let n = a.reg();
+    let v = a.reg();
+    r.init(&mut a);
+    a.li(lock_r, lock.0);
+    a.li(qnode_r, qnode.0);
+    a.li(counter_r, counter.0);
+    a.li(n, iters);
+    let top = a.here();
+    acquire(&mut a, kind, lock_r, qnode_r, &r);
+    a.load(v, counter_r, 0);
+    a.addi(v, v, 1);
+    a.store(v, counter_r, 0);
+    release(&mut a, kind, lock_r, qnode_r, &r);
+    a.rand_delay(FAIR_DELAY.0, FAIR_DELAY.1);
+    a.addi(n, n, -1);
+    a.bne(n, r.zero, top);
+    a.done();
+    Arc::new(a.finish())
+}
+
+impl WorkloadSpec for MultipleCounter {
+    fn name(&self) -> &str {
+        "multiple-counter"
+    }
+
+    fn programs(&self, scheme: Scheme) -> Vec<Arc<Program>> {
+        let kind = LockKind::of(scheme);
+        (0..self.procs)
+            .map(|i| {
+                counter_program(
+                    format!("multiple-counter-{i}"),
+                    kind,
+                    self.locks.words[0],
+                    self.locks.qnodes[i],
+                    self.counters[i],
+                    self.iters_per_proc,
+                )
+            })
+            .collect()
+    }
+
+    fn memory_image(&self) -> Vec<(Addr, u64)> {
+        Vec::new()
+    }
+
+    fn lock_addrs(&self, scheme: Scheme) -> HashSet<Addr> {
+        self.locks.attribution_set(scheme)
+    }
+
+    fn validate(&self, m: &Machine) -> Result<(), String> {
+        for (i, &c) in self.counters.iter().enumerate() {
+            let got = m.final_word(c);
+            if got != self.iters_per_proc {
+                return Err(format!("counter {i}: {got} != {}", self.iters_per_proc));
+            }
+        }
+        check_lock_free(m, self.locks.words[0])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// single-counter: fine-grain / high-conflicts (Figure 9)
+// ---------------------------------------------------------------------------
+
+/// The single-counter microbenchmark (one lock, one shared counter).
+#[derive(Debug, Clone)]
+pub struct SingleCounter {
+    procs: usize,
+    iters_per_proc: u64,
+    locks: Locks,
+    counter: Addr,
+}
+
+/// Builds the single-counter workload: `total_increments` split over
+/// `procs` processors, all incrementing one shared counter under one
+/// lock. No exploitable parallelism exists; the benchmark measures
+/// serialization efficiency.
+///
+/// # Panics
+///
+/// Panics if `procs` is zero.
+pub fn single_counter(procs: usize, total_increments: u64) -> SingleCounter {
+    assert!(procs > 0, "need at least one processor");
+    let mut layout = Layout::new();
+    let locks = Locks::alloc(&mut layout, 1, procs);
+    let counter = layout.word();
+    SingleCounter { procs, iters_per_proc: total_increments / procs as u64, locks, counter }
+}
+
+impl WorkloadSpec for SingleCounter {
+    fn name(&self) -> &str {
+        "single-counter"
+    }
+
+    fn programs(&self, scheme: Scheme) -> Vec<Arc<Program>> {
+        let kind = LockKind::of(scheme);
+        (0..self.procs)
+            .map(|i| {
+                counter_program(
+                    format!("single-counter-{i}"),
+                    kind,
+                    self.locks.words[0],
+                    self.locks.qnodes[i],
+                    self.counter,
+                    self.iters_per_proc,
+                )
+            })
+            .collect()
+    }
+
+    fn memory_image(&self) -> Vec<(Addr, u64)> {
+        Vec::new()
+    }
+
+    fn lock_addrs(&self, scheme: Scheme) -> HashSet<Addr> {
+        self.locks.attribution_set(scheme)
+    }
+
+    fn validate(&self, m: &Machine) -> Result<(), String> {
+        let expect = self.iters_per_proc * self.procs as u64;
+        let got = m.final_word(self.counter);
+        if got != expect {
+            return Err(format!("counter: {got} != {expect}"));
+        }
+        check_lock_free(m, self.locks.words[0])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// doubly-linked list: fine-grain / dynamic conflicts (Figure 10)
+// ---------------------------------------------------------------------------
+
+/// Node field offsets: `next` and `prev` share the node's single
+/// cache line (nodes are padded to a line each, §5.2).
+const NEXT: i64 = 0;
+const PREV: i64 = 8;
+
+/// The doubly-linked-list microbenchmark: dequeue from `Head`,
+/// enqueue at `Tail`, both under one lock.
+#[derive(Debug, Clone)]
+pub struct DoublyLinkedList {
+    procs: usize,
+    pairs_per_proc: u64,
+    locks: Locks,
+    head: Addr,
+    tail: Addr,
+    nodes: Vec<Addr>,
+}
+
+/// Builds the doubly-linked-list workload: `total_pairs`
+/// dequeue+enqueue pairs split over `procs` processors. The list
+/// starts with one node per processor.
+///
+/// "When the queue is non-empty, each transaction modifies Head or
+/// Tail, but not both, so enqueuers can execute without interference
+/// from dequeuers ... This concurrency is difficult to exploit in any
+/// simple way using locks."
+///
+/// # Panics
+///
+/// Panics if `procs` is zero.
+pub fn doubly_linked_list(procs: usize, total_pairs: u64) -> DoublyLinkedList {
+    assert!(procs > 0, "need at least one processor");
+    let mut layout = Layout::new();
+    let locks = Locks::alloc(&mut layout, 1, procs);
+    let head = layout.word();
+    let tail = layout.word();
+    // A few extra nodes beyond one per processor keep the queue from
+    // constantly bouncing off empty.
+    let nodes = layout.padded_words(procs + 2);
+    DoublyLinkedList {
+        procs,
+        pairs_per_proc: total_pairs / procs as u64,
+        locks,
+        head,
+        tail,
+        nodes,
+    }
+}
+
+impl DoublyLinkedList {
+    fn program(&self, i: usize, kind: LockKind) -> Arc<Program> {
+        let mut a = Asm::new(format!("dll-{i}"));
+        let r = SyncRegs::alloc(&mut a);
+        let lock_r = a.reg();
+        let qnode_r = a.reg();
+        let head_r = a.reg();
+        let tail_r = a.reg();
+        let n = a.reg();
+        let h = a.reg(); // dequeued node
+        let x = a.reg(); // scratch pointer
+        r.init(&mut a);
+        a.li(lock_r, self.locks.words[0].0);
+        a.li(qnode_r, self.locks.qnodes[i].0);
+        a.li(head_r, self.head.0);
+        a.li(tail_r, self.tail.0);
+        a.li(n, self.pairs_per_proc);
+
+        let top = a.here();
+        // ---- dequeue from Head ----
+        acquire(&mut a, kind, lock_r, qnode_r, &r);
+        a.load(h, head_r, 0);
+        let empty = a.label();
+        a.beq(h, r.zero, empty);
+        a.load(x, h, NEXT); // x = h->next
+        a.store(x, head_r, 0); // Head = x
+        let deq_done = a.label();
+        let fix_prev = a.label();
+        a.bne(x, r.zero, fix_prev);
+        // Removed the last item: Tail = null as well.
+        a.store(r.zero, tail_r, 0);
+        a.jmp(deq_done);
+        a.bind(fix_prev);
+        a.store(r.zero, x, PREV); // x->prev = null
+        a.bind(deq_done);
+        release(&mut a, kind, lock_r, qnode_r, &r);
+        a.rand_delay(FAIR_DELAY.0, FAIR_DELAY.1);
+
+        // ---- enqueue h at Tail ----
+        acquire(&mut a, kind, lock_r, qnode_r, &r);
+        a.store(r.zero, h, NEXT); // h->next = null
+        a.load(x, tail_r, 0);
+        let was_empty = a.label();
+        let enq_done = a.label();
+        a.beq(x, r.zero, was_empty);
+        a.store(x, h, PREV); // h->prev = tail
+        a.store(h, x, NEXT); // tail->next = h
+        a.store(h, tail_r, 0); // Tail = h
+        a.jmp(enq_done);
+        a.bind(was_empty);
+        a.store(r.zero, h, PREV);
+        a.store(h, head_r, 0);
+        a.store(h, tail_r, 0);
+        a.bind(enq_done);
+        release(&mut a, kind, lock_r, qnode_r, &r);
+        a.rand_delay(FAIR_DELAY.0, FAIR_DELAY.1);
+
+        a.addi(n, n, -1);
+        a.bne(n, r.zero, top);
+        a.done();
+
+        // Empty queue: back off briefly and retry the dequeue.
+        a.bind(empty);
+        release(&mut a, kind, lock_r, qnode_r, &r);
+        a.rand_delay(8, 64);
+        a.jmp(top);
+        Arc::new(a.finish())
+    }
+}
+
+impl WorkloadSpec for DoublyLinkedList {
+    fn name(&self) -> &str {
+        "doubly-linked-list"
+    }
+
+    fn programs(&self, scheme: Scheme) -> Vec<Arc<Program>> {
+        let kind = LockKind::of(scheme);
+        (0..self.procs).map(|i| self.program(i, kind)).collect()
+    }
+
+    fn memory_image(&self) -> Vec<(Addr, u64)> {
+        // Initial list: nodes[0] <-> nodes[1] <-> ... <-> nodes[k-1]
+        let mut img = Vec::new();
+        let k = self.nodes.len();
+        img.push((self.head, self.nodes[0].0));
+        img.push((self.tail, self.nodes[k - 1].0));
+        for (i, &node) in self.nodes.iter().enumerate() {
+            let next = if i + 1 < k { self.nodes[i + 1].0 } else { 0 };
+            let prev = if i > 0 { self.nodes[i - 1].0 } else { 0 };
+            img.push((Addr(node.0 + NEXT as u64), next));
+            img.push((Addr(node.0 + PREV as u64), prev));
+        }
+        img
+    }
+
+    fn lock_addrs(&self, scheme: Scheme) -> HashSet<Addr> {
+        self.locks.attribution_set(scheme)
+    }
+
+    fn validate(&self, m: &Machine) -> Result<(), String> {
+        check_lock_free(m, self.locks.words[0])?;
+        // Walk the list forward, checking structure and conservation.
+        let expected: HashSet<u64> = self.nodes.iter().map(|a| a.0).collect();
+        let mut seen = HashSet::new();
+        let mut cur = m.final_word(self.head);
+        let mut prev = 0u64;
+        while cur != 0 {
+            if !expected.contains(&cur) {
+                return Err(format!("list contains foreign node 0x{cur:x}"));
+            }
+            if !seen.insert(cur) {
+                return Err(format!("cycle at node 0x{cur:x}"));
+            }
+            let got_prev = m.final_word(Addr(cur + PREV as u64));
+            if got_prev != prev {
+                return Err(format!("node 0x{cur:x}: prev 0x{got_prev:x} != 0x{prev:x}"));
+            }
+            prev = cur;
+            cur = m.final_word(Addr(cur + NEXT as u64));
+        }
+        let tail = m.final_word(self.tail);
+        if tail != prev {
+            return Err(format!("Tail 0x{tail:x} != last node 0x{prev:x}"));
+        }
+        if seen.len() != expected.len() {
+            return Err(format!("{} nodes on list, expected {}", seen.len(), expected.len()));
+        }
+        Ok(())
+    }
+}
+
+fn check_lock_free(m: &Machine, lock: Addr) -> Result<(), String> {
+    let v = m.final_word(lock);
+    if v != 0 {
+        return Err(format!("lock word {lock} left as {v}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_core::run::run_workload;
+    use tlr_sim::config::MachineConfig;
+
+    fn cfg(scheme: Scheme, procs: usize) -> MachineConfig {
+        let mut c = MachineConfig::paper_default(scheme, procs);
+        c.max_cycles = 100_000_000;
+        c
+    }
+
+    #[test]
+    fn multiple_counter_all_schemes() {
+        for scheme in Scheme::ALL {
+            let w = multiple_counter(4, 128);
+            run_workload(&cfg(scheme, 4), &w).assert_valid();
+        }
+    }
+
+    #[test]
+    fn single_counter_all_schemes() {
+        for scheme in Scheme::ALL {
+            let w = single_counter(4, 128);
+            run_workload(&cfg(scheme, 4), &w).assert_valid();
+        }
+    }
+
+    #[test]
+    fn dll_all_schemes() {
+        for scheme in Scheme::ALL {
+            let w = doubly_linked_list(4, 64);
+            run_workload(&cfg(scheme, 4), &w).assert_valid();
+        }
+    }
+
+    #[test]
+    fn dll_single_proc_drains_to_empty_and_back() {
+        // With one processor and one node... the initial list has
+        // procs + 2 = 3 nodes; exercise many pairs.
+        let w = doubly_linked_list(1, 50);
+        run_workload(&cfg(Scheme::Tlr, 1), &w).assert_valid();
+    }
+
+    #[test]
+    fn tlr_elides_in_multiple_counter() {
+        let w = multiple_counter(4, 256);
+        let rep = run_workload(&cfg(Scheme::Tlr, 4), &w);
+        rep.assert_valid();
+        // Nearly every critical section should commit lock-free.
+        assert!(rep.stats.total_commits() > 200, "commits: {}", rep.stats.total_commits());
+    }
+
+    #[test]
+    fn work_is_split_evenly() {
+        let w = multiple_counter(8, 1 << 10);
+        assert_eq!(w.iters_per_proc, 128);
+        let s = single_counter(16, 1 << 10);
+        assert_eq!(s.iters_per_proc, 64);
+    }
+}

@@ -1,0 +1,32 @@
+//! Facade crate for the TLR reproduction workspace.
+//!
+//! Re-exports the public API of every subsystem crate so that examples
+//! and downstream users can depend on a single crate. See the
+//! workspace `README.md` for an overview and `DESIGN.md` for the
+//! system inventory.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use tlr_repro::prelude::*;
+//!
+//! // Run the single-counter microbenchmark under TLR on 4 processors.
+//! let workload = single_counter(4, 256);
+//! let report = run_workload(&MachineConfig::paper_default(Scheme::Tlr, 4), &workload);
+//! println!("{} cycles", report.stats.parallel_cycles);
+//! ```
+
+pub use tlr_core as core;
+pub use tlr_cpu as cpu;
+pub use tlr_mem as mem;
+pub use tlr_sim as sim;
+pub use tlr_sync as sync;
+pub use tlr_workloads as workloads;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use tlr_core::run::{run_workload, RunReport, WorkloadSpec};
+    pub use tlr_core::Machine;
+    pub use tlr_sim::config::{MachineConfig, Scheme};
+    pub use tlr_workloads::micro::{doubly_linked_list, multiple_counter, single_counter};
+}

@@ -1,0 +1,238 @@
+//! Additional coverage of TLR's conflict-resolution paths: read-vs-
+//! write deferral asymmetry, long probe chains, and the untimestamped
+//! Restart policy under sustained racing.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use tlr_repro::core::Machine;
+use tlr_repro::cpu::{Asm, Program};
+use tlr_repro::mem::Addr;
+use tlr_repro::sim::config::{MachineConfig, Scheme, UntimestampedPolicy};
+use tlr_repro::sync::tatas::{self, TatasRegs};
+
+const LOCK: u64 = 0x100;
+
+fn run_machine(cfg: MachineConfig, programs: Vec<Arc<Program>>) -> Machine {
+    let mut m = Machine::new(cfg, programs, HashSet::from([Addr(LOCK)]));
+    m.run().expect("quiesce");
+    m
+}
+
+fn cfg(scheme: Scheme, procs: usize) -> MachineConfig {
+    let mut c = MachineConfig::paper_default(scheme, procs);
+    c.max_cycles = 300_000_000;
+    c
+}
+
+/// A critical section that only *reads* `watch` and increments `out`.
+fn reader_cs(watch: u64, out: u64, iters: u64) -> Arc<Program> {
+    let mut a = Asm::new("reader-cs");
+    let lock = a.reg();
+    let w = a.reg();
+    let o = a.reg();
+    let n = a.reg();
+    let v = a.reg();
+    let acc = a.reg();
+    let r = TatasRegs::alloc(&mut a);
+    tatas::init_regs(&mut a, &r);
+    a.li(lock, LOCK);
+    a.li(w, watch);
+    a.li(o, out);
+    a.li(n, iters);
+    let top = a.here();
+    tatas::acquire(&mut a, lock, &r);
+    a.load(acc, w, 0); // read-only access to the contended line
+    a.load(v, o, 0);
+    a.add(v, v, r.one);
+    a.store(v, o, 0);
+    tatas::release(&mut a, lock, &r);
+    a.rand_delay(2, 14);
+    a.addi(n, n, -1);
+    a.bne(n, r.zero, top);
+    a.done();
+    Arc::new(a.finish())
+}
+
+/// A critical section that *writes* `watch`.
+fn writer_cs(watch: u64, iters: u64) -> Arc<Program> {
+    let mut a = Asm::new("writer-cs");
+    let lock = a.reg();
+    let w = a.reg();
+    let n = a.reg();
+    let v = a.reg();
+    let r = TatasRegs::alloc(&mut a);
+    tatas::init_regs(&mut a, &r);
+    a.li(lock, LOCK);
+    a.li(w, watch);
+    a.li(n, iters);
+    let top = a.here();
+    tatas::acquire(&mut a, lock, &r);
+    a.load(v, w, 0);
+    a.addi(v, v, 1);
+    a.store(v, w, 0);
+    tatas::release(&mut a, lock, &r);
+    a.rand_delay(2, 14);
+    a.addi(n, n, -1);
+    a.bne(n, r.zero, top);
+    a.done();
+    Arc::new(a.finish())
+}
+
+#[test]
+fn readers_and_writer_mix_serializably() {
+    // Three read-only critical sections against one writer on the same
+    // line: read-read never conflicts; read-write resolves by
+    // timestamp. All increments must land and every reader's count
+    // must be exact.
+    const WATCH: u64 = 0x2000;
+    const ITERS: u64 = 48;
+    let outs = [0x3000u64, 0x4000, 0x5000];
+    let m = run_machine(
+        cfg(Scheme::Tlr, 4),
+        vec![
+            reader_cs(WATCH, outs[0], ITERS),
+            reader_cs(WATCH, outs[1], ITERS),
+            reader_cs(WATCH, outs[2], ITERS),
+            writer_cs(WATCH, ITERS),
+        ],
+    );
+    assert_eq!(m.final_word(Addr(WATCH)), ITERS);
+    for &o in &outs {
+        assert_eq!(m.final_word(Addr(o)), ITERS, "reader at 0x{o:x}");
+    }
+    assert_eq!(m.final_word(Addr(LOCK)), 0);
+}
+
+#[test]
+fn pure_readers_share_without_conflicts() {
+    // With no writer, the contended line stays Shared among all
+    // transactions: zero conflict restarts expected after warmup.
+    const WATCH: u64 = 0x2000;
+    const ITERS: u64 = 64;
+    let m = run_machine(
+        cfg(Scheme::Tlr, 4),
+        (0..4).map(|i| reader_cs(WATCH, 0x3000 + i * 0x1000, ITERS)).collect(),
+    );
+    for i in 0..4u64 {
+        assert_eq!(m.final_word(Addr(0x3000 + i * 0x1000)), ITERS);
+    }
+    let s = m.stats();
+    assert_eq!(
+        s.sum(|n| n.restarts_conflict),
+        0,
+        "read-sharing must not cause timestamp conflicts"
+    );
+}
+
+#[test]
+fn long_chains_across_five_processors() {
+    // Five processors, five blocks, rotated write orders: longer
+    // coherence chains than Figure 6's three-node example, still
+    // resolved by markers/probes/timestamps.
+    const ITERS: u64 = 16;
+    let blocks = [0x2000u64, 0x3000, 0x4000, 0x5000, 0x6000];
+    let mk = |rot: usize| {
+        let mut a = Asm::new(format!("rot-{rot}"));
+        let lock = a.reg();
+        let n = a.reg();
+        let v = a.reg();
+        let addr = a.reg();
+        let r = TatasRegs::alloc(&mut a);
+        tatas::init_regs(&mut a, &r);
+        a.li(lock, LOCK);
+        a.li(n, ITERS);
+        let top = a.here();
+        tatas::acquire(&mut a, lock, &r);
+        for k in 0..blocks.len() {
+            let b = blocks[(rot + k) % blocks.len()];
+            if k > 0 {
+                a.delay(8);
+            }
+            a.li(addr, b);
+            a.load(v, addr, 0);
+            a.addi(v, v, 1);
+            a.store(v, addr, 0);
+        }
+        tatas::release(&mut a, lock, &r);
+        a.rand_delay(2, 12);
+        a.addi(n, n, -1);
+        a.bne(n, r.zero, top);
+        a.done();
+        Arc::new(a.finish())
+    };
+    let m = run_machine(cfg(Scheme::Tlr, 5), (0..5).map(mk).collect());
+    for &b in &blocks {
+        assert_eq!(m.final_word(Addr(b)), 5 * ITERS, "block 0x{b:x}");
+    }
+}
+
+#[test]
+fn untimestamped_restart_policy_under_sustained_racing() {
+    // A non-critical-section racer hammering a word in the
+    // transaction's line under the Restart policy: every conflicting
+    // untimestamped access forces a misspeculation, yet both sides
+    // stay exact and the system stays live.
+    const WATCH: u64 = 0x2000;
+    const ITERS: u64 = 40;
+    let racer = {
+        let mut a = Asm::new("racer");
+        let addr = a.reg();
+        let n = a.reg();
+        let v = a.reg();
+        let zero = a.reg();
+        a.li(zero, 0);
+        a.li(addr, WATCH + 8);
+        a.li(n, ITERS);
+        let top = a.here();
+        a.load(v, addr, 0);
+        a.addi(v, v, 1);
+        a.store(v, addr, 0);
+        a.rand_delay(2, 10);
+        a.addi(n, n, -1);
+        a.bne(n, zero, top);
+        a.done();
+        Arc::new(a.finish())
+    };
+    let mut c = cfg(Scheme::Tlr, 3);
+    c.untimestamped_policy = UntimestampedPolicy::Restart;
+    let m = run_machine(c, vec![writer_cs(WATCH, ITERS), writer_cs(WATCH, ITERS), racer]);
+    assert_eq!(m.final_word(Addr(WATCH)), 2 * ITERS, "locked updates exact");
+    assert_eq!(m.final_word(Addr(WATCH + 8)), ITERS, "racing updates exact");
+}
+
+#[test]
+fn deferred_queue_capacity_one_still_serializable() {
+    // The most spartan deferral hardware: one queue entry. Overflow
+    // degrades to conflict losses, never to incorrectness.
+    let mut c = cfg(Scheme::Tlr, 8);
+    c.deferred_queue_entries = 1;
+    const WATCH: u64 = 0x2000;
+    const ITERS: u64 = 32;
+    let m = run_machine(c, vec![writer_cs(WATCH, ITERS); 8]);
+    assert_eq!(m.final_word(Addr(WATCH)), 8 * ITERS);
+}
+
+#[test]
+fn mixed_schemes_would_be_equal_results() {
+    // The same mixed read/write workload produces identical final
+    // state under every scheme (the cross-scheme serializability
+    // contract on a fresh shape).
+    const WATCH: u64 = 0x2000;
+    const ITERS: u64 = 24;
+    let mut results = Vec::new();
+    for scheme in Scheme::ALL {
+        let m = run_machine(
+            cfg(scheme, 3),
+            vec![
+                reader_cs(WATCH, 0x3000, ITERS),
+                writer_cs(WATCH, ITERS),
+                writer_cs(WATCH, ITERS),
+            ],
+        );
+        results.push((m.final_word(Addr(WATCH)), m.final_word(Addr(0x3000))));
+    }
+    for w in &results {
+        assert_eq!(*w, (2 * ITERS, ITERS));
+    }
+}

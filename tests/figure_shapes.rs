@@ -1,0 +1,119 @@
+//! Shape-level regression tests: the qualitative results of Figures
+//! 8-10 must hold at reduced scale. These guard the *scientific*
+//! content of the reproduction — if a change makes TLR stop beating
+//! BASE under contention, or makes strict timestamp order as good as
+//! the §3.2 relaxation, something fundamental broke even if every
+//! correctness test still passes.
+
+use tlr_repro::core::run::{run_workload, RunReport};
+use tlr_repro::sim::config::{MachineConfig, Scheme};
+use tlr_repro::workloads::micro::{doubly_linked_list, multiple_counter, single_counter};
+
+fn run(scheme: Scheme, procs: usize, w: &dyn tlr_repro::core::run::WorkloadSpec) -> RunReport {
+    let mut cfg = MachineConfig::paper_default(scheme, procs);
+    cfg.max_cycles = 400_000_000;
+    let r = run_workload(&cfg, w);
+    r.assert_valid();
+    r
+}
+
+fn cycles(scheme: Scheme, procs: usize, w: &dyn tlr_repro::core::run::WorkloadSpec) -> u64 {
+    run(scheme, procs, w).stats.parallel_cycles
+}
+
+#[test]
+fn figure8_shape_sle_equals_tlr_and_beats_base() {
+    // Coarse-grain / no conflicts: SLE and TLR behave identically and
+    // both crush BASE at high processor counts.
+    let procs = 8;
+    let w = multiple_counter(procs, 1024);
+    let base = cycles(Scheme::Base, procs, &w);
+    let sle = cycles(Scheme::Sle, procs, &w);
+    let tlr = cycles(Scheme::Tlr, procs, &w);
+    assert!(
+        (sle as f64 - tlr as f64).abs() / tlr as f64 <= 0.25,
+        "SLE ({sle}) and TLR ({tlr}) must be near-identical without conflicts"
+    );
+    assert!(tlr * 4 < base, "TLR must beat BASE decisively ({tlr} vs {base})");
+}
+
+#[test]
+fn figure8_shape_tlr_scales_down_with_processors() {
+    // Same total work: more processors means fewer cycles under TLR.
+    let total = 2048;
+    let c2 = cycles(Scheme::Tlr, 2, &multiple_counter(2, total));
+    let c8 = cycles(Scheme::Tlr, 8, &multiple_counter(8, total));
+    assert!(
+        (c8 as f64) < c2 as f64 * 0.45,
+        "near-linear scaling expected: 2p {c2}, 8p {c8}"
+    );
+}
+
+#[test]
+fn figure9_shape_ordering_under_high_conflict() {
+    // Fine-grain / high conflict at 8 processors: TLR < strict-ts <
+    // SLE < BASE (and MCS pays its software overhead over TLR).
+    let procs = 8;
+    let w = single_counter(procs, 1024);
+    let base = cycles(Scheme::Base, procs, &w);
+    let mcs = cycles(Scheme::Mcs, procs, &w);
+    let sle = cycles(Scheme::Sle, procs, &w);
+    let strict = cycles(Scheme::TlrStrictTs, procs, &w);
+    let tlr = cycles(Scheme::Tlr, procs, &w);
+    assert!(tlr < strict, "relaxation must help: tlr {tlr} vs strict {strict}");
+    assert!(strict < base, "even strict TLR beats BASE: {strict} vs {base}");
+    assert!(sle < base, "SLE lands between BASE and TLR: {sle} vs {base}");
+    assert!(tlr < sle, "TLR beats SLE under conflicts: {tlr} vs {sle}");
+    assert!(tlr < mcs, "TLR avoids MCS's software overhead: {tlr} vs {mcs}");
+}
+
+#[test]
+fn figure9_shape_tlr_stays_flat() {
+    // The defining Figure 9 result: adding processors to the same
+    // total work barely moves TLR (hardware queueing on the data).
+    let total = 1024;
+    let c4 = cycles(Scheme::Tlr, 4, &single_counter(4, total));
+    let c12 = cycles(Scheme::Tlr, 12, &single_counter(12, total));
+    assert!(
+        (c12 as f64) < c4 as f64 * 1.35,
+        "TLR must stay near-flat: 4p {c4}, 12p {c12}"
+    );
+    // ...while BASE degrades markedly over the same range.
+    let b4 = cycles(Scheme::Base, 4, &single_counter(4, total));
+    let b12 = cycles(Scheme::Base, 12, &single_counter(12, total));
+    assert!(
+        (b12 as f64) > b4 as f64 * 1.5,
+        "BASE must degrade with contention: 4p {b4}, 12p {b12}"
+    );
+}
+
+#[test]
+fn figure10_shape_tlr_exploits_deque_concurrency() {
+    let procs = 8;
+    let w = doubly_linked_list(procs, 512);
+    let base = cycles(Scheme::Base, procs, &w);
+    let tlr = cycles(Scheme::Tlr, procs, &w);
+    assert!(tlr < base, "TLR must beat BASE on the deque: {tlr} vs {base}");
+}
+
+#[test]
+fn figure9_events_show_queueing_not_restarting() {
+    // Mechanism check: relaxed TLR's conflicts are absorbed by
+    // deferral (many deferrals, few restarts); strict-ts restarts far
+    // more on the same workload.
+    let procs = 8;
+    let w = single_counter(procs, 1024);
+    let relaxed = run(Scheme::Tlr, procs, &w);
+    let strict = run(Scheme::TlrStrictTs, procs, &w);
+    let r_restarts = relaxed.stats.total_restarts();
+    let r_defers = relaxed.stats.sum(|n| n.requests_deferred);
+    assert!(
+        r_restarts * 5 < r_defers,
+        "relaxed TLR: restarts {r_restarts} should be rare vs deferrals {r_defers}"
+    );
+    assert!(
+        strict.stats.total_restarts() > r_restarts * 4,
+        "strict-ts restarts ({}) must dwarf relaxed ({r_restarts})",
+        strict.stats.total_restarts()
+    );
+}

@@ -1,0 +1,146 @@
+//! Property-based tests: randomized workload shapes and machine
+//! configurations must always produce the serial result.
+
+use proptest::prelude::*;
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use tlr_repro::core::run::run_workload;
+use tlr_repro::core::Machine;
+use tlr_repro::cpu::{Asm, Program};
+use tlr_repro::mem::Addr;
+use tlr_repro::sim::config::{MachineConfig, Scheme};
+use tlr_repro::sync::tatas::{self, TatasRegs};
+use tlr_repro::workloads::micro;
+
+const LOCK: u64 = 0x100;
+
+/// A worker incrementing a subset of shared words under one lock,
+/// with per-thread iteration counts and delays.
+fn subset_worker(words: &[u64], iters: u64, delay: (u32, u32)) -> Arc<Program> {
+    let mut a = Asm::new("prop-worker");
+    let lock = a.reg();
+    let n = a.reg();
+    let v = a.reg();
+    let addr = a.reg();
+    let r = TatasRegs::alloc(&mut a);
+    tatas::init_regs(&mut a, &r);
+    a.li(lock, LOCK);
+    a.li(n, iters);
+    let top = a.here();
+    tatas::acquire(&mut a, lock, &r);
+    for &w in words {
+        a.li(addr, w);
+        a.load(v, addr, 0);
+        a.addi(v, v, 1);
+        a.store(v, addr, 0);
+    }
+    tatas::release(&mut a, lock, &r);
+    if delay.1 > 0 {
+        a.rand_delay(delay.0.min(delay.1), delay.1);
+    }
+    a.addi(n, n, -1);
+    a.bne(n, r.zero, top);
+    a.done();
+    Arc::new(a.finish())
+}
+
+fn scheme_from(ix: u8) -> Scheme {
+    Scheme::ALL[ix as usize % Scheme::ALL.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Random per-thread word subsets, iteration counts, delays, seed
+    /// and scheme: final word values must equal the sum of increments
+    /// by the threads that touch each word.
+    #[test]
+    fn lock_protected_increments_are_serializable(
+        scheme_ix in 0u8..5,
+        seed in 0u64..1000,
+        threads in prop::collection::vec(
+            (
+                prop::collection::vec(0u64..6, 1..4), // word indices
+                1u64..12,                             // iterations
+                (0u32..4, 1u32..16),                  // delay bounds
+            ),
+            1..5,
+        ),
+    ) {
+        let scheme = scheme_from(scheme_ix);
+        let word_addr = |ix: u64| 0x2000 + ix * 64;
+        let programs: Vec<_> = threads
+            .iter()
+            .map(|(words, iters, delay)| {
+                let addrs: Vec<u64> = words.iter().map(|&w| word_addr(w)).collect();
+                subset_worker(&addrs, *iters, *delay)
+            })
+            .collect();
+        // MCS scheme still runs the TATAS program here: the machine
+        // flags are what matter (MCS == Base hardware).
+        let mut cfg = MachineConfig::paper_default(scheme, programs.len());
+        cfg.seed = seed;
+        cfg.max_cycles = 200_000_000;
+        let mut m = Machine::new(cfg, programs, HashSet::from([Addr(LOCK)]));
+        m.run().expect("quiesce");
+        let mut expect = [0u64; 6];
+        for (words, iters, _) in &threads {
+            for &w in words {
+                expect[w as usize] += *iters;
+            }
+        }
+        for (w, &e) in expect.iter().enumerate() {
+            prop_assert_eq!(m.final_word(Addr(word_addr(w as u64))), e, "word {}", w);
+        }
+        prop_assert_eq!(m.final_word(Addr(LOCK)), 0);
+    }
+
+    /// The doubly-linked list keeps its structural invariants for
+    /// arbitrary sizes, processor counts, schemes and seeds.
+    #[test]
+    fn dll_structure_preserved(
+        scheme_ix in 0u8..5,
+        procs in 1usize..5,
+        pairs in 4u64..40,
+        seed in 0u64..1000,
+    ) {
+        let scheme = scheme_from(scheme_ix);
+        let w = micro::doubly_linked_list(procs, pairs);
+        let mut cfg = MachineConfig::paper_default(scheme, procs);
+        cfg.seed = seed;
+        cfg.max_cycles = 200_000_000;
+        let report = run_workload(&cfg, &w);
+        prop_assert!(report.validation.is_ok(), "{:?}", report.validation);
+    }
+
+    /// Tiny caches and buffers (constant resource fallbacks) never
+    /// break correctness.
+    #[test]
+    fn resource_starved_configuration_correct(
+        wb_lines in 2usize..8,
+        victim in 1usize..4,
+        procs in 1usize..4,
+    ) {
+        let mut cfg = MachineConfig::small(Scheme::Tlr, procs);
+        cfg.write_buffer_lines = wb_lines;
+        cfg.victim_entries = victim;
+        cfg.max_cycles = 200_000_000;
+        let w = micro::single_counter(procs, 48);
+        let report = run_workload(&cfg, &w);
+        prop_assert!(report.validation.is_ok(), "{:?}", report.validation);
+    }
+
+    /// Narrow timestamps (frequent rollover) preserve correctness and
+    /// forward progress (§2.1.2 rollover handling).
+    #[test]
+    fn narrow_timestamps_roll_over_safely(bits in 4u32..10, procs in 2usize..5) {
+        let mut cfg = MachineConfig::paper_default(Scheme::Tlr, procs);
+        cfg.timestamp_bits = bits;
+        cfg.max_cycles = 200_000_000;
+        let w = micro::single_counter(procs, 64);
+        let report = run_workload(&cfg, &w);
+        prop_assert!(report.validation.is_ok(), "{:?}", report.validation);
+    }
+}

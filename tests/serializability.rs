@@ -1,0 +1,111 @@
+//! Cross-scheme serializability: every workload, under every hardware
+//! scheme, at several processor counts, must produce exactly the
+//! serial result. This is the paper's functional-checker role
+//! (§5.3), applied as final-state validation.
+
+use tlr_repro::core::run::run_workload;
+use tlr_repro::sim::config::{MachineConfig, Scheme};
+use tlr_repro::workloads::apps;
+use tlr_repro::workloads::micro;
+
+fn cfg(scheme: Scheme, procs: usize) -> MachineConfig {
+    let mut c = MachineConfig::paper_default(scheme, procs);
+    c.max_cycles = 400_000_000;
+    c
+}
+
+#[test]
+fn microbenchmarks_serializable_everywhere() {
+    for procs in [1, 2, 3, 8] {
+        for scheme in Scheme::ALL {
+            run_workload(&cfg(scheme, procs), &micro::multiple_counter(procs, 96)).assert_valid();
+            run_workload(&cfg(scheme, procs), &micro::single_counter(procs, 96)).assert_valid();
+            run_workload(&cfg(scheme, procs), &micro::doubly_linked_list(procs, 48)).assert_valid();
+        }
+    }
+}
+
+#[test]
+fn applications_serializable_under_every_scheme() {
+    let procs = 4;
+    for scheme in Scheme::ALL {
+        for w in apps::figure11_apps(procs, 24) {
+            run_workload(&cfg(scheme, procs), w.as_ref()).assert_valid();
+        }
+    }
+}
+
+#[test]
+fn coarse_grain_mp3d_serializable() {
+    for scheme in [Scheme::Base, Scheme::Mcs, Scheme::Sle, Scheme::Tlr] {
+        run_workload(&cfg(scheme, 4), &apps::mp3d_coarse(4, 48, 128)).assert_valid();
+    }
+}
+
+#[test]
+fn sixteen_processors_high_contention() {
+    // The paper's largest configuration on the most contended
+    // microbenchmark.
+    for scheme in [Scheme::Base, Scheme::Mcs, Scheme::Sle, Scheme::Tlr, Scheme::TlrStrictTs] {
+        run_workload(&cfg(scheme, 16), &micro::single_counter(16, 160)).assert_valid();
+    }
+}
+
+#[test]
+fn rmw_predictor_off_still_serializable() {
+    // The exp_rmw_predictor configuration (BASE-no-opt) and TLR
+    // without the predictor (more upgrade-induced restarts) both stay
+    // correct.
+    for scheme in [Scheme::Base, Scheme::Tlr] {
+        let mut c = cfg(scheme, 4);
+        c.rmw_predictor_enabled = false;
+        run_workload(&c, &micro::single_counter(4, 96)).assert_valid();
+        run_workload(&c, &micro::doubly_linked_list(4, 48)).assert_valid();
+    }
+}
+
+#[test]
+fn untimestamped_restart_policy_serializable() {
+    use tlr_repro::sim::config::UntimestampedPolicy;
+    let mut c = cfg(Scheme::Tlr, 4);
+    c.untimestamped_policy = UntimestampedPolicy::Restart;
+    run_workload(&c, &micro::single_counter(4, 96)).assert_valid();
+    run_workload(&c, &micro::doubly_linked_list(4, 48)).assert_valid();
+}
+
+#[test]
+fn jitter_and_seed_sweep_stays_serializable() {
+    // Different latency perturbations exercise different interleavings
+    // (the Alameldeen methodology); correctness must hold for all.
+    for seed in [1, 2, 3, 4, 5] {
+        for jitter in [0, 3] {
+            let mut c = cfg(Scheme::Tlr, 4);
+            c.seed = seed;
+            c.latency_jitter = jitter;
+            run_workload(&c, &micro::doubly_linked_list(4, 48)).assert_valid();
+            run_workload(&c, &micro::single_counter(4, 64)).assert_valid();
+        }
+    }
+}
+
+#[test]
+fn determinism_same_seed_same_cycles() {
+    let w = micro::single_counter(4, 64);
+    let a = run_workload(&cfg(Scheme::Tlr, 4), &w);
+    let b = run_workload(&cfg(Scheme::Tlr, 4), &w);
+    assert_eq!(a.stats.parallel_cycles, b.stats.parallel_cycles, "simulator must be deterministic");
+    assert_eq!(a.stats.total_commits(), b.stats.total_commits());
+}
+
+#[test]
+fn different_seeds_perturb_timing_not_results() {
+    let w = micro::doubly_linked_list(3, 36);
+    let mut c1 = cfg(Scheme::Tlr, 3);
+    c1.seed = 111;
+    let mut c2 = cfg(Scheme::Tlr, 3);
+    c2.seed = 222;
+    let a = run_workload(&c1, &w);
+    let b = run_workload(&c2, &w);
+    a.assert_valid();
+    b.assert_valid();
+}
