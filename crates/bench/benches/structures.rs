@@ -1,11 +1,12 @@
-//! Criterion microbenchmarks of the simulator's core data
-//! structures: the structures on the critical path of every simulated
-//! cycle (cache lookups, write-buffer forwarding, timestamp
-//! comparison, predictors, bus arbitration, network delivery).
+//! Microbenchmarks of the simulator's core data structures: the
+//! structures on the critical path of every simulated cycle (cache
+//! lookups, write-buffer forwarding, timestamp comparison, predictors,
+//! bus arbitration, network delivery).
+//!
+//! Runs on the in-repo `tlr_check::timing` harness (`--json` for
+//! machine-readable output, `--quick` for a fast pass).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use tlr_check::timing::{black_box, Suite, TimingOpts};
 use tlr_core::{RmwPredictor, StorePairPredictor};
 use tlr_mem::addr::{Addr, LineAddr};
 use tlr_mem::line::{CacheLine, LineData, Moesi};
@@ -13,106 +14,81 @@ use tlr_mem::msg::{BusReqKind, BusRequest};
 use tlr_mem::timestamp::Timestamp;
 use tlr_mem::{Bus, Cache, Network, WriteBuffer};
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache_hit_lookup", |b| {
-        let mut cache = Cache::new(512, 4);
-        for i in 0..1024u64 {
-            cache.insert(CacheLine::new(LineAddr(i), Moesi::Shared, LineData::zeroed()));
-        }
-        let mut i = 0u64;
-        b.iter(|| {
-            i = (i + 7) % 1024;
-            black_box(cache.get_mut(LineAddr(i)).is_some())
-        })
-    });
-    c.bench_function("cache_insert_evict", |b| {
-        let mut cache = Cache::new(16, 2);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            black_box(cache.insert(CacheLine::new(LineAddr(i), Moesi::Shared, LineData::zeroed())))
-        })
-    });
-}
+fn main() {
+    let mut suite = Suite::new("structures", TimingOpts::from_args());
 
-fn bench_write_buffer(c: &mut Criterion) {
-    c.bench_function("write_buffer_merge_and_forward", |b| {
-        let mut wb = WriteBuffer::new(64);
-        b.iter(|| {
-            wb.write(Addr(64), 1).unwrap();
-            wb.write(Addr(72), 2).unwrap();
-            let v = wb.read_word(Addr(72));
-            wb.clear();
-            black_box(v)
-        })
+    let mut cache = Cache::new(512, 4);
+    for i in 0..1024u64 {
+        cache.insert(CacheLine::new(LineAddr(i), Moesi::Shared, LineData::zeroed()));
+    }
+    let mut i = 0u64;
+    suite.bench("cache_hit_lookup", || {
+        i = (i + 7) % 1024;
+        black_box(cache.get_mut(LineAddr(i)).is_some());
     });
-}
 
-fn bench_timestamp(c: &mut Criterion) {
-    c.bench_function("timestamp_wins_over", |b| {
-        let a = Timestamp::new(12345, 3);
-        let t = Timestamp::new(12346, 9);
-        b.iter(|| black_box(a.wins_over(t, 32)))
+    let mut small = Cache::new(16, 2);
+    let mut j = 0u64;
+    suite.bench("cache_insert_evict", || {
+        j += 1;
+        black_box(small.insert(CacheLine::new(LineAddr(j), Moesi::Shared, LineData::zeroed())));
     });
-}
 
-fn bench_predictors(c: &mut Criterion) {
-    c.bench_function("rmw_predictor_train_predict", |b| {
-        let mut p = RmwPredictor::new(128, true);
-        b.iter(|| {
-            p.record_load(42, LineAddr(7));
-            p.record_store(LineAddr(7));
-            black_box(p.predicts_store(42))
-        })
+    let mut wb = WriteBuffer::new(64);
+    suite.bench("write_buffer_merge_and_forward", || {
+        wb.write(Addr(64), 1).unwrap();
+        wb.write(Addr(72), 2).unwrap();
+        let v = wb.read_word(Addr(72));
+        wb.clear();
+        black_box(v);
     });
-    c.bench_function("sle_predictor_train_predict", |b| {
-        let mut p = StorePairPredictor::new(64, true);
-        b.iter(|| {
-            p.observe_atomic_store(10, Addr(64), 0, 1);
-            p.observe_store(Addr(64), 0);
-            black_box(p.should_elide(10))
-        })
-    });
-}
 
-fn bench_interconnect(c: &mut Criterion) {
-    c.bench_function("bus_enqueue_order", |b| {
-        let mut bus = Bus::new(16, 4);
-        let mut now = 0;
-        b.iter(|| {
-            bus.enqueue(
-                3,
-                BusRequest {
-                    requester: 3,
-                    line: LineAddr(9),
-                    kind: BusReqKind::GetX,
-                    ts: None,
-                    wb_data: None,
-                    enqueued_at: now,
-                },
-            );
-            now += 4;
-            black_box(bus.tick(now))
-        })
+    let a = Timestamp::new(12345, 3);
+    let t = Timestamp::new(12346, 9);
+    suite.bench("timestamp_wins_over", || {
+        black_box(a.wins_over(t, 32));
     });
-    c.bench_function("network_send_drain", |b| {
-        let mut net: Network<u64> = Network::new();
-        let mut now = 0;
-        b.iter(|| {
-            net.send(now + 20, 1);
-            net.send(now + 20, 2);
-            now += 20;
-            black_box(net.drain_ready(now).len())
-        })
-    });
-}
 
-criterion_group!(
-    benches,
-    bench_cache,
-    bench_write_buffer,
-    bench_timestamp,
-    bench_predictors,
-    bench_interconnect
-);
-criterion_main!(benches);
+    let mut rmw = RmwPredictor::new(128, true);
+    suite.bench("rmw_predictor_train_predict", || {
+        rmw.record_load(42, LineAddr(7));
+        rmw.record_store(LineAddr(7));
+        black_box(rmw.predicts_store(42));
+    });
+
+    let mut sle = StorePairPredictor::new(64, true);
+    suite.bench("sle_predictor_train_predict", || {
+        sle.observe_atomic_store(10, Addr(64), 0, 1);
+        sle.observe_store(Addr(64), 0);
+        black_box(sle.should_elide(10));
+    });
+
+    let mut bus = Bus::new(16, 4);
+    let mut now = 0;
+    suite.bench("bus_enqueue_order", || {
+        bus.enqueue(
+            3,
+            BusRequest {
+                requester: 3,
+                line: LineAddr(9),
+                kind: BusReqKind::GetX,
+                ts: None,
+                wb_data: None,
+                enqueued_at: now,
+            },
+        );
+        now += 4;
+        black_box(bus.tick(now));
+    });
+
+    let mut net: Network<u64> = Network::new();
+    let mut t2 = 0;
+    suite.bench("network_send_drain", || {
+        net.send(t2 + 20, 1);
+        net.send(t2 + 20, 2);
+        t2 += 20;
+        black_box(net.drain_ready(t2).len());
+    });
+
+    suite.finish();
+}

@@ -26,6 +26,10 @@ fn base_cfg(procs: usize) -> MachineConfig {
 
 fn main() {
     let opts = BenchOpts::from_args();
+    if opts.check {
+        tlr_bench::checks::run("exp_ablations", tlr_bench::checks::exp_ablations);
+        return;
+    }
     let procs = *opts.procs.last().unwrap_or(&8);
     let total = opts.scale(2048);
 

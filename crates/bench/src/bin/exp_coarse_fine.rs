@@ -21,6 +21,10 @@ use tlr_workloads::apps::{mp3d, mp3d_coarse};
 
 fn main() {
     let opts = BenchOpts::from_args();
+    if opts.check {
+        tlr_bench::checks::run("exp_coarse_fine", tlr_bench::checks::exp_coarse_fine);
+        return;
+    }
     let procs = *opts.procs.last().unwrap_or(&16);
     let iters = opts.scale(1024);
     let cells = 4096;

@@ -17,6 +17,10 @@ use tlr_workloads::apps::figure11_apps;
 
 fn main() {
     let opts = BenchOpts::from_args();
+    if opts.check {
+        tlr_bench::checks::run("exp_rmw_predictor", tlr_bench::checks::exp_rmw_predictor);
+        return;
+    }
     let procs = *opts.procs.last().unwrap_or(&16);
     let scale = opts.scale(512);
     println!("Read-modify-write predictor effect on BASE, {procs} processors, scale {scale}");

@@ -16,6 +16,10 @@ use tlr_workloads::micro::multiple_counter;
 
 fn main() {
     let opts = BenchOpts::from_args();
+    if opts.check {
+        tlr_bench::checks::run("fig08_multiple_counter", tlr_bench::checks::fig08);
+        return;
+    }
     // Paper: 2^24 total increments; scaled down (DESIGN.md).
     let total = opts.scale(1 << 14);
     let schemes = [Scheme::Base, Scheme::Mcs, Scheme::Sle, Scheme::Tlr];

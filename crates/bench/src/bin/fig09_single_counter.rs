@@ -18,6 +18,10 @@ use tlr_workloads::micro::single_counter;
 
 fn main() {
     let opts = BenchOpts::from_args();
+    if opts.check {
+        tlr_bench::checks::run("fig09_single_counter", tlr_bench::checks::fig09);
+        return;
+    }
     // Paper: 2^16 total increments; scaled down (DESIGN.md).
     let total = opts.scale(1 << 12);
     let schemes =

@@ -16,6 +16,10 @@ use tlr_workloads::micro::doubly_linked_list;
 
 fn main() {
     let opts = BenchOpts::from_args();
+    if opts.check {
+        tlr_bench::checks::run("fig10_linked_list", tlr_bench::checks::fig10);
+        return;
+    }
     // Paper: 2^16 enqueue/dequeue operations; scaled down (DESIGN.md).
     let total_pairs = opts.scale(1 << 11);
     let schemes = [Scheme::Base, Scheme::Mcs, Scheme::Sle, Scheme::Tlr];

@@ -19,6 +19,10 @@ use tlr_workloads::apps::figure11_apps;
 
 fn main() {
     let opts = BenchOpts::from_args();
+    if opts.check {
+        tlr_bench::checks::run("fig11_applications", tlr_bench::checks::fig11);
+        return;
+    }
     let procs = *opts.procs.last().unwrap_or(&16);
     let scale = opts.scale(512);
     println!("Figure 11: application performance, {procs} processors, scale {scale}");

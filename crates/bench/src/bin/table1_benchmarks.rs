@@ -7,6 +7,11 @@
 //! ```
 
 fn main() {
+    let opts = tlr_bench::BenchOpts::from_args();
+    if opts.check {
+        tlr_bench::checks::run("table1_benchmarks", tlr_bench::checks::table1);
+        return;
+    }
     println!("Table 1: Benchmarks (paper column -> this reproduction's kernel)");
     println!(
         "{:<12} {:<22} {:<34} {:<40}",

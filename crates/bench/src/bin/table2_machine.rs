@@ -10,6 +10,11 @@
 use tlr_sim::config::{MachineConfig, Scheme};
 
 fn main() {
+    let opts = tlr_bench::BenchOpts::from_args();
+    if opts.check {
+        tlr_bench::checks::run("table2_machine", tlr_bench::checks::table2);
+        return;
+    }
     let cfg = MachineConfig::paper_default(Scheme::Tlr, 16);
     println!("Table 2: simulated machine parameters (this reproduction)");
     let rows: Vec<(&str, String, &str)> = vec![

@@ -1,0 +1,244 @@
+//! `--check` mode: golden-shape assertions for every figure/table
+//! binary.
+//!
+//! Each function replays its binary's experiment at a small, fixed
+//! scale and asserts the *direction* of the paper's results (TLR beats
+//! BASE under contention, the §3.2 relaxation beats strict timestamp
+//! order, coarse locks hurt BASE but not TLR, ...) plus the output
+//! schema (row counts, app names, configuration fields). No absolute
+//! cycle counts are pinned — a margin-preserving simulator change must
+//! keep passing, a direction-reversing one must fail.
+//!
+//! The functions are shared between the binaries (`--check` flag) and
+//! the `check_mode` integration test, so `cargo test` exercises the
+//! same invariants CI asserts via the binaries.
+
+use tlr_core::run::{run_workload, RunReport, WorkloadSpec};
+use tlr_sim::config::{MachineConfig, RetentionPolicy, Scheme};
+use tlr_workloads::apps::{figure11_apps, mp3d, mp3d_coarse};
+use tlr_workloads::micro::{doubly_linked_list, multiple_counter, single_counter};
+
+use crate::{run_cell, speedup};
+
+/// Runs one named check, printing a `CHECK PASS`/`CHECK FAIL` line and
+/// exiting non-zero on failure (the binaries' `--check` entry point).
+pub fn run(name: &str, f: fn() -> Result<(), String>) {
+    match f() {
+        Ok(()) => println!("CHECK PASS: {name}"),
+        Err(e) => {
+            eprintln!("CHECK FAIL: {name}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cycles(scheme: Scheme, procs: usize, w: &dyn WorkloadSpec) -> u64 {
+    run_cell(scheme, procs, w).stats.parallel_cycles
+}
+
+fn ensure(cond: bool, msg: String) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg)
+    }
+}
+
+/// Figure 8 (multiple counters, no data conflicts): SLE and TLR are
+/// near-identical and both decisively beat BASE at high processor
+/// counts.
+pub fn fig08() -> Result<(), String> {
+    let procs = 8;
+    let w = multiple_counter(procs, 1024);
+    let base = cycles(Scheme::Base, procs, &w);
+    let sle = cycles(Scheme::Sle, procs, &w);
+    let tlr = cycles(Scheme::Tlr, procs, &w);
+    ensure(
+        (sle as f64 - tlr as f64).abs() / tlr as f64 <= 0.25,
+        format!("SLE ({sle}) and TLR ({tlr}) must be near-identical without conflicts"),
+    )?;
+    ensure(tlr * 2 < base, format!("TLR must beat BASE decisively: {tlr} vs {base}"))
+}
+
+/// Figure 9 (one contended counter): TLR < strict-ts < BASE, TLR <
+/// SLE, TLR < MCS — the paper's scheme ordering under high conflict.
+pub fn fig09() -> Result<(), String> {
+    let procs = 8;
+    let w = single_counter(procs, 1024);
+    let base = cycles(Scheme::Base, procs, &w);
+    let mcs = cycles(Scheme::Mcs, procs, &w);
+    let sle = cycles(Scheme::Sle, procs, &w);
+    let strict = cycles(Scheme::TlrStrictTs, procs, &w);
+    let tlr = cycles(Scheme::Tlr, procs, &w);
+    ensure(tlr < strict, format!("§3.2 relaxation must help: TLR {tlr} vs strict {strict}"))?;
+    ensure(strict < base, format!("even strict TLR beats BASE: {strict} vs {base}"))?;
+    ensure(tlr < sle, format!("TLR beats SLE under conflicts: {tlr} vs {sle}"))?;
+    ensure(sle < base, format!("SLE lands between BASE and TLR: {sle} vs {base}"))?;
+    ensure(tlr < mcs, format!("TLR avoids MCS software overhead: {tlr} vs {mcs}"))
+}
+
+/// Figure 10 (doubly-linked list): TLR extracts the head/tail
+/// concurrency the single lock hides.
+pub fn fig10() -> Result<(), String> {
+    let procs = 8;
+    let w = doubly_linked_list(procs, 256);
+    let base = cycles(Scheme::Base, procs, &w);
+    let tlr = cycles(Scheme::Tlr, procs, &w);
+    ensure(tlr < base, format!("TLR must beat BASE on the deque: {tlr} vs {base}"))
+}
+
+/// Figure 11 (application kernels): exactly seven uniquely named
+/// apps; across the suite TLR is no slower than BASE and removes most
+/// of the cycles attributed to lock variables.
+pub fn fig11() -> Result<(), String> {
+    let procs = 4;
+    let apps = figure11_apps(procs, 64);
+    ensure(apps.len() == 7, format!("figure 11 needs 7 apps, found {}", apps.len()))?;
+    let names: std::collections::HashSet<&str> = apps.iter().map(|w| w.name()).collect();
+    ensure(names.len() == 7, format!("app names must be unique: {names:?}"))?;
+    let mut base_total = 0u64;
+    let mut tlr_total = 0u64;
+    let mut base_lock = 0u64;
+    let mut tlr_lock = 0u64;
+    for w in &apps {
+        let base = run_cell(Scheme::Base, procs, w.as_ref());
+        let tlr = run_cell(Scheme::Tlr, procs, w.as_ref());
+        base_total += base.stats.parallel_cycles;
+        tlr_total += tlr.stats.parallel_cycles;
+        base_lock += base.stats.total_lock_cycles();
+        tlr_lock += tlr.stats.total_lock_cycles();
+    }
+    ensure(
+        tlr_total <= base_total,
+        format!("TLR must not lose to BASE across the suite: {tlr_total} vs {base_total}"),
+    )?;
+    ensure(
+        tlr_lock * 2 < base_lock,
+        format!("TLR must elide most lock-variable cycles: {tlr_lock} vs {base_lock}"),
+    )
+}
+
+/// Table 1 schema: the inventory covers exactly the applications the
+/// Figure 11 suite actually runs.
+pub fn table1() -> Result<(), String> {
+    let table = ["barnes", "cholesky", "mp3d", "radiosity", "water-nsq", "ocean-cont", "raytrace"];
+    let mut have: Vec<String> =
+        figure11_apps(2, 16).iter().map(|w| w.name().to_string()).collect();
+    have.sort();
+    let mut want: Vec<String> = table.iter().map(|s| s.to_string()).collect();
+    want.sort();
+    ensure(have == want, format!("table rows {want:?} != figure 11 apps {have:?}"))
+}
+
+/// Table 2 schema: the default machine configuration carries the
+/// paper's parameters (Table 2) in every field the dump prints.
+pub fn table2() -> Result<(), String> {
+    let cfg = MachineConfig::paper_default(Scheme::Tlr, 16);
+    ensure(cfg.num_procs == 16, format!("16 processors, got {}", cfg.num_procs))?;
+    ensure(cfg.line_bytes() == 64, format!("64 B lines, got {}", cfg.line_bytes()))?;
+    let l1_kb = cfg.l1_sets * cfg.l1_ways * 64 / 1024;
+    ensure(l1_kb == 128, format!("128 KB L1, got {l1_kb} KB"))?;
+    let l2_mb = cfg.l2_sets * cfg.l2_ways * 64 / (1024 * 1024);
+    ensure(l2_mb == 4, format!("4 MB L2, got {l2_mb} MB"))?;
+    ensure(
+        cfg.latency.l1_hit < cfg.latency.l2 && cfg.latency.l2 < cfg.latency.memory,
+        format!(
+            "latencies must rank L1 < L2 < memory: {} / {} / {}",
+            cfg.latency.l1_hit, cfg.latency.l2, cfg.latency.memory
+        ),
+    )?;
+    ensure(cfg.mshrs > 0, "MSHRs must be present".into())?;
+    ensure(cfg.write_buffer_lines > 0, "speculative write buffer must be present".into())?;
+    ensure(cfg.victim_entries > 0, "victim cache must be present".into())?;
+    ensure(cfg.sle_predictor_entries > 0, "SLE predictor must be present".into())?;
+    ensure(
+        cfg.rmw_predictor_enabled && cfg.rmw_predictor_entries > 0,
+        "RMW predictor must default on (all paper experiments)".into(),
+    )?;
+    ensure(cfg.timestamp_bits > 0, "timestamps must be present".into())
+}
+
+/// §6.3 granularity experiment: the coarse lock cripples BASE but TLR
+/// still extracts the cell-level parallelism it hides.
+pub fn exp_coarse_fine() -> Result<(), String> {
+    let procs = 4;
+    let (iters, cells) = (96, 512);
+    let fine = mp3d(procs, iters, cells);
+    let coarse = mp3d_coarse(procs, iters, cells);
+    let base_fine = run_cell(Scheme::Base, procs, &fine);
+    let base_coarse = run_cell(Scheme::Base, procs, &coarse);
+    let tlr_coarse = run_cell(Scheme::Tlr, procs, &coarse);
+    ensure(
+        speedup(&tlr_coarse, &base_coarse) > 1.0,
+        format!(
+            "TLR must recover the parallelism the coarse lock hides: {} vs {}",
+            tlr_coarse.stats.parallel_cycles, base_coarse.stats.parallel_cycles
+        ),
+    )?;
+    ensure(
+        base_coarse.stats.parallel_cycles > base_fine.stats.parallel_cycles,
+        format!(
+            "one lock for all cells must hurt BASE: coarse {} vs fine {}",
+            base_coarse.stats.parallel_cycles, base_fine.stats.parallel_cycles
+        ),
+    )
+}
+
+/// §6.3 RMW-predictor experiment: enabling the predictor never slows
+/// BASE down materially, and helps somewhere in the suite.
+pub fn exp_rmw_predictor() -> Result<(), String> {
+    let procs = 4;
+    let mut without = 0u64;
+    let mut with = 0u64;
+    for w in figure11_apps(procs, 48) {
+        let mut no_opt = MachineConfig::paper_default(Scheme::Base, procs);
+        no_opt.rmw_predictor_enabled = false;
+        no_opt.max_cycles = 60_000_000_000;
+        let mut on = no_opt.clone();
+        on.rmw_predictor_enabled = true;
+        let r_no = run_workload(&no_opt, w.as_ref());
+        r_no.assert_valid();
+        let r_on = run_workload(&on, w.as_ref());
+        r_on.assert_valid();
+        without += r_no.stats.parallel_cycles;
+        with += r_on.stats.parallel_cycles;
+    }
+    ensure(
+        with as f64 <= without as f64 * 1.02,
+        format!("the predictor must not slow BASE down: {with} vs {without}"),
+    )?;
+    ensure(with < without, format!("the predictor must help somewhere: {with} vs {without}"))
+}
+
+/// §3.3 resource ablations: starving every TLR resource shapes
+/// performance but never correctness — all configurations validate.
+pub fn exp_ablations() -> Result<(), String> {
+    let procs = 4;
+    let validated = |cfg: MachineConfig, w: &dyn WorkloadSpec, what: &str| {
+        let r: RunReport = run_workload(&cfg, w);
+        r.validation.clone().map_err(|e| format!("{what}: {e}"))
+    };
+    let base = |f: &dyn Fn(&mut MachineConfig)| {
+        let mut c = MachineConfig::paper_default(Scheme::Tlr, procs);
+        c.max_cycles = 60_000_000_000;
+        f(&mut c);
+        c
+    };
+    validated(
+        base(&|c| c.deferred_queue_entries = 1),
+        &single_counter(procs, 128),
+        "deferred queue of 1",
+    )?;
+    validated(base(&|c| c.victim_entries = 1), &doubly_linked_list(procs, 64), "victim cache of 1")?;
+    validated(
+        base(&|c| c.write_buffer_lines = 2),
+        &doubly_linked_list(procs, 64),
+        "write buffer of 2",
+    )?;
+    validated(base(&|c| c.timestamp_bits = 6), &single_counter(procs, 128), "6-bit timestamps")?;
+    validated(
+        base(&|c| c.retention = RetentionPolicy::Nack),
+        &single_counter(procs, 128),
+        "NACK retention",
+    )
+}

@@ -6,7 +6,10 @@
 //! accept two optional flags:
 //!
 //! * `--quick` — smaller work totals (CI-sized, ~seconds per series);
-//! * `--procs 1,2,4,8,16` — override the processor counts.
+//! * `--procs 1,2,4,8,16` — override the processor counts;
+//! * `--check` — skip the sweep and instead assert the binary's
+//!   output schema and paper-direction invariants at small scale
+//!   (see [`checks`]), exiting non-zero on violation.
 //!
 //! Run lengths are scaled down from the paper (2^24/2^16 iterations)
 //! as documented in `DESIGN.md`; shapes, not absolute cycle counts,
@@ -14,6 +17,8 @@
 
 use tlr_core::run::{run_workload, RunReport, WorkloadSpec};
 use tlr_sim::config::{MachineConfig, Scheme};
+
+pub mod checks;
 
 /// Command-line options shared by the figure binaries.
 #[derive(Debug, Clone)]
@@ -27,6 +32,8 @@ pub struct BenchOpts {
     pub seeds: u64,
     /// Optional path to also write the results as CSV (for plotting).
     pub csv: Option<std::path::PathBuf>,
+    /// Run the binary's golden-shape check instead of the full sweep.
+    pub check: bool,
 }
 
 impl BenchOpts {
@@ -36,12 +43,18 @@ impl BenchOpts {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn from_args() -> Self {
-        let mut opts =
-            BenchOpts { procs: vec![1, 2, 4, 8, 12, 16], quick: false, seeds: 1, csv: None };
+        let mut opts = BenchOpts {
+            procs: vec![1, 2, 4, 8, 12, 16],
+            quick: false,
+            seeds: 1,
+            csv: None,
+            check: false,
+        };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => opts.quick = true,
+                "--check" => opts.check = true,
                 "--procs" => {
                     let v = args.next().expect("--procs needs a value like 1,2,4");
                     opts.procs = v
@@ -60,7 +73,7 @@ impl BenchOpts {
                 }
                 other => {
                     panic!(
-                        "unknown argument {other:?} (supported: --quick, --procs, --seeds, --csv)"
+                        "unknown argument {other:?} (supported: --quick, --check, --procs, --seeds, --csv)"
                     )
                 }
             }
@@ -209,8 +222,8 @@ mod tests {
 
     #[test]
     fn opts_scaling() {
-        let quick = BenchOpts { procs: vec![2], quick: true, seeds: 1, csv: None };
-        let full = BenchOpts { procs: vec![2], quick: false, seeds: 1, csv: None };
+        let quick = BenchOpts { procs: vec![2], quick: true, seeds: 1, csv: None, check: false };
+        let full = BenchOpts { procs: vec![2], quick: false, seeds: 1, csv: None, check: false };
         assert_eq!(full.scale(1 << 14), 1 << 14);
         assert_eq!(quick.scale(1 << 14), 1 << 10);
         assert_eq!(quick.scale(100), 64, "quick floor");

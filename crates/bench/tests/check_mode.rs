@@ -1,0 +1,55 @@
+//! Golden-shape tests: run the same invariants the figure/table
+//! binaries assert under `--check`, so `cargo test` and the binaries'
+//! check mode can never drift apart.
+//!
+//! Each check replays its experiment at small scale and asserts the
+//! paper's result *directions* (TLR ≥ SLE ≥ BASE orderings, coarse
+//! locks hurting BASE but not TLR, ...) and output schemas without
+//! pinning absolute cycle counts.
+
+use tlr_bench::checks;
+
+#[test]
+fn fig08_shape_holds() {
+    checks::fig08().unwrap();
+}
+
+#[test]
+fn fig09_shape_holds() {
+    checks::fig09().unwrap();
+}
+
+#[test]
+fn fig10_shape_holds() {
+    checks::fig10().unwrap();
+}
+
+#[test]
+fn fig11_shape_holds() {
+    checks::fig11().unwrap();
+}
+
+#[test]
+fn table1_schema_holds() {
+    checks::table1().unwrap();
+}
+
+#[test]
+fn table2_schema_holds() {
+    checks::table2().unwrap();
+}
+
+#[test]
+fn exp_coarse_fine_shape_holds() {
+    checks::exp_coarse_fine().unwrap();
+}
+
+#[test]
+fn exp_rmw_predictor_shape_holds() {
+    checks::exp_rmw_predictor().unwrap();
+}
+
+#[test]
+fn exp_ablations_never_break_correctness() {
+    checks::exp_ablations().unwrap();
+}

@@ -1,0 +1,148 @@
+//! The schedule-exploration fuzzer.
+//!
+//! TLR bugs hide in *schedules*: a particular interleaving of snoop
+//! arrivals, write-buffer pressure, and timestamp wraps. This module
+//! perturbs everything that shapes a schedule — scheme, retention
+//! policy, processor count, cache geometry, buffer sizes, timestamp
+//! width, latencies, jitter, and the machine's own RNG seed — draws a
+//! random lock-based workload, and checks the run against the
+//! [`crate::oracle`]. Each failure carries the full `MachineConfig`
+//! and workload in its message, and the runner's shrinker reduces the
+//! choice stream, so what gets reported is the *smallest* failing
+//! (seed, config, workload) triple found within the shrink budget.
+
+use tlr_core::run::run_workload;
+use tlr_sim::config::{MachineConfig, RetentionPolicy, Scheme, UntimestampedPolicy};
+use tlr_workloads::micro;
+
+use crate::oracle::OracleWorkload;
+use crate::prop;
+use crate::source::Source;
+
+/// Draws a machine configuration from the choice stream. Every knob
+/// that influences scheduling is varied; a raw stream of zeros maps to
+/// the simplest machine (single-processor `Base` with paper-default
+/// geometry), which is what the shrinker steers toward.
+pub fn arbitrary_config(s: &mut Source) -> MachineConfig {
+    let scheme = *s.pick(&Scheme::ALL);
+    let procs = s.usize_in(1..=4);
+    let mut cfg = if s.bool() {
+        MachineConfig::small(scheme, procs)
+    } else {
+        MachineConfig::paper_default(scheme, procs)
+    };
+    cfg.retention = *s.pick(&[RetentionPolicy::Deferral, RetentionPolicy::Nack]);
+    cfg.untimestamped_policy = *s.pick(&[
+        UntimestampedPolicy::DeferAsLowestPriority,
+        UntimestampedPolicy::Restart,
+    ]);
+    // 32 first: narrow timestamps are the exotic case worth shrinking
+    // away from, wrap-arounds stress the windowed comparison.
+    cfg.timestamp_bits = *s.pick(&[32, 16, 8, 6]);
+    cfg.latency_jitter = s.u64_in(0..=4);
+    // Latency perturbation is the heart of schedule exploration: the
+    // same program traverses different global interleavings.
+    cfg.latency.l2 = s.u64_in(6..=16);
+    cfg.latency.memory = s.u64_in(40..=90);
+    cfg.latency.snoop = s.u64_in(10..=30);
+    cfg.latency.data_network = s.u64_in(10..=30);
+    cfg.latency.bus_occupancy = s.u64_in(2..=6);
+    cfg.write_buffer_lines = s.usize_in(4..=64);
+    cfg.victim_entries = s.usize_in(1..=16);
+    cfg.deferred_queue_entries = s.usize_in(2..=64);
+    cfg.seed = s.next_raw();
+    // Generous (the largest generated workloads quiesce well under 1M
+    // cycles) but small enough that a genuine livelock's timeout
+    // replays stay affordable during shrinking.
+    cfg.max_cycles = 8_000_000;
+    cfg
+}
+
+/// One fuzz case: random config, random oracle workload, full
+/// serializability check. Suitable for [`prop::check`].
+///
+/// # Errors
+///
+/// Returns the oracle's violation report annotated with the config and
+/// workload that produced it.
+pub fn schedule_case(s: &mut Source) -> Result<(), String> {
+    let cfg = arbitrary_config(s);
+    let w = OracleWorkload::arbitrary(s, cfg.num_procs, 6);
+    w.check(&cfg)
+        .map_err(|e| format!("{e}\n    config: {cfg:?}\n    workload: {w:?}"))
+}
+
+/// One fuzz case over the library's own micro workloads (their
+/// `validate` hooks are the oracle here). Exercises program shapes the
+/// [`OracleWorkload`] family does not cover, e.g. the pointer-chasing
+/// doubly linked list.
+///
+/// # Errors
+///
+/// Returns the workload's validation failure annotated with the config.
+pub fn micro_case(s: &mut Source) -> Result<(), String> {
+    let cfg = arbitrary_config(s);
+    let per_proc = s.u64_in(1..=8);
+    let total = cfg.num_procs as u64 * per_proc;
+    let report = match s.below(3) {
+        0 => run_workload(&cfg, &micro::single_counter(cfg.num_procs, total)),
+        1 => run_workload(&cfg, &micro::multiple_counter(cfg.num_procs, total)),
+        _ => run_workload(&cfg, &micro::doubly_linked_list(cfg.num_procs, total)),
+    };
+    report
+        .validation
+        .clone()
+        .map_err(|e| format!("{e}\n    config: {cfg:?}"))
+}
+
+/// Runs `cases` oracle-backed schedule fuzz cases (honoring the
+/// `TLR_CHECK_*` environment overrides) and panics with a minimized
+/// (seed, config, workload) triple on the first violation. The shrink
+/// budget is kept small because every candidate is a full simulation.
+pub fn fuzz_schedules(name: &str, cases: u32) {
+    let mut cfg = prop::Config::from_env(cases);
+    cfg.max_shrink_checks = 64;
+    prop::check_with(name, cfg, schedule_case);
+}
+
+/// Runs `cases` micro-workload fuzz cases, as [`fuzz_schedules`].
+pub fn fuzz_micro(name: &str, cases: u32) {
+    let mut cfg = prop::Config::from_env(cases);
+    cfg.max_shrink_checks = 64;
+    prop::check_with(name, cfg, micro_case);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_stream_is_the_simplest_config() {
+        let mut s = Source::replay(&[]);
+        let cfg = arbitrary_config(&mut s);
+        assert_eq!(cfg.scheme, Scheme::ALL[0]);
+        assert_eq!(cfg.num_procs, 1);
+        assert_eq!(cfg.retention, RetentionPolicy::Deferral);
+        assert_eq!(cfg.timestamp_bits, 32);
+        assert_eq!(cfg.seed, 0);
+    }
+
+    #[test]
+    fn config_draws_are_reproducible() {
+        let mut a = Source::from_seed(77);
+        let c1 = arbitrary_config(&mut a);
+        let mut b = Source::replay(a.choices());
+        let c2 = arbitrary_config(&mut b);
+        assert_eq!(format!("{c1:?}"), format!("{c2:?}"));
+    }
+
+    #[test]
+    fn configs_cover_all_schemes() {
+        let mut s = Source::from_seed(123);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(arbitrary_config(&mut s).scheme.label());
+        }
+        assert_eq!(seen.len(), Scheme::ALL.len(), "sweep must reach every scheme");
+    }
+}

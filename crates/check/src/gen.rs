@@ -1,0 +1,84 @@
+//! Generator combinators.
+//!
+//! A generator is any `FnMut(&mut Source) -> T`; composition is
+//! ordinary closure composition, and shrinking comes for free because
+//! all randomness flows through the [`Source`] choice stream. This
+//! module adds the collection-shaped combinators that proptest
+//! provided (`vec`, tuples come free in Rust, `sample::select` is
+//! [`Source::pick`]).
+
+use crate::source::Source;
+
+/// A vector whose length is drawn from `len` and whose elements come
+/// from `item`. The length draw happens first, so shrinking the first
+/// recorded choice shortens the vector.
+pub fn vec_of<T>(
+    s: &mut Source,
+    len: std::ops::RangeInclusive<usize>,
+    mut item: impl FnMut(&mut Source) -> T,
+) -> Vec<T> {
+    let n = s.usize_in(len);
+    (0..n).map(|_| item(s)).collect()
+}
+
+/// A set-like vector of distinct values drawn from `item`, between
+/// `min` and `max` entries; duplicates are skipped, so the result may
+/// be shorter than requested when the value space is small.
+pub fn distinct_vec_of<T: PartialEq>(
+    s: &mut Source,
+    len: std::ops::RangeInclusive<usize>,
+    mut item: impl FnMut(&mut Source) -> T,
+) -> Vec<T> {
+    let n = s.usize_in(len);
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = item(s);
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// One of the given alternatives, weighted uniformly.
+pub fn one_of<'a, T: Clone>(s: &mut Source, items: &'a [T]) -> T {
+    s.pick(items).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_of_respects_length_bounds() {
+        let mut s = Source::from_seed(1);
+        for _ in 0..100 {
+            let v = vec_of(&mut s, 2..=5, |s| s.u64_in(0..=9));
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn distinct_vec_has_no_duplicates() {
+        let mut s = Source::from_seed(2);
+        for _ in 0..100 {
+            let v = distinct_vec_of(&mut s, 1..=6, |s| s.u64_in(0..=3));
+            let mut seen = std::collections::HashSet::new();
+            assert!(v.iter().all(|x| seen.insert(*x)));
+            assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    fn generators_compose_and_replay() {
+        let generate = |s: &mut Source| {
+            vec_of(s, 1..=3, |s| (s.bool(), vec_of(s, 0..=2, |s| s.u32_in(1..=8))))
+        };
+        let mut a = Source::from_seed(9);
+        let v1 = generate(&mut a);
+        let mut b = Source::replay(a.choices());
+        let v2 = generate(&mut b);
+        assert_eq!(v1, v2, "replayed composite generator must reproduce");
+    }
+}

@@ -1,0 +1,426 @@
+//! The serializability oracle.
+//!
+//! The paper's central claim is that critical sections execute
+//! serializably without lock acquisition. This module checks it
+//! against ground truth instead of ad-hoc invariants: an
+//! [`OracleWorkload`] is a family of lock-protected critical sections
+//! whose effects are *modeled in Rust*, so the machine's final memory
+//! can be compared word-for-word against:
+//!
+//! 1. **the serial reference** — the state produced by executing every
+//!    critical section under a single global lock. The increment part
+//!    of each section commutes, so every serial order produces the
+//!    same sums and the reference is exact regardless of interleaving;
+//! 2. **commit-order replay** — the non-commutative parts (a
+//!    last-writer tag word and a running checksum of values *read*
+//!    inside each section) are replayed in the serialization order the
+//!    machine actually chose, reconstructed from the event trace
+//!    (`TxnCommit` for elided sections, `LockReleased` outside a
+//!    transaction for acquired ones). If no serial order consistent
+//!    with the observed commit cycles explains the final state, the
+//!    run was not serializable.
+//!
+//! Every scheme runs the same test&test&set binary (the paper's
+//! methodology: MCS is a hardware configuration, not a different
+//! oracle program).
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use tlr_core::Machine;
+use tlr_cpu::asm::Asm;
+use tlr_cpu::Program;
+use tlr_mem::addr::Addr;
+use tlr_sim::config::MachineConfig;
+use tlr_sim::trace::TraceKind;
+use tlr_sync::tatas::{self, TatasRegs};
+
+use crate::gen;
+use crate::source::Source;
+
+/// Address of the single global lock.
+pub const LOCK: u64 = 0x100;
+/// Address of the last-writer tag word (its own cache line).
+const TAG: u64 = 0x1840;
+/// Base address of the shared words.
+const WORDS_BASE: u64 = 0x2000;
+/// Base address of the per-thread checksum words (one line each).
+const PRIV_BASE: u64 = 0x8000;
+
+/// One thread's critical-section shape, repeated `iters` times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadSpec {
+    /// Indices of the shared words this thread increments.
+    pub words: Vec<usize>,
+    /// Index of the shared word whose value is read into the running
+    /// checksum each iteration.
+    pub read_ix: usize,
+    /// Number of critical sections this thread executes.
+    pub iters: u64,
+    /// Post-release fairness delay bounds (cycles); `(_, 0)` disables.
+    pub delay: (u32, u32),
+}
+
+/// A lock-protected workload with a Rust-side effect model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleWorkload {
+    /// Number of shared words.
+    pub num_words: usize,
+    /// Whether the shared words are packed into one cache line (false
+    /// sharing / maximal line conflicts) or padded one per line.
+    pub packed: bool,
+    /// One spec per processor.
+    pub threads: Vec<ThreadSpec>,
+}
+
+impl OracleWorkload {
+    /// Draws a random workload: word count, layout, per-thread subsets,
+    /// iteration counts and delays.
+    pub fn arbitrary(s: &mut Source, max_procs: usize, max_iters: u64) -> Self {
+        let num_words = s.usize_in(1..=6);
+        let packed = s.bool();
+        let procs = s.usize_in(1..=max_procs.max(1));
+        let threads = (0..procs)
+            .map(|_| ThreadSpec {
+                words: gen::distinct_vec_of(s, 1..=3.min(num_words), |s| {
+                    s.usize_in(0..=num_words - 1)
+                }),
+                read_ix: s.usize_in(0..=num_words - 1),
+                iters: s.u64_in(1..=max_iters.max(1)),
+                delay: (s.u32_in(0..=3), s.u32_in(0..=12)),
+            })
+            .collect();
+        OracleWorkload { num_words, packed, threads }
+    }
+
+    /// Address of shared word `w`.
+    pub fn word_addr(&self, w: usize) -> Addr {
+        let stride = if self.packed { 8 } else { 64 };
+        Addr(WORDS_BASE + w as u64 * stride)
+    }
+
+    /// Address of thread `t`'s checksum word.
+    pub fn priv_addr(&self, t: usize) -> Addr {
+        Addr(PRIV_BASE + t as u64 * 64)
+    }
+
+    /// Emits thread `t`'s program: `iters` critical sections, each
+    /// incrementing the word subset, folding one read into a checksum
+    /// register stored at the thread's private word, and writing the
+    /// thread id into the shared tag word.
+    fn program(&self, t: usize) -> Arc<Program> {
+        let th = &self.threads[t];
+        let mut a = Asm::new(format!("oracle-{t}"));
+        let r = TatasRegs::alloc(&mut a);
+        let lock = a.reg();
+        let n = a.reg();
+        let v = a.reg();
+        let addr = a.reg();
+        let acc = a.reg();
+        let tagv = a.reg();
+        tatas::init_regs(&mut a, &r);
+        a.li(lock, LOCK);
+        a.li(n, th.iters);
+        a.li(acc, 0);
+        a.li(tagv, t as u64 + 1);
+        let top = a.here();
+        tatas::acquire(&mut a, lock, &r);
+        for &w in &th.words {
+            a.li(addr, self.word_addr(w).0);
+            a.load(v, addr, 0);
+            a.addi(v, v, 1);
+            a.store(v, addr, 0);
+        }
+        a.li(addr, self.word_addr(th.read_ix).0);
+        a.load(v, addr, 0);
+        a.add(acc, acc, v);
+        a.li(addr, self.priv_addr(t).0);
+        a.store(acc, addr, 0);
+        a.li(addr, TAG);
+        a.store(tagv, addr, 0);
+        tatas::release(&mut a, lock, &r);
+        if th.delay.1 > 0 {
+            a.rand_delay(th.delay.0.min(th.delay.1), th.delay.1);
+        }
+        a.addi(n, n, -1);
+        a.bne(n, r.zero, top);
+        a.done();
+        Arc::new(a.finish())
+    }
+
+    /// Runs the workload under `cfg` (processor count is taken from
+    /// the workload) and applies both oracle checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation: a timeout, a
+    /// shared word differing from the serial reference, a completion
+    /// count mismatch, or a final state no commit-consistent serial
+    /// order explains.
+    pub fn check(&self, cfg: &MachineConfig) -> Result<(), String> {
+        let mut m = self.build_machine(cfg);
+        m.run().map_err(|e| format!("machine failed to quiesce: {e}"))?;
+
+        // Check 1: the serial reference. Executing all critical
+        // sections under one global lock in any order yields these
+        // sums, because increments commute.
+        for w in 0..self.num_words {
+            let expect: u64 = self
+                .threads
+                .iter()
+                .filter(|t| t.words.contains(&w))
+                .map(|t| t.iters)
+                .sum();
+            let got = m.final_word(self.word_addr(w));
+            if got != expect {
+                return Err(format!(
+                    "shared word {w} @ {}: machine {got} != serial reference {expect}",
+                    self.word_addr(w)
+                ));
+            }
+        }
+        let lock = m.final_word(Addr(LOCK));
+        if lock != 0 {
+            return Err(format!("lock word left as {lock}"));
+        }
+
+        // Check 2: commit-order replay of the non-commutative state.
+        let completions = completion_order(&m);
+        let mut counts = vec![0u64; self.threads.len()];
+        for &(_, t) in &completions {
+            counts[t] += 1;
+        }
+        for (t, th) in self.threads.iter().enumerate() {
+            if counts[t] != th.iters {
+                return Err(format!(
+                    "thread {t}: {} critical-section completions in trace, expected {}",
+                    counts[t], th.iters
+                ));
+            }
+        }
+        self.check_replay(&m, &completions)
+    }
+
+    /// Builds the machine for this workload (trace enabled, processor
+    /// count forced to the thread count) without running it.
+    pub fn build_machine(&self, cfg: &MachineConfig) -> Machine {
+        let mut cfg = cfg.clone();
+        cfg.num_procs = self.threads.len();
+        let programs = (0..self.threads.len()).map(|t| self.program(t)).collect();
+        let mut m = Machine::new(cfg, programs, HashSet::from([Addr(LOCK)]));
+        m.enable_trace();
+        m
+    }
+
+    /// Replays the critical sections in `order` against the Rust model
+    /// and compares every modeled word with the machine.
+    fn replay_matches(&self, m: &Machine, order: &[usize]) -> Result<(), String> {
+        let procs = self.threads.len();
+        let mut words = vec![0u64; self.num_words];
+        let mut tag = 0u64;
+        let mut acc = vec![0u64; procs];
+        let mut privs = vec![0u64; procs];
+        for &t in order {
+            let th = &self.threads[t];
+            for &w in &th.words {
+                words[w] += 1;
+            }
+            acc[t] += words[th.read_ix];
+            privs[t] = acc[t];
+            tag = t as u64 + 1;
+        }
+        for (w, &expect) in words.iter().enumerate() {
+            let got = m.final_word(self.word_addr(w));
+            if got != expect {
+                return Err(format!("replay: word {w} machine {got} != model {expect}"));
+            }
+        }
+        let got_tag = m.final_word(Addr(TAG));
+        if got_tag != tag {
+            return Err(format!("replay: tag machine {got_tag} != model {tag}"));
+        }
+        for (t, &expect) in privs.iter().enumerate() {
+            let got = m.final_word(self.priv_addr(t));
+            if got != expect {
+                return Err(format!("replay: thread {t} checksum machine {got} != model {expect}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies [`Self::replay_matches`] to the recorded completion
+    /// order; on mismatch, searches the (small) space of orders that
+    /// permute only same-cycle completions before giving up — two
+    /// non-conflicting sections may commit in the same cycle, and then
+    /// the trace's intra-cycle order is bookkeeping, not serialization.
+    fn check_replay(&self, m: &Machine, completions: &[(u64, usize)]) -> Result<(), String> {
+        let order: Vec<usize> = completions.iter().map(|&(_, t)| t).collect();
+        let first_err = match self.replay_matches(m, &order) {
+            Ok(()) => return Ok(()),
+            Err(e) => e,
+        };
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut last_cycle = None;
+        for &(cycle, t) in completions {
+            if last_cycle == Some(cycle) {
+                groups.last_mut().expect("group exists for repeated cycle").push(t);
+            } else {
+                groups.push(vec![t]);
+                last_cycle = Some(cycle);
+            }
+        }
+        let mut budget = 2048usize;
+        let mut prefix = Vec::with_capacity(order.len());
+        if self.search_orders(m, &groups, 0, &mut prefix, &mut budget) {
+            Ok(())
+        } else {
+            Err(format!("{first_err} (no commit-consistent serial order matches)"))
+        }
+    }
+
+    fn search_orders(
+        &self,
+        m: &Machine,
+        groups: &[Vec<usize>],
+        idx: usize,
+        prefix: &mut Vec<usize>,
+        budget: &mut usize,
+    ) -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        if idx == groups.len() {
+            *budget -= 1;
+            return self.replay_matches(m, prefix).is_ok();
+        }
+        for perm in permutations(&groups[idx]) {
+            let len = prefix.len();
+            prefix.extend(perm);
+            if self.search_orders(m, groups, idx + 1, prefix, budget) {
+                return true;
+            }
+            prefix.truncate(len);
+        }
+        false
+    }
+}
+
+/// Extracts the order in which critical sections completed from the
+/// event trace: a `TxnCommit` (elided section) or a `LockReleased` of
+/// the global lock outside any transaction (acquired section). Release
+/// stores recorded *inside* a transaction belong to attempts that may
+/// still restart, so only the commit counts for those.
+fn completion_order(m: &Machine) -> Vec<(u64, usize)> {
+    let mut in_txn = vec![false; m.config().num_procs];
+    let mut out = Vec::new();
+    for e in m.trace().events() {
+        match e.kind {
+            TraceKind::TxnStart { .. } => in_txn[e.node] = true,
+            TraceKind::TxnRestart { .. } | TraceKind::TxnFallback { .. } => in_txn[e.node] = false,
+            TraceKind::TxnCommit => {
+                out.push((e.cycle, e.node));
+                in_txn[e.node] = false;
+            }
+            TraceKind::LockReleased { lock_addr } if lock_addr == LOCK && !in_txn[e.node] => {
+                out.push((e.cycle, e.node));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// All permutations of a small slice.
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.len() <= 1 {
+        return vec![items.to_vec()];
+    }
+    let mut out = Vec::new();
+    for (i, &head) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut tail in permutations(&rest) {
+            tail.insert(0, head);
+            out.push(tail);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_sim::config::Scheme;
+
+    fn fixed_workload(procs: usize) -> OracleWorkload {
+        OracleWorkload {
+            num_words: 3,
+            packed: false,
+            threads: (0..procs)
+                .map(|t| ThreadSpec {
+                    words: vec![t % 3, (t + 1) % 3],
+                    read_ix: 0,
+                    iters: 6,
+                    delay: (1, 8),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn oracle_accepts_every_scheme() {
+        for scheme in Scheme::ALL {
+            let mut cfg = MachineConfig::paper_default(scheme, 3);
+            cfg.max_cycles = 50_000_000;
+            fixed_workload(3).check(&cfg).unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        }
+    }
+
+    #[test]
+    fn oracle_accepts_single_thread() {
+        let mut cfg = MachineConfig::small(Scheme::Tlr, 1);
+        cfg.max_cycles = 50_000_000;
+        fixed_workload(1).check(&cfg).expect("single-thread oracle");
+    }
+
+    #[test]
+    fn replay_model_is_order_sensitive() {
+        // Two threads, both writing the tag: the model must
+        // distinguish the two serial orders.
+        let w = OracleWorkload {
+            num_words: 1,
+            packed: false,
+            threads: vec![
+                ThreadSpec { words: vec![0], read_ix: 0, iters: 1, delay: (0, 0) },
+                ThreadSpec { words: vec![0], read_ix: 0, iters: 1, delay: (0, 0) },
+            ],
+        };
+        // Model states for order [0, 1] vs [1, 0] differ in the tag
+        // and in the checksums (the second reader sees 2, not 1).
+        let mut cfg = MachineConfig::paper_default(Scheme::Base, 2);
+        cfg.max_cycles = 50_000_000;
+        w.check(&cfg).expect("base run satisfies some serial order");
+    }
+
+    #[test]
+    fn permutations_cover_the_group() {
+        let p = permutations(&[1, 2, 3]);
+        assert_eq!(p.len(), 6);
+        assert!(p.contains(&vec![3, 1, 2]));
+    }
+
+    #[test]
+    fn arbitrary_workloads_are_well_formed() {
+        let mut s = Source::from_seed(5);
+        for _ in 0..50 {
+            let w = OracleWorkload::arbitrary(&mut s, 4, 8);
+            assert!(!w.threads.is_empty() && w.threads.len() <= 4);
+            for th in &w.threads {
+                assert!(!th.words.is_empty());
+                assert!(th.words.iter().all(|&x| x < w.num_words));
+                assert!(th.read_ix < w.num_words);
+                assert!(th.iters >= 1 && th.iters <= 8);
+            }
+        }
+    }
+}

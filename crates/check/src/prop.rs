@@ -1,0 +1,190 @@
+//! The property runner.
+//!
+//! [`check`] runs a property over many generated cases and, on
+//! failure, minimizes the counterexample with [`crate::shrink`] and
+//! panics with a reproduction line. A property is any
+//! `FnMut(&mut Source) -> Result<(), String>`; panics inside the
+//! property (e.g. a simulator `assert!`) are caught and treated as
+//! failures, so existing assertion-style checks work unchanged.
+//!
+//! Environment overrides, honored by [`Config::from_env`]:
+//!
+//! * `TLR_CHECK_CASES=N` — run N cases instead of the default;
+//! * `TLR_CHECK_SEED=S` — root seed (every failure prints the exact
+//!   value to set here to reproduce it deterministically).
+
+use crate::shrink;
+use crate::source::Source;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Root seed; case `i` runs from a stream forked off this.
+    pub seed: u64,
+    /// Budget of candidate evaluations for the shrinker.
+    pub max_shrink_checks: u64,
+}
+
+impl Config {
+    /// Default configuration for a property wanting `default_cases`
+    /// cases, with `TLR_CHECK_CASES` / `TLR_CHECK_SEED` overrides
+    /// applied.
+    pub fn from_env(default_cases: u32) -> Self {
+        let cases = std::env::var("TLR_CHECK_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_cases);
+        let seed = std::env::var("TLR_CHECK_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x7a3d_5eed);
+        Config { cases, seed, max_shrink_checks: 512 }
+    }
+}
+
+/// Runs `prop` under a default [`Config`] of `cases` cases.
+///
+/// # Panics
+///
+/// Panics with the minimized counterexample if any case fails.
+pub fn check<F>(name: &str, cases: u32, prop: F)
+where
+    F: FnMut(&mut Source) -> Result<(), String>,
+{
+    check_with(name, Config::from_env(cases), prop)
+}
+
+/// Runs `prop` under an explicit [`Config`].
+///
+/// # Panics
+///
+/// Panics with the minimized counterexample if any case fails.
+pub fn check_with<F>(name: &str, cfg: Config, mut prop: F)
+where
+    F: FnMut(&mut Source) -> Result<(), String>,
+{
+    let mut case_seeds = tlr_sim::SimRng::new(cfg.seed);
+    for case in 0..cfg.cases {
+        let case_seed = case_seeds.next_u64();
+        let mut src = Source::from_seed(case_seed);
+        let outcome = run_guarded(&mut prop, &mut src);
+        let err = match outcome {
+            Ok(()) => continue,
+            Err(e) => e,
+        };
+        // Minimize by editing the recorded choice stream.
+        let recorded = src.choices().to_vec();
+        let minimized = shrink::minimize(
+            &recorded,
+            |cand| {
+                let mut s = Source::replay(cand);
+                run_guarded(&mut prop, &mut s).is_err()
+            },
+            cfg.max_shrink_checks,
+        );
+        let mut replay = Source::replay(&minimized.choices);
+        let min_err = run_guarded(&mut prop, &mut replay)
+            .expect_err("minimized case must still fail");
+        panic!(
+            "property '{name}' failed\n\
+             \x20 case {case}/{cases} (case seed {case_seed}); reproduce with \
+             TLR_CHECK_SEED={root} TLR_CHECK_CASES={next}\n\
+             \x20 original failure: {err}\n\
+             \x20 minimized after {checks} candidate runs to {n} choices: {choices:?}\n\
+             \x20 minimized failure: {min_err}",
+            cases = cfg.cases,
+            root = cfg.seed,
+            next = case + 1,
+            checks = minimized.checks,
+            n = minimized.choices.len(),
+            choices = minimized.choices,
+        );
+    }
+}
+
+/// Runs the property once, converting panics into `Err`.
+fn run_guarded<F>(prop: &mut F, src: &mut Source) -> Result<(), String>
+where
+    F: FnMut(&mut Source) -> Result<(), String>,
+{
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| prop(src)));
+    match result {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic".to_string());
+            Err(format!("panic: {msg}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u32;
+        check("always-passes", 25, |s| {
+            ran += 1;
+            let _ = s.u64_in(0..=100);
+            Ok(())
+        });
+        assert_eq!(ran, 25);
+    }
+
+    #[test]
+    fn failing_property_panics_with_repro_line() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check("finds-big-value", 200, |s| {
+                let v = s.u64_in(0..=1000);
+                if v >= 500 {
+                    Err(format!("saw {v}"))
+                } else {
+                    Ok(())
+                }
+            });
+        }));
+        let msg = match result {
+            Err(p) => p.downcast_ref::<String>().cloned().expect("string panic"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        assert!(msg.contains("finds-big-value"), "{msg}");
+        assert!(msg.contains("TLR_CHECK_SEED="), "{msg}");
+        assert!(msg.contains("minimized"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_property_is_a_failure() {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check("panics", 5, |s| {
+                let _ = s.bool();
+                panic!("boom");
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn seed_override_is_deterministic() {
+        let collect = |seed: u64| {
+            let mut vals = Vec::new();
+            check_with(
+                "collect",
+                Config { cases: 10, seed, max_shrink_checks: 0 },
+                |s| {
+                    vals.push(s.u64_in(0..=u64::MAX - 1));
+                    Ok(())
+                },
+            );
+            vals
+        };
+        assert_eq!(collect(42), collect(42));
+        assert_ne!(collect(42), collect(43));
+    }
+}

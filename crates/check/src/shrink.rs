@@ -1,0 +1,156 @@
+//! Greedy choice-sequence shrinking.
+//!
+//! The shrinker never sees generated values: it edits the raw choice
+//! sequence a failing case recorded and asks the caller whether the
+//! regenerated case still fails. Three transformation families are
+//! tried, largest-first, and the first one that keeps the failure is
+//! accepted (greedy descent):
+//!
+//! 1. delete a block of choices (halving block sizes down to 1);
+//! 2. zero a block of choices;
+//! 3. lower a single choice (to 0, to half, to one less).
+//!
+//! Every accepted edit strictly decreases `(len, sum)` in
+//! lexicographic order, so the descent terminates; `max_checks` bounds
+//! the number of oracle calls for expensive properties.
+
+/// Outcome of a minimization run.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The smallest failing choice sequence found.
+    pub choices: Vec<u64>,
+    /// How many candidate sequences were tried.
+    pub checks: u64,
+}
+
+/// Greedily minimizes `choices` under the predicate `still_fails`
+/// (which must return `true` for the input sequence's failure to be
+/// preserved). At most `max_checks` candidate evaluations are spent.
+pub fn minimize(
+    choices: &[u64],
+    mut still_fails: impl FnMut(&[u64]) -> bool,
+    max_checks: u64,
+) -> Minimized {
+    let mut cur: Vec<u64> = choices.to_vec();
+    let mut checks = 0u64;
+    let mut try_candidate = |cand: &[u64], checks: &mut u64| -> bool {
+        if *checks >= max_checks {
+            return false;
+        }
+        *checks += 1;
+        still_fails(cand)
+    };
+
+    'outer: loop {
+        if checks >= max_checks {
+            break;
+        }
+        // Pass 1: delete blocks, large to small.
+        let mut block = (cur.len() / 2).max(1);
+        while block >= 1 && !cur.is_empty() {
+            let mut start = 0;
+            while start + block <= cur.len() {
+                let mut cand = cur.clone();
+                cand.drain(start..start + block);
+                if try_candidate(&cand, &mut checks) {
+                    cur = cand;
+                    continue 'outer;
+                }
+                start += block;
+            }
+            if block == 1 {
+                break;
+            }
+            block /= 2;
+        }
+        // Pass 2: zero blocks, large to small.
+        let mut block = (cur.len() / 2).max(1);
+        while block >= 1 && !cur.is_empty() {
+            let mut start = 0;
+            while start + block <= cur.len() {
+                if cur[start..start + block].iter().any(|&v| v != 0) {
+                    let mut cand = cur.clone();
+                    cand[start..start + block].iter_mut().for_each(|v| *v = 0);
+                    if try_candidate(&cand, &mut checks) {
+                        cur = cand;
+                        continue 'outer;
+                    }
+                }
+                start += block;
+            }
+            if block == 1 {
+                break;
+            }
+            block /= 2;
+        }
+        // Pass 3: lower individual values.
+        for i in 0..cur.len() {
+            let v = cur[i];
+            if v == 0 {
+                continue;
+            }
+            for lowered in [0, v / 2, v - 1] {
+                if lowered >= v {
+                    continue;
+                }
+                let mut cand = cur.clone();
+                cand[i] = lowered;
+                if try_candidate(&cand, &mut checks) {
+                    cur = cand;
+                    continue 'outer;
+                }
+            }
+        }
+        break; // fixpoint: no transformation preserved the failure
+    }
+    Minimized { choices: cur, checks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_to_single_threshold_value() {
+        // Fails iff any choice is >= 100: the minimum counterexample
+        // is the single sequence [100].
+        let start: Vec<u64> = vec![3, 250, 17, 99, 4000, 1];
+        let m = minimize(&start, |c| c.iter().any(|&v| v >= 100), 100_000);
+        assert_eq!(m.choices, vec![100]);
+    }
+
+    #[test]
+    fn minimizes_length_when_sum_matters() {
+        // Fails iff at least 3 nonzero choices exist.
+        let start: Vec<u64> = (1..=20).collect();
+        let m = minimize(&start, |c| c.iter().filter(|&&v| v != 0).count() >= 3, 100_000);
+        assert_eq!(m.choices, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn respects_check_budget() {
+        let start: Vec<u64> = (1..=64).collect();
+        let m = minimize(&start, |c| !c.is_empty(), 10);
+        assert!(m.checks <= 10);
+        assert!(!m.choices.is_empty(), "failure must be preserved");
+    }
+
+    #[test]
+    fn already_minimal_input_is_a_fixpoint() {
+        let m = minimize(&[0], |c| c.is_empty() || c[0] == 0, 1000);
+        // Deleting the single zero still fails, so the true minimum is
+        // the empty sequence.
+        assert!(m.choices.is_empty());
+    }
+
+    #[test]
+    fn result_always_fails() {
+        // Irregular predicate: fails when the sum is odd.
+        let start = vec![7, 8, 2];
+        let pred = |c: &[u64]| c.iter().sum::<u64>() % 2 == 1;
+        assert!(pred(&start));
+        let m = minimize(&start, pred, 100_000);
+        assert!(pred(&m.choices), "shrunk case must still fail");
+        assert_eq!(m.choices, vec![1]);
+    }
+}

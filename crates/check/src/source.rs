@@ -1,0 +1,145 @@
+//! The choice stream every generator draws from.
+//!
+//! A [`Source`] hands out `u64` draws and records them. In a fresh run
+//! the draws come from a seeded [`SimRng`]; in a replay they come from
+//! a recorded (possibly shrunk) sequence, with zeros once the sequence
+//! is exhausted. Because generators are deterministic functions of the
+//! stream, the shrinker never needs to understand generated *values* —
+//! it only edits the recorded stream and regenerates.
+
+use tlr_sim::SimRng;
+
+/// A recorded stream of raw `u64` choices.
+#[derive(Debug, Clone)]
+pub struct Source {
+    rng: Option<SimRng>,
+    replay: Vec<u64>,
+    pos: usize,
+    recorded: Vec<u64>,
+}
+
+impl Source {
+    /// A fresh stream drawing from `SimRng::new(seed)`.
+    pub fn from_seed(seed: u64) -> Self {
+        Source { rng: Some(SimRng::new(seed)), replay: Vec::new(), pos: 0, recorded: Vec::new() }
+    }
+
+    /// A replay of a recorded sequence. Draws beyond the end of the
+    /// sequence return 0 — the smallest choice — so deleting a suffix
+    /// is always a meaningful shrink.
+    pub fn replay(choices: &[u64]) -> Self {
+        Source { rng: None, replay: choices.to_vec(), pos: 0, recorded: Vec::new() }
+    }
+
+    /// Next raw choice.
+    pub fn next_raw(&mut self) -> u64 {
+        let v = if self.pos < self.replay.len() {
+            self.replay[self.pos]
+        } else {
+            match &mut self.rng {
+                Some(rng) => rng.next_u64(),
+                None => 0,
+            }
+        };
+        self.pos += 1;
+        self.recorded.push(v);
+        v
+    }
+
+    /// Everything drawn so far (the shrinker's substrate).
+    pub fn choices(&self) -> &[u64] {
+        &self.recorded
+    }
+
+    /// Uniform value in `[0, bound)`; 0 when `bound == 0`. Reduction
+    /// is by modulo so that a raw choice of 0 always maps to the
+    /// smallest value, which is what makes zeroing a valid shrink.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_raw() % bound
+        }
+    }
+
+    /// Uniform `u64` in the inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn u64_in(&mut self, range: std::ops::RangeInclusive<u64>) -> u64 {
+        let (lo, hi) = (*range.start(), *range.end());
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `usize` in the inclusive range.
+    pub fn usize_in(&mut self, range: std::ops::RangeInclusive<usize>) -> usize {
+        self.u64_in(*range.start() as u64..=*range.end() as u64) as usize
+    }
+
+    /// Uniform `u32` in the inclusive range.
+    pub fn u32_in(&mut self, range: std::ops::RangeInclusive<u32>) -> u32 {
+        self.u64_in(*range.start() as u64..=*range.end() as u64) as u32
+    }
+
+    /// A coin flip; a raw choice of 0 maps to `false`.
+    pub fn bool(&mut self) -> bool {
+        self.below(2) == 1
+    }
+
+    /// Picks one element of a non-empty slice; a raw choice of 0 maps
+    /// to the first element, so put the simplest alternative first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_source_is_deterministic() {
+        let mut a = Source::from_seed(7);
+        let mut b = Source::from_seed(7);
+        for _ in 0..50 {
+            assert_eq!(a.next_raw(), b.next_raw());
+        }
+        assert_eq!(a.choices(), b.choices());
+    }
+
+    #[test]
+    fn replay_reproduces_then_pads_with_zero() {
+        let mut a = Source::from_seed(3);
+        let vals: Vec<u64> = (0..5).map(|_| a.u64_in(0..=1000)).collect();
+        let mut b = Source::replay(a.choices());
+        let again: Vec<u64> = (0..5).map(|_| b.u64_in(0..=1000)).collect();
+        assert_eq!(vals, again);
+        assert_eq!(b.u64_in(10..=20), 10, "exhausted replay draws the minimum");
+        assert!(!b.bool());
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut s = Source::from_seed(11);
+        for _ in 0..500 {
+            let v = s.u64_in(3..=9);
+            assert!((3..=9).contains(&v));
+        }
+        assert_eq!(s.u64_in(5..=5), 5);
+    }
+
+    #[test]
+    fn zero_choice_maps_to_minimum() {
+        let mut s = Source::replay(&[0, 0, 0]);
+        assert_eq!(s.u64_in(4..=19), 4);
+        assert_eq!(*s.pick(&["first", "second"]), "first");
+        assert!(!s.bool());
+    }
+}

@@ -1,0 +1,52 @@
+//! The default-`cargo test` fuzz budget: a deterministic sweep over
+//! every (scheme, retention, procs, layout) cell plus randomized
+//! schedule exploration. Together these run well over 200 distinct
+//! (seed, config) cases through the serializability oracle on every
+//! `cargo test`.
+//!
+//! Budget overrides: `TLR_CHECK_CASES` scales the randomized parts,
+//! `TLR_CHECK_SEED` re-seeds them (failures print both).
+
+use tlr_check::fuzz;
+use tlr_check::oracle::OracleWorkload;
+use tlr_check::Source;
+use tlr_sim::config::{MachineConfig, RetentionPolicy, Scheme};
+
+/// Deterministic sweep: scheme x retention x procs x layout, each cell
+/// with its own seeded workload. 5 * 2 * 3 * 2 = 60 configurations.
+#[test]
+fn oracle_sweep_scheme_retention_procs_layout() {
+    let mut cell_seeds = tlr_sim::SimRng::new(0x0eac_1e5e);
+    for scheme in Scheme::ALL {
+        for retention in [RetentionPolicy::Deferral, RetentionPolicy::Nack] {
+            for procs in [1usize, 2, 4] {
+                for packed in [false, true] {
+                    let mut cfg = MachineConfig::paper_default(scheme, procs);
+                    cfg.retention = retention;
+                    cfg.max_cycles = 50_000_000;
+                    let mut s = Source::from_seed(cell_seeds.next_u64());
+                    let mut w = OracleWorkload::arbitrary(&mut s, procs, 6);
+                    w.packed = packed;
+                    w.check(&cfg).unwrap_or_else(|e| {
+                        panic!(
+                            "sweep cell {} / {retention:?} / {procs}p / packed={packed}: {e}\n  workload: {w:?}"
+                        , scheme.label())
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Randomized schedule exploration against the oracle (seed, config,
+/// workload all drawn per case; shrinker reports the smallest failure).
+#[test]
+fn fuzz_schedules_against_oracle() {
+    fuzz::fuzz_schedules("schedule-fuzz-oracle", 120);
+}
+
+/// Randomized configs against the micro workloads' own validators.
+#[test]
+fn fuzz_micro_workloads() {
+    fuzz::fuzz_micro("schedule-fuzz-micro", 60);
+}

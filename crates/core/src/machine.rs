@@ -488,19 +488,38 @@ impl Machine {
     }
 
     /// Decides, at the bus ordering point, whether owner `o` refuses
-    /// the request (NACK retention): it must hold the block with data,
-    /// be inside a transaction the request conflicts with, and win the
+    /// the request (NACK retention): it must be inside a transaction
+    /// the request conflicts with, hold the block with data *or* have
+    /// its own transactional fill for it in flight, and win the
     /// timestamp comparison outright (no §3.2 relaxation — a NACKed
     /// earlier-timestamp waiter would starve).
+    ///
+    /// The in-flight case matters for forward progress: without it,
+    /// two transactions conflicting on two blocks can perpetually
+    /// steal each block from each other during the fill window —
+    /// neither request can be refused at the ordering point, and by
+    /// snoop time a win degrades to a loss (see `owner_conflict`), so
+    /// both sides restart forever. Resolving conflicts against
+    /// outstanding requests exactly like conflicts against held
+    /// blocks (§3.1.1) restores the timestamp order.
     fn nack_at_order(&mut self, o: NodeId, req: &BusRequest) -> bool {
         let bits = self.cfg.timestamp_bits;
         let node = &mut self.nodes[o];
-        if node.txn.is_none() || node.mshrs.get(req.line).is_some() {
+        if node.txn.is_none() {
             return false;
         }
-        let Some(l) = node.line(req.line) else { return false };
-        if !l.state.retainable() || !l.conflicts_with(req.kind.is_exclusive()) {
-            return false;
+        match node.mshrs.get(req.line) {
+            Some(m) => {
+                if m.ts.is_none() || !(req.kind.is_exclusive() || m.exclusive) {
+                    return false;
+                }
+            }
+            None => {
+                let Some(l) = node.line(req.line) else { return false };
+                if !l.state.retainable() || !l.conflicts_with(req.kind.is_exclusive()) {
+                    return false;
+                }
+            }
         }
         let wins = match req.ts {
             None => {

@@ -1,23 +1,21 @@
-//! Property-based tests of the memory-system building blocks.
+//! Property-based tests of the memory-system building blocks, on the
+//! in-repo `tlr-check` engine.
 
-use proptest::prelude::*;
-
+use tlr_check::{check, gen};
 use tlr_mem::addr::{Addr, LineAddr};
 use tlr_mem::line::{CacheLine, LineData, Moesi};
 use tlr_mem::timestamp::Timestamp;
 use tlr_mem::{Cache, Network, StoreBuffer, WriteBuffer};
 
-proptest! {
-    /// The cache never holds two entries for one line, never exceeds
-    /// its capacity, and a line that was just inserted (and not since
-    /// evicted) is retrievable.
-    #[test]
-    fn cache_invariants(
-        ops in prop::collection::vec((0u64..64, prop::bool::ANY), 1..200),
-        sets_log2 in 1u32..4,
-        ways in 1usize..4,
-    ) {
-        let sets = 1usize << sets_log2;
+/// The cache never holds two entries for one line, never exceeds its
+/// capacity, and a line that was just inserted (and not since evicted)
+/// is retrievable.
+#[test]
+fn cache_invariants() {
+    check("cache_invariants", 64, |s| {
+        let ops = gen::vec_of(s, 1..=199, |s| (s.u64_in(0..=63), s.bool()));
+        let sets = 1usize << s.u32_in(1..=3);
+        let ways = s.usize_in(1..=3);
         let mut c = Cache::new(sets, ways);
         for (line, take) in ops {
             let la = LineAddr(line);
@@ -25,43 +23,59 @@ proptest! {
                 c.take(la);
             } else if !c.contains(la) {
                 c.insert(CacheLine::new(la, Moesi::Shared, LineData::zeroed()));
-                prop_assert!(c.contains(la), "freshly inserted line resident");
+                if !c.contains(la) {
+                    return Err(format!("freshly inserted line {la:?} not resident"));
+                }
             }
             // No duplicates, capacity bound.
             let mut seen = std::collections::HashSet::new();
             for l in c.iter() {
-                prop_assert!(seen.insert(l.line), "duplicate line {:?}", l.line);
+                if !seen.insert(l.line) {
+                    return Err(format!("duplicate line {:?}", l.line));
+                }
             }
-            prop_assert!(c.len() <= sets * ways);
+            if c.len() > sets * ways {
+                return Err(format!("{} lines in a {sets}x{ways} cache", c.len()));
+            }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Write-buffer forwarding behaves like a word-indexed map over
-    /// the written words, as long as capacity is not exceeded.
-    #[test]
-    fn write_buffer_matches_model(
-        writes in prop::collection::vec((0u64..6, 0u64..8, prop::num::u64::ANY), 1..60),
-    ) {
+/// Write-buffer forwarding behaves like a word-indexed map over the
+/// written words, as long as capacity is not exceeded.
+#[test]
+fn write_buffer_matches_model() {
+    check("write_buffer_matches_model", 64, |s| {
+        let writes = gen::vec_of(s, 1..=59, |s| {
+            (s.u64_in(0..=5), s.u64_in(0..=7), s.u64_in(0..=u64::MAX - 1))
+        });
         let mut wb = WriteBuffer::new(64);
         let mut model = std::collections::HashMap::new();
         for (line, word, val) in writes {
             let addr = Addr(line * 64 + word * 8);
-            wb.write(addr, val).unwrap();
+            wb.write(addr, val).map_err(|e| format!("write refused: {e:?}"))?;
             model.insert(addr, val);
         }
         for (addr, val) in &model {
-            prop_assert_eq!(wb.read_word(*addr), Some(*val));
+            if wb.read_word(*addr) != Some(*val) {
+                return Err(format!("{addr}: {:?} != {val}", wb.read_word(*addr)));
+            }
         }
         // Unwritten words read as None.
-        prop_assert_eq!(wb.read_word(Addr(7 * 64)), None);
-    }
+        if wb.read_word(Addr(7 * 64)).is_some() {
+            return Err("unwritten word forwarded".into());
+        }
+        Ok(())
+    });
+}
 
-    /// Store-buffer forwarding returns the youngest store per address
-    /// and drains in FIFO order.
-    #[test]
-    fn store_buffer_matches_model(
-        stores in prop::collection::vec((0u64..8, prop::num::u64::ANY), 1..50),
-    ) {
+/// Store-buffer forwarding returns the youngest store per address and
+/// drains in FIFO order.
+#[test]
+fn store_buffer_matches_model() {
+    check("store_buffer_matches_model", 64, |s| {
+        let stores = gen::vec_of(s, 1..=49, |s| (s.u64_in(0..=7), s.u64_in(0..=u64::MAX - 1)));
         let mut sb = StoreBuffer::new(64);
         let mut youngest = std::collections::HashMap::new();
         for (slot, val) in &stores {
@@ -70,24 +84,29 @@ proptest! {
             youngest.insert(addr, *val);
         }
         for (addr, val) in &youngest {
-            prop_assert_eq!(sb.forward(*addr), Some(*val));
+            if sb.forward(*addr) != Some(*val) {
+                return Err(format!("{addr}: forwarded {:?} != {val}", sb.forward(*addr)));
+            }
         }
         // FIFO drain reproduces the push order.
         let mut drained = Vec::new();
         while let Some(e) = sb.pop() {
             drained.push(e);
         }
-        let expected: Vec<(Addr, u64)> =
-            stores.iter().map(|(s, v)| (Addr(s * 8), *v)).collect();
-        prop_assert_eq!(drained, expected);
-    }
+        let expected: Vec<(Addr, u64)> = stores.iter().map(|(s, v)| (Addr(s * 8), *v)).collect();
+        if drained != expected {
+            return Err(format!("drain order {drained:?} != push order {expected:?}"));
+        }
+        Ok(())
+    });
+}
 
-    /// Network deliveries are exactly the sent messages, each at or
-    /// after its scheduled cycle, in (cycle, send-order) order.
-    #[test]
-    fn network_delivers_in_order(
-        msgs in prop::collection::vec((0u64..50, 0u32..1000), 1..40),
-    ) {
+/// Network deliveries are exactly the sent messages, each at or after
+/// its scheduled cycle, in (cycle, send-order) order.
+#[test]
+fn network_delivers_in_order() {
+    check("network_delivers_in_order", 64, |s| {
+        let msgs = gen::vec_of(s, 1..=39, |s| (s.u64_in(0..=49), s.u32_in(0..=999)));
         let mut n = Network::new();
         for (i, (at, tag)) in msgs.iter().enumerate() {
             n.send(*at, (i, *tag));
@@ -95,41 +114,43 @@ proptest! {
         let mut delivered = Vec::new();
         for now in 0..60 {
             for (i, tag) in n.drain_ready(now) {
-                prop_assert!(msgs[i].0 <= now, "delivered early");
+                if msgs[i].0 > now {
+                    return Err(format!("message {i} delivered {} early", msgs[i].0 - now));
+                }
                 delivered.push((i, tag));
             }
         }
-        prop_assert_eq!(delivered.len(), msgs.len());
+        if delivered.len() != msgs.len() {
+            return Err(format!("{} of {} messages delivered", delivered.len(), msgs.len()));
+        }
         // Stable order: sorted by (cycle, send index).
         let mut expected: Vec<usize> = (0..msgs.len()).collect();
         expected.sort_by_key(|&i| (msgs[i].0, i));
         let got: Vec<usize> = delivered.iter().map(|&(i, _)| i).collect();
-        prop_assert_eq!(got, expected);
-    }
+        if got != expected {
+            return Err(format!("delivery order {got:?} != {expected:?}"));
+        }
+        Ok(())
+    });
+}
 
-    /// Timestamp comparison is a strict total order within a
-    /// half-window of clock values, at every width.
-    #[test]
-    fn timestamp_total_order_within_window(
-        base in prop::num::u64::ANY,
-        offs in prop::collection::vec(0u64..100, 3),
-        bits in 8u32..=64,
-    ) {
-        let make = |k: usize| Timestamp::new(base.wrapping_add(offs[k]) & ((1u64 << (bits - 1)) - 1).wrapping_mul(2).wrapping_add(1), k);
+/// Timestamp comparison is a strict total order within a half-window
+/// of clock values, at every width.
+#[test]
+fn timestamp_total_order_within_window() {
+    check("timestamp_total_order_within_window", 128, |s| {
+        let base = s.u64_in(0..=u64::MAX - 1);
+        let offs: Vec<u64> = (0..3).map(|_| s.u64_in(0..=99)).collect();
+        let bits = s.u32_in(8..=64);
         // Clamp clocks into the bit width.
         let mask = if bits >= 64 { u64::MAX } else { (1u64 << bits) - 1 };
         let ts: Vec<Timestamp> =
             (0..3).map(|k| Timestamp::new(base.wrapping_add(offs[k]) & mask, k)).collect();
-        let _ = make;
         // Antisymmetry.
         for a in 0..3 {
             for b in 0..3 {
-                if a != b {
-                    prop_assert_ne!(
-                        ts[a].wins_over(ts[b], bits),
-                        ts[b].wins_over(ts[a], bits),
-                        "{:?} vs {:?}", ts[a], ts[b]
-                    );
+                if a != b && ts[a].wins_over(ts[b], bits) == ts[b].wins_over(ts[a], bits) {
+                    return Err(format!("antisymmetry: {} vs {} @{bits}", ts[a], ts[b]));
                 }
             }
         }
@@ -137,14 +158,21 @@ proptest! {
         for a in 0..3 {
             for b in 0..3 {
                 for c in 0..3 {
-                    if a != b && b != c && a != c
+                    if a != b
+                        && b != c
+                        && a != c
                         && ts[a].wins_over(ts[b], bits)
                         && ts[b].wins_over(ts[c], bits)
+                        && !ts[a].wins_over(ts[c], bits)
                     {
-                        prop_assert!(ts[a].wins_over(ts[c], bits), "transitivity");
+                        return Err(format!(
+                            "transitivity: {} < {} < {} but not {} < {} @{bits}",
+                            ts[a], ts[b], ts[c], ts[a], ts[c]
+                        ));
                     }
                 }
             }
         }
-    }
+        Ok(())
+    });
 }

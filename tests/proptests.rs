@@ -1,11 +1,12 @@
 //! Property-based tests: randomized workload shapes and machine
-//! configurations must always produce the serial result.
-
-use proptest::prelude::*;
+//! configurations must always produce the serial result. Runs on the
+//! in-repo `tlr-check` engine; failures print a `TLR_CHECK_SEED`
+//! reproduction line and a minimized choice sequence.
 
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use tlr_check::{check, gen, Source};
 use tlr_repro::core::run::run_workload;
 use tlr_repro::core::Machine;
 use tlr_repro::cpu::{Asm, Program};
@@ -46,30 +47,25 @@ fn subset_worker(words: &[u64], iters: u64, delay: (u32, u32)) -> Arc<Program> {
     Arc::new(a.finish())
 }
 
-fn scheme_from(ix: u8) -> Scheme {
-    Scheme::ALL[ix as usize % Scheme::ALL.len()]
+fn arbitrary_scheme(s: &mut Source) -> Scheme {
+    *s.pick(&Scheme::ALL)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
-
-    /// Random per-thread word subsets, iteration counts, delays, seed
-    /// and scheme: final word values must equal the sum of increments
-    /// by the threads that touch each word.
-    #[test]
-    fn lock_protected_increments_are_serializable(
-        scheme_ix in 0u8..5,
-        seed in 0u64..1000,
-        threads in prop::collection::vec(
+/// Random per-thread word subsets, iteration counts, delays, seed and
+/// scheme: final word values must equal the sum of increments by the
+/// threads that touch each word.
+#[test]
+fn lock_protected_increments_are_serializable() {
+    check("lock_protected_increments_are_serializable", 24, |s| {
+        let scheme = arbitrary_scheme(s);
+        let seed = s.u64_in(0..=999);
+        let threads = gen::vec_of(s, 1..=4, |s| {
             (
-                prop::collection::vec(0u64..6, 1..4), // word indices
-                1u64..12,                             // iterations
-                (0u32..4, 1u32..16),                  // delay bounds
-            ),
-            1..5,
-        ),
-    ) {
-        let scheme = scheme_from(scheme_ix);
+                gen::vec_of(s, 1..=3, |s| s.u64_in(0..=5)), // word indices
+                s.u64_in(1..=11),                           // iterations
+                (s.u32_in(0..=3), s.u32_in(1..=15)),        // delay bounds
+            )
+        });
         let word_addr = |ix: u64| 0x2000 + ix * 64;
         let programs: Vec<_> = threads
             .iter()
@@ -84,7 +80,7 @@ proptest! {
         cfg.seed = seed;
         cfg.max_cycles = 200_000_000;
         let mut m = Machine::new(cfg, programs, HashSet::from([Addr(LOCK)]));
-        m.run().expect("quiesce");
+        m.run().map_err(|e| format!("{e}"))?;
         let mut expect = [0u64; 6];
         for (words, iters, _) in &threads {
             for &w in words {
@@ -92,55 +88,76 @@ proptest! {
             }
         }
         for (w, &e) in expect.iter().enumerate() {
-            prop_assert_eq!(m.final_word(Addr(word_addr(w as u64))), e, "word {}", w);
+            let got = m.final_word(Addr(word_addr(w as u64)));
+            if got != e {
+                return Err(format!("word {w}: {got} != {e} ({scheme:?}, {threads:?})"));
+            }
         }
-        prop_assert_eq!(m.final_word(Addr(LOCK)), 0);
-    }
+        let lock = m.final_word(Addr(LOCK));
+        if lock != 0 {
+            return Err(format!("lock left as {lock}"));
+        }
+        Ok(())
+    });
+}
 
-    /// The doubly-linked list keeps its structural invariants for
-    /// arbitrary sizes, processor counts, schemes and seeds.
-    #[test]
-    fn dll_structure_preserved(
-        scheme_ix in 0u8..5,
-        procs in 1usize..5,
-        pairs in 4u64..40,
-        seed in 0u64..1000,
-    ) {
-        let scheme = scheme_from(scheme_ix);
+/// The doubly-linked list keeps its structural invariants for
+/// arbitrary sizes, processor counts, schemes and seeds.
+#[test]
+fn dll_structure_preserved() {
+    check("dll_structure_preserved", 24, |s| {
+        let scheme = arbitrary_scheme(s);
+        let procs = s.usize_in(1..=4);
+        let pairs = s.u64_in(4..=39);
+        let seed = s.u64_in(0..=999);
         let w = micro::doubly_linked_list(procs, pairs);
         let mut cfg = MachineConfig::paper_default(scheme, procs);
         cfg.seed = seed;
         cfg.max_cycles = 200_000_000;
         let report = run_workload(&cfg, &w);
-        prop_assert!(report.validation.is_ok(), "{:?}", report.validation);
-    }
+        report
+            .validation
+            .clone()
+            .map_err(|e| format!("{e} ({scheme:?}, {procs}p, {pairs} pairs, seed {seed})"))
+    });
+}
 
-    /// Tiny caches and buffers (constant resource fallbacks) never
-    /// break correctness.
-    #[test]
-    fn resource_starved_configuration_correct(
-        wb_lines in 2usize..8,
-        victim in 1usize..4,
-        procs in 1usize..4,
-    ) {
+/// Tiny caches and buffers (constant resource fallbacks) never break
+/// correctness.
+#[test]
+fn resource_starved_configuration_correct() {
+    check("resource_starved_configuration_correct", 24, |s| {
+        let wb_lines = s.usize_in(2..=7);
+        let victim = s.usize_in(1..=3);
+        let procs = s.usize_in(1..=3);
         let mut cfg = MachineConfig::small(Scheme::Tlr, procs);
         cfg.write_buffer_lines = wb_lines;
         cfg.victim_entries = victim;
         cfg.max_cycles = 200_000_000;
         let w = micro::single_counter(procs, 48);
         let report = run_workload(&cfg, &w);
-        prop_assert!(report.validation.is_ok(), "{:?}", report.validation);
-    }
+        report
+            .validation
+            .clone()
+            .map_err(|e| format!("{e} (wb={wb_lines}, victim={victim}, {procs}p)"))
+    });
+}
 
-    /// Narrow timestamps (frequent rollover) preserve correctness and
-    /// forward progress (§2.1.2 rollover handling).
-    #[test]
-    fn narrow_timestamps_roll_over_safely(bits in 4u32..10, procs in 2usize..5) {
+/// Narrow timestamps (frequent rollover) preserve correctness and
+/// forward progress (§2.1.2 rollover handling).
+#[test]
+fn narrow_timestamps_roll_over_safely() {
+    check("narrow_timestamps_roll_over_safely", 24, |s| {
+        let bits = s.u32_in(4..=9);
+        let procs = s.usize_in(2..=4);
         let mut cfg = MachineConfig::paper_default(Scheme::Tlr, procs);
         cfg.timestamp_bits = bits;
         cfg.max_cycles = 200_000_000;
         let w = micro::single_counter(procs, 64);
         let report = run_workload(&cfg, &w);
-        prop_assert!(report.validation.is_ok(), "{:?}", report.validation);
-    }
+        report
+            .validation
+            .clone()
+            .map_err(|e| format!("{e} (bits={bits}, {procs}p)"))
+    });
 }

@@ -1,0 +1,50 @@
+//! Root-level entry point for the hermetic verification subsystem:
+//! guarantees the serializability oracle and schedule fuzzer run on a
+//! plain `cargo test` from the repository root (the `tlr-check` crate
+//! repeats this with its own sweep when testing the workspace).
+//!
+//! Together the three tests below execute well over 200 distinct
+//! (seed, config) cases, each asserting that the TLR machine's final
+//! state matches the serial reference and is explained by the
+//! machine's own commit order.
+
+use tlr_check::fuzz;
+use tlr_check::oracle::OracleWorkload;
+use tlr_check::Source;
+use tlr_sim::config::{MachineConfig, RetentionPolicy, Scheme};
+
+/// Deterministic sweep: scheme x retention x procs, one seeded
+/// workload per cell (5 * 2 * 3 = 30 cells).
+#[test]
+fn oracle_sweep_all_schemes() {
+    let mut cell_seeds = tlr_sim::SimRng::new(0x5eed_cafe);
+    for scheme in Scheme::ALL {
+        for retention in [RetentionPolicy::Deferral, RetentionPolicy::Nack] {
+            for procs in [1usize, 2, 4] {
+                let mut cfg = MachineConfig::paper_default(scheme, procs);
+                cfg.retention = retention;
+                cfg.max_cycles = 50_000_000;
+                let mut s = Source::from_seed(cell_seeds.next_u64());
+                let w = OracleWorkload::arbitrary(&mut s, procs, 6);
+                w.check(&cfg).unwrap_or_else(|e| {
+                    panic!(
+                        "sweep cell {} / {retention:?} / {procs}p: {e}\n  workload: {w:?}",
+                        scheme.label()
+                    )
+                });
+            }
+        }
+    }
+}
+
+/// Randomized schedule exploration against the serializability oracle.
+#[test]
+fn fuzz_schedules_against_oracle() {
+    fuzz::fuzz_schedules("root-schedule-fuzz-oracle", 140);
+}
+
+/// Randomized configurations against the micro workloads' validators.
+#[test]
+fn fuzz_micro_workloads() {
+    fuzz::fuzz_micro("root-schedule-fuzz-micro", 60);
+}
