@@ -22,7 +22,7 @@ use tlr_workloads::apps::{mp3d, mp3d_coarse};
 fn main() {
     let opts = BenchOpts::from_args();
     if opts.check {
-        tlr_bench::checks::run("exp_coarse_fine", tlr_bench::checks::exp_coarse_fine);
+        tlr_bench::checks::run("exp_coarse_fine", tlr_bench::checks::exp_coarse_fine, opts.json.as_deref());
         return;
     }
     let procs = *opts.procs.last().unwrap_or(&16);
@@ -39,15 +39,16 @@ fn main() {
     let mcs_coarse = run_cell(Scheme::Mcs, procs, &coarse);
     let tlr_coarse = run_cell(Scheme::Tlr, procs, &coarse);
 
-    println!("{:<28} {:>14}", "configuration", "cycles");
-    for (name, r) in [
+    let configs = [
         ("BASE  + fine-grain locks", &base_fine),
         ("MCS   + fine-grain locks", &mcs_fine),
         ("TLR   + fine-grain locks", &tlr_fine),
         ("BASE  + one coarse lock", &base_coarse),
         ("MCS   + one coarse lock", &mcs_coarse),
         ("TLR   + one coarse lock", &tlr_coarse),
-    ] {
+    ];
+    println!("{:<28} {:>14}", "configuration", "cycles");
+    for (name, r) in configs {
         println!("{:<28} {:>14}", name, r.stats.parallel_cycles);
     }
     println!();
@@ -63,4 +64,25 @@ fn main() {
         "coarse lock under BASE degrades:   {:.2}x slower than BASE+fine",
         1.0 / speedup(&base_coarse, &base_fine)
     );
+    if let Some(path) = &opts.json {
+        let mut j = tlr_sim::json::JsonBuf::new();
+        j.obj();
+        j.str_field("title", "Coarse vs fine grain (mp3d kernel)");
+        j.u64_field("procs", procs as u64);
+        j.arr_key("configurations");
+        for (name, r) in configs {
+            j.obj();
+            j.str_field("configuration", name);
+            tlr_bench::report_fields(&mut j, r);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.obj_key("speedups");
+        j.f64_field("tlr_coarse_over_base_fine", speedup(&tlr_coarse, &base_fine));
+        j.f64_field("tlr_coarse_over_tlr_fine", speedup(&tlr_coarse, &tlr_fine));
+        j.f64_field("base_coarse_over_base_fine", speedup(&base_coarse, &base_fine));
+        j.end_obj();
+        j.end_obj();
+        tlr_bench::write_json_file(path, &j.finish());
+    }
 }

@@ -10,14 +10,14 @@
 //! cargo run --release -p tlr-bench --bin fig08_multiple_counter [--quick] [--procs 1,2,4]
 //! ```
 
-use tlr_bench::{print_events, print_series, run_cell_seeded, write_series_csv, BenchOpts};
+use tlr_bench::{print_events, print_series, run_cell_seeded, write_series_csv, write_series_json, BenchOpts};
 use tlr_sim::config::Scheme;
 use tlr_workloads::micro::multiple_counter;
 
 fn main() {
     let opts = BenchOpts::from_args();
     if opts.check {
-        tlr_bench::checks::run("fig08_multiple_counter", tlr_bench::checks::fig08);
+        tlr_bench::checks::run("fig08_multiple_counter", tlr_bench::checks::fig08, opts.json.as_deref());
         return;
     }
     // Paper: 2^24 total increments; scaled down (DESIGN.md).
@@ -43,5 +43,8 @@ fn main() {
     }
     if let Some(path) = &opts.csv {
         write_series_csv(path, &schemes, &rows);
+    }
+    if let Some(path) = &opts.json {
+        write_series_json(path, "Figure 8: multiple-counter microbenchmark", &schemes, &rows);
     }
 }

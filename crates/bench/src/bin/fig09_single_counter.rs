@@ -12,14 +12,14 @@
 //! cargo run --release -p tlr-bench --bin fig09_single_counter [--quick] [--procs 1,2,4]
 //! ```
 
-use tlr_bench::{print_events, print_series, run_cell_seeded, write_series_csv, BenchOpts};
+use tlr_bench::{print_events, print_series, run_cell_seeded, write_series_csv, write_series_json, BenchOpts};
 use tlr_sim::config::Scheme;
 use tlr_workloads::micro::single_counter;
 
 fn main() {
     let opts = BenchOpts::from_args();
     if opts.check {
-        tlr_bench::checks::run("fig09_single_counter", tlr_bench::checks::fig09);
+        tlr_bench::checks::run("fig09_single_counter", tlr_bench::checks::fig09, opts.json.as_deref());
         return;
     }
     // Paper: 2^16 total increments; scaled down (DESIGN.md).
@@ -46,5 +46,8 @@ fn main() {
     }
     if let Some(path) = &opts.csv {
         write_series_csv(path, &schemes, &rows);
+    }
+    if let Some(path) = &opts.json {
+        write_series_json(path, "Figure 9: single-counter microbenchmark", &schemes, &rows);
     }
 }

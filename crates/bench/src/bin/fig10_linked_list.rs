@@ -10,14 +10,14 @@
 //! cargo run --release -p tlr-bench --bin fig10_linked_list [--quick] [--procs 1,2,4]
 //! ```
 
-use tlr_bench::{print_events, print_series, run_cell_seeded, write_series_csv, BenchOpts};
+use tlr_bench::{print_events, print_series, run_cell_seeded, write_series_csv, write_series_json, BenchOpts};
 use tlr_sim::config::Scheme;
 use tlr_workloads::micro::doubly_linked_list;
 
 fn main() {
     let opts = BenchOpts::from_args();
     if opts.check {
-        tlr_bench::checks::run("fig10_linked_list", tlr_bench::checks::fig10);
+        tlr_bench::checks::run("fig10_linked_list", tlr_bench::checks::fig10, opts.json.as_deref());
         return;
     }
     // Paper: 2^16 enqueue/dequeue operations; scaled down (DESIGN.md).
@@ -45,5 +45,8 @@ fn main() {
     }
     if let Some(path) = &opts.csv {
         write_series_csv(path, &schemes, &rows);
+    }
+    if let Some(path) = &opts.json {
+        write_series_json(path, "Figure 10: doubly-linked-list microbenchmark", &schemes, &rows);
     }
 }

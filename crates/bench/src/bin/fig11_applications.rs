@@ -13,14 +13,14 @@
 //! cargo run --release -p tlr-bench --bin fig11_applications [--quick] [--procs 16]
 //! ```
 
-use tlr_bench::{run_cell, speedup, BenchOpts};
+use tlr_bench::{run_cell, speedup, write_apps_json, BenchOpts};
 use tlr_sim::config::Scheme;
 use tlr_workloads::apps::figure11_apps;
 
 fn main() {
     let opts = BenchOpts::from_args();
     if opts.check {
-        tlr_bench::checks::run("fig11_applications", tlr_bench::checks::fig11);
+        tlr_bench::checks::run("fig11_applications", tlr_bench::checks::fig11, opts.json.as_deref());
         return;
     }
     let procs = *opts.procs.last().unwrap_or(&16);
@@ -30,6 +30,7 @@ fn main() {
         "{:<12} {:>9} {:>22} {:>22} {:>22} {:>9} {:>9}",
         "app", "BASE(cyc)", "BASE lock/other", "SLE lock/other", "TLR lock/other", "TLR/BASE", "MCS/BASE"
     );
+    let mut rows: Vec<(String, Vec<tlr_core::run::RunReport>)> = Vec::new();
     for w in figure11_apps(procs, scale) {
         let base = run_cell(Scheme::Base, procs, w.as_ref());
         let sle = run_cell(Scheme::Sle, procs, w.as_ref());
@@ -51,6 +52,10 @@ fn main() {
             speedup(&tlr, &base),
             speedup(&mcs, &base),
         );
+        rows.push((w.name().to_string(), vec![base, sle, tlr, mcs]));
     }
     println!("\n(normalized execution time; lock% = cycles attributed to lock variables)");
+    if let Some(path) = &opts.json {
+        write_apps_json(path, "Figure 11: application performance", procs, &rows);
+    }
 }

@@ -9,7 +9,7 @@
 fn main() {
     let opts = tlr_bench::BenchOpts::from_args();
     if opts.check {
-        tlr_bench::checks::run("table1_benchmarks", tlr_bench::checks::table1);
+        tlr_bench::checks::run("table1_benchmarks", tlr_bench::checks::table1, opts.json.as_deref());
         return;
     }
     println!("Table 1: Benchmarks (paper column -> this reproduction's kernel)");
@@ -39,4 +39,21 @@ fn main() {
     println!();
     println!("All kernels run the same binary under BASE/SLE/TLR (test&test&set locks)");
     println!("and an MCS-lock binary under the MCS configuration, as in §5.");
+    if let Some(path) = &opts.json {
+        let mut j = tlr_sim::json::JsonBuf::new();
+        j.obj();
+        j.str_field("title", "Table 1: Benchmarks");
+        j.arr_key("rows");
+        for (app, sim, cs, kernel) in rows {
+            j.obj();
+            j.str_field("application", app);
+            j.str_field("simulation", sim);
+            j.str_field("critical_sections", cs);
+            j.str_field("kernel", kernel);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        tlr_bench::write_json_file(path, &j.finish());
+    }
 }

@@ -12,7 +12,7 @@ use tlr_sim::config::{MachineConfig, Scheme};
 fn main() {
     let opts = tlr_bench::BenchOpts::from_args();
     if opts.check {
-        tlr_bench::checks::run("table2_machine", tlr_bench::checks::table2);
+        tlr_bench::checks::run("table2_machine", tlr_bench::checks::table2, opts.json.as_deref());
         return;
     }
     let cfg = MachineConfig::paper_default(Scheme::Tlr, 16);
@@ -51,7 +51,23 @@ fn main() {
     ];
     let (h1, h2, h3) = ("parameter", "this reproduction", "paper");
     println!("{h1:<18} {h2:<48} {h3}");
-    for (k, v, p) in rows {
+    for (k, v, p) in &rows {
         println!("{k:<18} {v:<48} {p}");
+    }
+    if let Some(path) = &opts.json {
+        let mut j = tlr_sim::json::JsonBuf::new();
+        j.obj();
+        j.str_field("title", "Table 2: simulated machine parameters");
+        j.arr_key("rows");
+        for (k, v, p) in &rows {
+            j.obj();
+            j.str_field("parameter", k);
+            j.str_field("reproduction", v);
+            j.str_field("paper", p);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        tlr_bench::write_json_file(path, &j.finish());
     }
 }

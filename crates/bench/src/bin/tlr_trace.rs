@@ -1,0 +1,157 @@
+//! `tlr-trace`: run one workload with transaction-lifecycle tracing
+//! enabled and export the span log as a Chrome/Perfetto `trace.json`
+//! plus an aggregate-metrics JSON document.
+//!
+//! Load the trace in <https://ui.perfetto.dev> (or
+//! `chrome://tracing`): each processor is a track, each elided
+//! critical section a span (begin → commit/restart/fallback), with
+//! protocol events (deferrals, markers, probes, NACKs) as instants on
+//! the owning span.
+//!
+//! ```text
+//! cargo run --release -p tlr-bench --bin tlr-trace -- \
+//!     --workload single_counter --procs 4 --total 256 \
+//!     --out trace.json --metrics metrics.json
+//! ```
+//!
+//! Flags: `--workload single_counter|multiple_counter|linked_list|`
+//! `mp3d|mp3d_coarse`, `--scheme base|mcs|sle|tlr|tlr_strict_ts`,
+//! `--procs N`, `--total N`, `--capacity N` (trace ring-buffer
+//! capacity), `--top-n N` (contended-line table size), `--out PATH`,
+//! `--metrics PATH`, `--dump-spans` (print the span log), and
+//! `--expect-defer` (exit non-zero unless the trace holds at least
+//! one deferral — CI uses this to pin the protocol path down).
+
+use tlr_core::run::{build_machine, WorkloadSpec};
+use tlr_sim::config::{MachineConfig, Scheme};
+use tlr_sim::trace::TraceKind;
+use tlr_sim::{export, json};
+use tlr_workloads::apps::{mp3d, mp3d_coarse};
+use tlr_workloads::micro::{doubly_linked_list, multiple_counter, single_counter};
+
+struct TraceOpts {
+    workload: String,
+    scheme: Scheme,
+    procs: usize,
+    total: u64,
+    capacity: usize,
+    top_n: usize,
+    out: Option<std::path::PathBuf>,
+    metrics: Option<std::path::PathBuf>,
+    dump_spans: bool,
+    expect_defer: bool,
+}
+
+fn parse_args() -> TraceOpts {
+    let mut o = TraceOpts {
+        workload: "single_counter".to_string(),
+        scheme: Scheme::Tlr,
+        procs: 4,
+        total: 256,
+        capacity: tlr_sim::trace::DEFAULT_CAPACITY,
+        top_n: 16,
+        out: None,
+        metrics: None,
+        dump_spans: false,
+        expect_defer: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |what: &str| args.next().unwrap_or_else(|| panic!("{what} needs a value"));
+        match arg.as_str() {
+            "--workload" => o.workload = val("--workload"),
+            "--scheme" => {
+                o.scheme = match val("--scheme").as_str() {
+                    "base" => Scheme::Base,
+                    "mcs" => Scheme::Mcs,
+                    "sle" => Scheme::Sle,
+                    "tlr" => Scheme::Tlr,
+                    "tlr_strict_ts" => Scheme::TlrStrictTs,
+                    other => panic!("unknown scheme {other:?} (base|mcs|sle|tlr|tlr_strict_ts)"),
+                }
+            }
+            "--procs" => o.procs = val("--procs").parse().expect("bad --procs"),
+            "--total" => o.total = val("--total").parse().expect("bad --total"),
+            "--capacity" => o.capacity = val("--capacity").parse().expect("bad --capacity"),
+            "--top-n" => o.top_n = val("--top-n").parse().expect("bad --top-n"),
+            "--out" => o.out = Some(std::path::PathBuf::from(val("--out"))),
+            "--metrics" => o.metrics = Some(std::path::PathBuf::from(val("--metrics"))),
+            "--dump-spans" => o.dump_spans = true,
+            "--expect-defer" => o.expect_defer = true,
+            other => panic!(
+                "unknown argument {other:?} (supported: --workload, --scheme, --procs, \
+                 --total, --capacity, --top-n, --out, --metrics, --dump-spans, --expect-defer)"
+            ),
+        }
+    }
+    o
+}
+
+fn workload(name: &str, procs: usize, total: u64) -> Box<dyn WorkloadSpec> {
+    match name {
+        "single_counter" => Box::new(single_counter(procs, total)),
+        "multiple_counter" => Box::new(multiple_counter(procs, total)),
+        "linked_list" => Box::new(doubly_linked_list(procs, total)),
+        "mp3d" => Box::new(mp3d(procs, total, 4096)),
+        "mp3d_coarse" => Box::new(mp3d_coarse(procs, total, 4096)),
+        other => panic!(
+            "unknown workload {other:?} \
+             (single_counter|multiple_counter|linked_list|mp3d|mp3d_coarse)"
+        ),
+    }
+}
+
+fn write_validated(path: &std::path::Path, contents: &str, what: &str) {
+    json::validate(contents)
+        .unwrap_or_else(|e| panic!("generated {what} JSON is malformed: {e}"));
+    std::fs::write(path, contents)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("({what} written to {})", path.display());
+}
+
+fn main() {
+    let o = parse_args();
+    let w = workload(&o.workload, o.procs, o.total);
+    let mut cfg = MachineConfig::paper_default(o.scheme, o.procs);
+    cfg.max_cycles = 60_000_000_000;
+    let mut m = build_machine(&cfg, w.as_ref());
+    m.enable_trace_with_capacity(o.capacity);
+    m.run().unwrap_or_else(|e| panic!("{} [{} x{}]: {e}", w.name(), o.scheme, o.procs));
+    w.validate(&m).unwrap_or_else(|e| panic!("serializability violation: {e}"));
+
+    let log = m.span_log();
+    let stats = m.stats();
+    let defers = m.trace().count(|e| matches!(e.kind, TraceKind::Defer { .. }));
+    println!(
+        "{} [{} x{}]: {} cycles, {} events ({} dropped), {} spans \
+         ({} commits, {} restarts), {} deferrals",
+        w.name(),
+        o.scheme,
+        o.procs,
+        stats.parallel_cycles,
+        m.trace().len(),
+        m.trace().dropped(),
+        log.spans.len(),
+        log.commits(),
+        log.restarts(),
+        defers,
+    );
+
+    if o.dump_spans {
+        println!("{}", log.dump());
+    }
+    if let Some(path) = &o.out {
+        write_validated(path, &export::chrome_trace_json(&log, o.procs), "trace");
+    }
+    if let Some(path) = &o.metrics {
+        let doc = export::metrics_json(w.name(), o.scheme.label(), o.procs, stats, o.top_n);
+        write_validated(path, &doc, "metrics");
+    }
+    if o.expect_defer && defers == 0 {
+        eprintln!("EXPECT FAIL: no Defer event in the trace (wanted at least one)");
+        std::process::exit(1);
+    }
+    if o.expect_defer {
+        println!("EXPECT PASS: trace holds {defers} deferral(s)");
+    }
+}

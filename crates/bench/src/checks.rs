@@ -22,8 +22,22 @@ use crate::{run_cell, speedup};
 
 /// Runs one named check, printing a `CHECK PASS`/`CHECK FAIL` line and
 /// exiting non-zero on failure (the binaries' `--check` entry point).
-pub fn run(name: &str, f: fn() -> Result<(), String>) {
-    match f() {
+/// With `--json`, the verdict is also written as
+/// `{"check": name, "pass": bool, "error"?: string}`.
+pub fn run(name: &str, f: fn() -> Result<(), String>, json: Option<&std::path::Path>) {
+    let outcome = f();
+    if let Some(path) = json {
+        let mut j = tlr_sim::json::JsonBuf::new();
+        j.obj();
+        j.str_field("check", name);
+        j.bool_field("pass", outcome.is_ok());
+        if let Err(e) = &outcome {
+            j.str_field("error", e);
+        }
+        j.end_obj();
+        crate::write_json_file(path, &j.finish());
+    }
+    match outcome {
         Ok(()) => println!("CHECK PASS: {name}"),
         Err(e) => {
             eprintln!("CHECK FAIL: {name}: {e}");

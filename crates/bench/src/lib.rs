@@ -9,7 +9,10 @@
 //! * `--procs 1,2,4,8,16` — override the processor counts;
 //! * `--check` — skip the sweep and instead assert the binary's
 //!   output schema and paper-direction invariants at small scale
-//!   (see [`checks`]), exiting non-zero on violation.
+//!   (see [`checks`]), exiting non-zero on violation;
+//! * `--json <path>` — also write the results as machine-readable
+//!   JSON (with `--check`, the check verdict instead). The committed
+//!   examples live under `bench_results/`.
 //!
 //! Run lengths are scaled down from the paper (2^24/2^16 iterations)
 //! as documented in `DESIGN.md`; shapes, not absolute cycle counts,
@@ -32,6 +35,9 @@ pub struct BenchOpts {
     pub seeds: u64,
     /// Optional path to also write the results as CSV (for plotting).
     pub csv: Option<std::path::PathBuf>,
+    /// Optional path to also write the results as JSON (for tooling;
+    /// with `--check`, the check verdict is written instead).
+    pub json: Option<std::path::PathBuf>,
     /// Run the binary's golden-shape check instead of the full sweep.
     pub check: bool,
 }
@@ -48,6 +54,7 @@ impl BenchOpts {
             quick: false,
             seeds: 1,
             csv: None,
+            json: None,
             check: false,
         };
         let mut args = std::env::args().skip(1);
@@ -71,9 +78,13 @@ impl BenchOpts {
                     let v = args.next().expect("--csv needs a file path");
                     opts.csv = Some(std::path::PathBuf::from(v));
                 }
+                "--json" => {
+                    let v = args.next().expect("--json needs a file path");
+                    opts.json = Some(std::path::PathBuf::from(v));
+                }
                 other => {
                     panic!(
-                        "unknown argument {other:?} (supported: --quick, --check, --procs, --seeds, --csv)"
+                        "unknown argument {other:?} (supported: --quick, --check, --procs, --seeds, --csv, --json)"
                     )
                 }
             }
@@ -192,6 +203,108 @@ pub fn write_series_csv(
     println!("(csv written to {})", path.display());
 }
 
+/// Writes the per-scheme fields of one report cell into an open JSON
+/// object (shared by the series/app writers and the exp binaries).
+pub fn report_fields(j: &mut tlr_sim::json::JsonBuf, r: &RunReport) {
+    j.str_field("scheme", r.scheme.label());
+    j.u64_field("parallel_cycles", r.stats.parallel_cycles);
+    j.u64_field("commits", r.stats.total_commits());
+    j.u64_field("restarts", r.stats.total_restarts());
+    j.u64_field("fallbacks", r.stats.total_fallbacks());
+    j.u64_field("deferrals", r.stats.sum(|n| n.requests_deferred));
+    j.u64_field("lock_cycles", r.stats.total_lock_cycles());
+    j.u64_field("wasted_cycles", r.stats.total_wasted_cycles());
+}
+
+/// Serializes a sweep (the same rows [`print_series`] prints) as
+/// JSON, validates the result, and writes it to `path`.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written or (a bug) the generated JSON
+/// does not parse.
+pub fn write_series_json(
+    path: &std::path::Path,
+    title: &str,
+    schemes: &[Scheme],
+    rows: &[(usize, Vec<RunReport>)],
+) {
+    let mut j = tlr_sim::json::JsonBuf::new();
+    j.obj();
+    j.str_field("title", title);
+    j.arr_key("schemes");
+    for s in schemes {
+        j.str_elem(s.label());
+    }
+    j.end_arr();
+    j.arr_key("rows");
+    for (procs, reports) in rows {
+        j.obj();
+        j.u64_field("procs", *procs as u64);
+        j.arr_key("cells");
+        for r in reports {
+            j.obj();
+            report_fields(&mut j, r);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+    }
+    j.end_arr();
+    j.end_obj();
+    write_json_file(path, &j.finish());
+}
+
+/// Like [`write_series_json`] but for per-application rows (Figure
+/// 11): rows are keyed by app name instead of processor count.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written or the generated JSON does
+/// not parse.
+pub fn write_apps_json(
+    path: &std::path::Path,
+    title: &str,
+    procs: usize,
+    rows: &[(String, Vec<RunReport>)],
+) {
+    let mut j = tlr_sim::json::JsonBuf::new();
+    j.obj();
+    j.str_field("title", title);
+    j.u64_field("procs", procs as u64);
+    j.arr_key("apps");
+    for (name, reports) in rows {
+        j.obj();
+        j.str_field("app", name);
+        j.arr_key("cells");
+        for r in reports {
+            j.obj();
+            report_fields(&mut j, r);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+    }
+    j.end_arr();
+    j.end_obj();
+    write_json_file(path, &j.finish());
+}
+
+/// Validates `json` with the in-repo parser and writes it to `path`
+/// (every `--json` output self-checks before it lands on disk).
+///
+/// # Panics
+///
+/// Panics if the JSON is malformed (a serializer bug) or the file
+/// cannot be written.
+pub fn write_json_file(path: &std::path::Path, json: &str) {
+    tlr_sim::json::validate(json)
+        .unwrap_or_else(|e| panic!("generated JSON for {} is malformed: {e}", path.display()));
+    std::fs::write(path, json)
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("(json written to {})", path.display());
+}
+
 /// Speedup of `a` over `b` as the paper defines it: cycles(b) /
 /// cycles(a); > 1 means `a` is faster.
 pub fn speedup(a: &RunReport, b: &RunReport) -> f64 {
@@ -222,10 +335,37 @@ mod tests {
 
     #[test]
     fn opts_scaling() {
-        let quick = BenchOpts { procs: vec![2], quick: true, seeds: 1, csv: None, check: false };
-        let full = BenchOpts { procs: vec![2], quick: false, seeds: 1, csv: None, check: false };
+        let quick = BenchOpts {
+            procs: vec![2],
+            quick: true,
+            seeds: 1,
+            csv: None,
+            json: None,
+            check: false,
+        };
+        let full = BenchOpts {
+            procs: vec![2],
+            quick: false,
+            seeds: 1,
+            csv: None,
+            json: None,
+            check: false,
+        };
         assert_eq!(full.scale(1 << 14), 1 << 14);
         assert_eq!(quick.scale(1 << 14), 1 << 10);
         assert_eq!(quick.scale(100), 64, "quick floor");
+    }
+
+    #[test]
+    fn series_json_is_valid_and_carries_cells() {
+        let w = single_counter(2, 64);
+        let rows = vec![(2usize, vec![run_cell(Scheme::Tlr, 2, &w)])];
+        let path = std::env::temp_dir().join("tlr_bench_series_test.json");
+        write_series_json(&path, "test series", &[Scheme::Tlr], &rows);
+        let s = std::fs::read_to_string(&path).expect("written");
+        tlr_sim::json::validate(&s).expect("valid JSON");
+        assert!(s.contains("\"parallel_cycles\""));
+        assert!(s.contains("BASE+SLE+TLR"), "{s}");
+        std::fs::remove_file(&path).ok();
     }
 }

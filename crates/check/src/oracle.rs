@@ -156,11 +156,21 @@ impl OracleWorkload {
     /// Returns a description of the first violation: a timeout, a
     /// shared word differing from the serial reference, a completion
     /// count mismatch, or a final state no commit-consistent serial
-    /// order explains.
+    /// order explains. The failing run's transaction span log is
+    /// appended so a minimized counterexample is diagnosable without a
+    /// rerun (the propagating `TLR_CHECK_SEED` line reproduces it).
     pub fn check(&self, cfg: &MachineConfig) -> Result<(), String> {
         let mut m = self.build_machine(cfg);
-        m.run().map_err(|e| format!("machine failed to quiesce: {e}"))?;
+        let result = m
+            .run()
+            .map_err(|e| format!("machine failed to quiesce: {e}"))
+            .and_then(|()| self.check_quiesced(&m));
+        result.map_err(|e| {
+            format!("{e}\n--- transaction span log of the failing run ---\n{}", m.span_log().dump())
+        })
+    }
 
+    fn check_quiesced(&self, m: &Machine) -> Result<(), String> {
         // Check 1: the serial reference. Executing all critical
         // sections under one global lock in any order yields these
         // sums, because increments commute.
@@ -317,7 +327,7 @@ fn completion_order(m: &Machine) -> Vec<(u64, usize)> {
         match e.kind {
             TraceKind::TxnStart { .. } => in_txn[e.node] = true,
             TraceKind::TxnRestart { .. } | TraceKind::TxnFallback { .. } => in_txn[e.node] = false,
-            TraceKind::TxnCommit => {
+            TraceKind::TxnCommit { .. } => {
                 out.push((e.cycle, e.node));
                 in_txn[e.node] = false;
             }

@@ -160,6 +160,17 @@ impl Machine {
         self.trace = Trace::enabled();
     }
 
+    /// Enables event tracing with a bounded ring capacity (`tlr-trace`
+    /// and long fuzz runs).
+    pub fn enable_trace_with_capacity(&mut self, capacity: usize) {
+        self.trace = Trace::enabled_with_capacity(capacity);
+    }
+
+    /// Reconstructs the transaction-span view of the event trace.
+    pub fn span_log(&self) -> tlr_sim::SpanLog {
+        tlr_sim::SpanLog::build(&self.trace)
+    }
+
     /// The event trace.
     pub fn trace(&self) -> &Trace {
         &self.trace
@@ -242,6 +253,14 @@ impl Machine {
     pub fn finalize_stats(&mut self) {
         self.stats.parallel_cycles =
             self.nodes.iter().filter_map(|n| n.done_at).max().unwrap_or(self.cycle);
+        // Every started elision must have ended exactly one way; drift
+        // here means a counter was forgotten somewhere in this file.
+        #[cfg(debug_assertions)]
+        if self.nodes.iter().all(|n| n.txn.is_none()) {
+            if let Err(e) = self.stats.check_txn_accounting() {
+                panic!("{e}");
+            }
+        }
     }
 
     /// The architecturally current value of a word after (or during)
@@ -276,7 +295,7 @@ impl Machine {
         self.with_ctx(|nodes, ctx| {
             let node = &mut nodes[id];
             if node.txn.is_some() {
-                abort_txn(node, ctx, AbortKind::Descheduled);
+                abort_txn(node, ctx, AbortKind::Descheduled, None);
             }
             node.paused = true;
         });
@@ -294,7 +313,7 @@ impl Machine {
         self.with_ctx(|nodes, ctx| {
             let node = &mut nodes[id];
             if node.txn.is_some() {
-                abort_txn(node, ctx, AbortKind::Descheduled);
+                abort_txn(node, ctx, AbortKind::Descheduled, None);
             }
             node.core.halt();
             node.wait = None;
@@ -532,6 +551,12 @@ impl Machine {
         };
         if wins {
             self.stats.node_mut(o).nacks_sent += 1;
+            self.stats.obs.conflicts.record(req.line.0);
+            self.trace.record(
+                self.cycle,
+                o,
+                TraceKind::NackSent { line: req.line.0, to: req.requester },
+            );
         }
         wins
     }
@@ -611,7 +636,7 @@ impl Machine {
                 CoreStep::Access(acc) => handle_access(node, ctx, acc),
                 CoreStep::Io => {
                     if node.txn.is_some() {
-                        abort_txn(node, ctx, AbortKind::Io);
+                        abort_txn(node, ctx, AbortKind::Io, None);
                     } else {
                         node.wait = Some(Wait::Io { until: ctx.now + IO_LATENCY });
                     }
@@ -757,8 +782,9 @@ fn service_deferred_all(node: &mut Node, ctx: &mut Ctx) {
     }
 }
 
-/// Ends the current transaction without committing.
-fn abort_txn(node: &mut Node, ctx: &mut Ctx, kind: AbortKind) {
+/// Ends the current transaction without committing. `line` attributes
+/// the abort to the conflicting block when one is known.
+fn abort_txn(node: &mut Node, ctx: &mut Ctx, kind: AbortKind, line: Option<LineAddr>) {
     let Some(txn) = node.txn.take() else { return };
     let ns = ctx.stats.node_mut(node.id);
     match kind {
@@ -768,8 +794,10 @@ fn abort_txn(node: &mut Node, ctx: &mut Ctx, kind: AbortKind) {
         AbortKind::Resource => ns.fallbacks_resource += 1,
         AbortKind::Io => ns.fallbacks_io += 1,
         AbortKind::Nesting => ns.fallbacks_nesting += 1,
-        AbortKind::Descheduled => {}
+        AbortKind::Descheduled => ns.aborts_descheduled += 1,
     }
+    // All speculative work since this attempt began is discarded.
+    ns.wasted_cycles += ctx.now.saturating_sub(txn.started_at);
     let outer_pc = txn.elided[0].pc;
     let sle_conflict_fallback = !ctx.cfg.scheme.tlr_enabled()
         && matches!(kind, AbortKind::Conflict | AbortKind::SharerInvalidation);
@@ -777,6 +805,12 @@ fn abort_txn(node: &mut Node, ctx: &mut Ctx, kind: AbortKind) {
         if sle_conflict_fallback {
             ctx.stats.node_mut(node.id).fallbacks_conflict += 1;
         }
+        // The critical section gives up on elision: sample how many
+        // restarts it absorbed first (the conflict that triggers an
+        // SLE fallback is itself counted as a restart).
+        let absorbed = node.restart_streak + u32::from(sle_conflict_fallback);
+        ctx.stats.obs.restarts_per_txn.record(absorbed as u64);
+        node.restart_streak = 0;
         node.suppress_elide_at = Some(outer_pc);
         node.sle_pred.elision_failed(outer_pc);
         ctx.trace.record(
@@ -792,7 +826,17 @@ fn abort_txn(node: &mut Node, ctx: &mut Ctx, kind: AbortKind) {
             },
         );
     } else {
-        ctx.trace.record(ctx.now, node.id, TraceKind::TxnRestart { line: 0 });
+        if kind == AbortKind::Descheduled {
+            // The critical section will re-run from scratch later.
+            node.restart_streak = 0;
+        } else {
+            node.restart_streak += 1;
+        }
+        ctx.trace.record(
+            ctx.now,
+            node.id,
+            TraceKind::TxnRestart { line: line.map_or(0, |l| l.0) },
+        );
     }
     dbglog!("[{}] n{} ABORT {:?}", ctx.now, node.id, kind);
     if kind == AbortKind::SharerInvalidation {
@@ -836,15 +880,30 @@ fn try_commit(node: &mut Node, ctx: &mut Ctx) {
         let w0 = l.data.0[0];
         dbglog!("[{}] n{} COMMIT line={} w0={:#x}", ctx.now, id, e.line.0, w0);
     }
+    // Footprint scan before the spec bits are cleared; the cache walk
+    // only runs when the trace is on.
+    let (read_set, write_set) =
+        if ctx.trace.is_enabled() { node.spec_footprint() } else { (0, 0) };
     node.wb.clear();
     node.clear_spec_bits();
     for el in &txn.elided {
         node.sle_pred.elision_succeeded(el.pc);
     }
     node.sharer_inval_streak = 0;
+    let commit_wait = txn.commit_entered_at.map_or(0, |c| ctx.now.saturating_sub(c));
     ctx.stats.node_mut(node.id).commits += 1;
-    ctx.trace.record(ctx.now, node.id, TraceKind::TxnCommit);
+    ctx.stats.obs.cs_length.record(ctx.now.saturating_sub(txn.started_at));
+    ctx.stats.obs.commit_latency.record(commit_wait);
+    ctx.stats.obs.restarts_per_txn.record(node.restart_streak as u64);
+    node.restart_streak = 0;
+    // Service the deferral queue before the commit event so the
+    // ServiceDeferred instants nest inside the committing span.
     service_deferred_all(node, ctx);
+    ctx.trace.record(
+        ctx.now,
+        node.id,
+        TraceKind::TxnCommit { read_set, write_set, commit_wait },
+    );
     node.clock.advance();
     // The release store that triggered the commit now completes.
     node.core.complete_store();
@@ -983,13 +1042,20 @@ fn owner_conflict(node: &mut Node, ctx: &mut Ctx, req: &BusRequest) {
     match decision {
         ConflictDecision::Defer { relaxed } if node.deferred.len() < node.deferred_cap => {
             node.deferred.push_back(DeferredReq { line, from: req.requester, exclusive, ts: req.ts });
+            let depth = node.deferred.len() as u32;
             let ns = ctx.stats.node_mut(node.id);
             ns.requests_deferred += 1;
             ns.markers_sent += 1;
             if relaxed {
                 ns.single_block_relaxations += 1;
             }
-            ctx.trace.record(ctx.now, node.id, TraceKind::Defer { line: line.0, from: req.requester });
+            ctx.stats.obs.deferral_depth.record(depth as u64);
+            ctx.stats.obs.conflicts.record(line.0);
+            ctx.trace.record(
+                ctx.now,
+                node.id,
+                TraceKind::Defer { line: line.0, from: req.requester, depth },
+            );
             let delay = ctx.data_latency();
             ctx.net.send(delay + ctx.now, NetMsg::Marker { to: req.requester, from: node.id, line });
         }
@@ -998,10 +1064,11 @@ fn owner_conflict(node: &mut Node, ctx: &mut Ctx, req: &BusRequest) {
             // requests in order, then the conflicting request, then
             // restart.
             ctx.stats.node_mut(node.id).conflicts_lost += 1;
+            ctx.stats.obs.conflicts.record(line.0);
             ctx.trace.record(ctx.now, node.id, TraceKind::ConflictLost { line: line.0, to: req.requester });
             service_deferred_all(node, ctx);
             supply_from_line(node, ctx, line, req.requester, exclusive);
-            abort_txn(node, ctx, AbortKind::Conflict);
+            abort_txn(node, ctx, AbortKind::Conflict, Some(line));
         }
     }
 }
@@ -1111,7 +1178,7 @@ fn snoop_one(node: &mut Node, ctx: &mut Ctx, ev: SnoopEvent) {
             } else {
                 AbortKind::SharerInvalidation
             };
-            abort_txn(node, ctx, kind);
+            abort_txn(node, ctx, kind, Some(line));
         }
         let outcome = protocol::snoop(state, req.kind);
         if outcome.next == Moesi::Invalid {
@@ -1216,7 +1283,7 @@ fn handle_fill(
         // A transactional line fell out of the victim cache: resource
         // fallback (§3.3). Speculative bits are cleared by the abort,
         // so the installed line stays resident as a normal line.
-        abort_txn(node, ctx, AbortKind::Resource);
+        abort_txn(node, ctx, AbortKind::Resource, Some(line));
     }
     // Complete the blocked core access, if it targets this line.
     if let (Some(acc), Some(Wait::Fill { line: wline, is_lock })) = (node.waiting_access, node.wait) {
@@ -1251,7 +1318,7 @@ fn handle_fill(
             node.core.clear_link();
         }
         if was_spec && node.txn.is_some() {
-            abort_txn(node, ctx, kind);
+            abort_txn(node, ctx, kind, Some(line));
         }
     }
     // Service the intervention chain in order.
@@ -1343,21 +1410,29 @@ fn process_interventions(node: &mut Node, ctx: &mut Ctx, line: LineAddr, ivs: Ve
                     exclusive: iv.exclusive,
                     ts: iv.ts,
                 });
+                let depth = node.deferred.len() as u32;
                 let ns = ctx.stats.node_mut(node.id);
                 ns.requests_deferred += 1;
                 if relaxed {
                     ns.single_block_relaxations += 1;
                 }
-                ctx.trace.record(ctx.now, node.id, TraceKind::Defer { line: line.0, from: iv.from });
+                ctx.stats.obs.deferral_depth.record(depth as u64);
+                ctx.stats.obs.conflicts.record(line.0);
+                ctx.trace.record(
+                    ctx.now,
+                    node.id,
+                    TraceKind::Defer { line: line.0, from: iv.from, depth },
+                );
                 // The marker was already sent when the intervention was
                 // queued.
             }
             _ => {
                 ctx.stats.node_mut(node.id).conflicts_lost += 1;
+                ctx.stats.obs.conflicts.record(line.0);
                 ctx.trace.record(ctx.now, node.id, TraceKind::ConflictLost { line: line.0, to: iv.from });
                 service_deferred_all(node, ctx);
                 chain_supply(node, ctx, line, iv);
-                abort_txn(node, ctx, AbortKind::Conflict);
+                abort_txn(node, ctx, AbortKind::Conflict, Some(line));
                 // Remaining interventions are serviced outside any
                 // transaction.
                 for later in &ivs[idx + 1..] {
@@ -1465,9 +1540,10 @@ fn handle_probe(node: &mut Node, ctx: &mut Ctx, line: LineAddr, ts: Timestamp) {
     }
     if node.deferred.iter().any(|d| d.line == line) {
         ctx.stats.node_mut(node.id).conflicts_lost += 1;
+        ctx.stats.obs.conflicts.record(line.0);
         ctx.trace.record(ctx.now, node.id, TraceKind::ConflictLost { line: line.0, to: usize::MAX });
         service_deferred_all(node, ctx);
-        abort_txn(node, ctx, AbortKind::Conflict);
+        abort_txn(node, ctx, AbortKind::Conflict, Some(line));
     } else if let Some(m) = node.mshrs.get_mut(line) {
         if let Some(up) = m.marker_from {
             ctx.stats.node_mut(node.id).probes_sent += 1;
@@ -1612,8 +1688,9 @@ fn enforce_ts_order_before_miss(node: &mut Node, ctx: &mut Ctx, line: LineAddr) 
         return false;
     }
     ctx.stats.node_mut(node.id).conflicts_lost += 1;
+    ctx.stats.obs.conflicts.record(line.0);
     service_deferred_all(node, ctx);
-    abort_txn(node, ctx, AbortKind::Conflict);
+    abort_txn(node, ctx, AbortKind::Conflict, Some(line));
     true
 }
 
@@ -1722,7 +1799,7 @@ fn handle_load(node: &mut Node, ctx: &mut Ctx, acc: MemAccess, is_lock: bool) {
         }
         let v = data.word(acc.addr);
         if install_line(node, ctx, entry).is_err() {
-            abort_txn(node, ctx, AbortKind::Resource);
+            abort_txn(node, ctx, AbortKind::Resource, Some(line));
             return;
         }
         node.core.complete_load(v);
@@ -1773,7 +1850,9 @@ fn handle_store(node: &mut Node, ctx: &mut Ctx, acc: MemAccess, val: u64, is_loc
             }
             if node.txn.as_ref().unwrap().all_closed() {
                 // Transaction end: hold the release store until commit.
-                node.txn.as_mut().unwrap().committing = true;
+                let txn = node.txn.as_mut().unwrap();
+                txn.committing = true;
+                txn.commit_entered_at = Some(ctx.now);
                 node.wait = Some(Wait::Commit);
                 node.waiting_access = Some(acc);
                 try_commit(node, ctx);
@@ -1786,7 +1865,7 @@ fn handle_store(node: &mut Node, ctx: &mut Ctx, acc: MemAccess, val: u64, is_loc
         // Ordinary speculative data store: buffer in the write buffer
         // and request exclusive ownership asynchronously.
         if node.wb.write(acc.addr, val).is_err() {
-            abort_txn(node, ctx, AbortKind::Resource);
+            abort_txn(node, ctx, AbortKind::Resource, Some(line));
             return;
         }
         node.rmw_pred.record_store(line);
@@ -1902,7 +1981,7 @@ fn handle_sc(node: &mut Node, ctx: &mut Ctx, acc: MemAccess, val: u64, is_lock: 
             return;
         }
         if node.wb.write(acc.addr, val).is_err() {
-            abort_txn(node, ctx, AbortKind::Resource);
+            abort_txn(node, ctx, AbortKind::Resource, Some(line));
             return;
         }
         node.rmw_pred.record_store(line);

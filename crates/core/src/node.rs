@@ -161,6 +161,10 @@ pub struct Node {
     /// that external requests become deferrable, which §3.1.2 notes
     /// "guarantees a successful TLR execution".
     pub sharer_inval_streak: u32,
+    /// Restarts absorbed since the current critical section first
+    /// started eliding (observability: the restarts-per-transaction
+    /// histogram samples and resets this on commit/fallback).
+    pub restart_streak: u32,
     /// Cycle the core finished, if it has.
     pub done_at: Option<Cycle>,
 }
@@ -195,6 +199,7 @@ impl Node {
             txn_pending_x: Vec::new(),
             nack_retries: Vec::new(),
             sharer_inval_streak: 0,
+            restart_streak: 0,
             done_at: None,
         }
     }
@@ -244,6 +249,23 @@ impl Node {
     /// Finds a (non-cancelled) pending writeback for `line`.
     pub fn pending_wb_mut(&mut self, line: LineAddr) -> Option<&mut PendingWriteback> {
         self.pending_wb.iter_mut().find(|p| p.line == line && !p.cancelled)
+    }
+
+    /// Counts the transactional footprint: lines with the speculative
+    /// read/write bit set across L1 and victim cache. A cache scan —
+    /// callers gate it on tracing being enabled.
+    pub fn spec_footprint(&self) -> (u32, u32) {
+        let mut reads = 0;
+        let mut writes = 0;
+        for l in self.l1.iter().chain(self.victim.iter()) {
+            if l.spec_read {
+                reads += 1;
+            }
+            if l.spec_written {
+                writes += 1;
+            }
+        }
+        (reads, writes)
     }
 }
 

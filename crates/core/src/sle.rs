@@ -178,6 +178,9 @@ pub struct Txn {
     pub committing: bool,
     /// Cycle the transaction (first attempt) started.
     pub started_at: Cycle,
+    /// Cycle the commit phase was entered, once `committing` is set
+    /// (observability: commit latency = commit cycle − this).
+    pub commit_entered_at: Option<Cycle>,
     /// Number of conflict-induced restarts so far (the timestamp is
     /// retained across these).
     pub restarts: u32,
@@ -186,7 +189,14 @@ pub struct Txn {
 impl Txn {
     /// Starts a transaction at the first elided lock.
     pub fn new(checkpoint: tlr_cpu::CoreCheckpoint, first: ElidedLock, now: Cycle) -> Self {
-        Txn { checkpoint, elided: vec![first], committing: false, started_at: now, restarts: 0 }
+        Txn {
+            checkpoint,
+            elided: vec![first],
+            committing: false,
+            started_at: now,
+            commit_entered_at: None,
+            restarts: 0,
+        }
     }
 
     /// Whether a store of `value` to `addr` is the release store of an

@@ -1,0 +1,279 @@
+//! Export backends for the observability layer.
+//!
+//! Two formats, both built with the zero-dependency [`crate::json`]
+//! writer:
+//!
+//! * [`chrome_trace_json`] — the Chrome/Perfetto trace-event format
+//!   (`chrome://tracing`, <https://ui.perfetto.dev>). Transaction
+//!   spans become `ph:"B"`/`ph:"E"` duration events on one track per
+//!   node; attached protocol events and orphans become `ph:"i"`
+//!   instants. Simulation cycles are written directly as the `ts`
+//!   microsecond field: 1 µs of viewer time per cycle.
+//! * [`metrics_json`] — a flat metrics document: run configuration,
+//!   whole-machine totals, log2 histograms (critical-section length,
+//!   commit latency, deferral depth, restarts per transaction), the
+//!   top-N contended-line table, and per-node counters.
+
+use crate::json::JsonBuf;
+use crate::span::{SpanLog, SpanOutcome, TxnSpan};
+use crate::stats::{Hist, MachineStats};
+use crate::trace::TraceKind;
+use crate::NodeId;
+
+fn instant(j: &mut JsonBuf, ts: u64, tid: NodeId, name: &str, line: u64, peer: NodeId) {
+    j.obj()
+        .str_field("ph", "i")
+        .str_field("s", "t")
+        .u64_field("pid", 0)
+        .u64_field("tid", tid as u64)
+        .u64_field("ts", ts)
+        .str_field("name", name)
+        .obj_key("args")
+        .str_field("line", &format!("{line:#x}"))
+        .u64_field("peer", peer as u64)
+        .end_obj()
+        .end_obj();
+}
+
+fn span_events(j: &mut JsonBuf, s: &TxnSpan) {
+    let name = format!("txn {:#x}", s.lock_addr);
+    j.obj()
+        .str_field("ph", "B")
+        .u64_field("pid", 0)
+        .u64_field("tid", s.node as u64)
+        .u64_field("ts", s.start)
+        .str_field("name", &name)
+        .str_field("cat", s.outcome.label())
+        .obj_key("args")
+        .str_field("lock", &format!("{:#x}", s.lock_addr))
+        .u64_field("attempt", s.attempt as u64)
+        .str_field("outcome", s.outcome.label())
+        .u64_field("deferrals", s.deferrals() as u64)
+        .u64_field("markers", s.markers() as u64)
+        .u64_field("probes", s.probes() as u64);
+    match &s.outcome {
+        SpanOutcome::Committed { read_set, write_set, commit_wait } => {
+            j.u64_field("read_set", *read_set as u64)
+                .u64_field("write_set", *write_set as u64)
+                .u64_field("commit_wait", *commit_wait);
+        }
+        SpanOutcome::Restarted { line } => {
+            j.str_field("conflict_line", &format!("{line:#x}"));
+        }
+        SpanOutcome::FellBack { reason } => {
+            j.str_field("reason", reason);
+        }
+        SpanOutcome::Open => {}
+    }
+    j.end_obj().end_obj();
+    for e in &s.events {
+        let (name, line, peer): (&str, u64, NodeId) = match &e.kind {
+            TraceKind::Defer { line, from, .. } => ("Defer", *line, *from),
+            TraceKind::ServiceDeferred { line, to } => ("ServiceDeferred", *line, *to),
+            TraceKind::ConflictLost { line, to } => ("ConflictLost", *line, *to),
+            TraceKind::Marker { line, to } => ("Marker", *line, *to),
+            TraceKind::Probe { line, to } => ("Probe", *line, *to),
+            TraceKind::NackSent { line, to } => ("Nack", *line, *to),
+            TraceKind::LockAcquired { lock_addr } => ("LockAcquired", *lock_addr, e.node),
+            TraceKind::LockReleased { lock_addr } => ("LockReleased", *lock_addr, e.node),
+            _ => continue,
+        };
+        instant(j, e.cycle, e.node, name, line, peer);
+    }
+    // A span's end must not precede its instants in viewer z-order;
+    // emit E last (ts ties are resolved by event order).
+    j.obj()
+        .str_field("ph", "E")
+        .u64_field("pid", 0)
+        .u64_field("tid", s.node as u64)
+        .u64_field("ts", s.end.max(s.start + 1))
+        .str_field("name", &name)
+        .end_obj();
+}
+
+/// Renders a span log as a Chrome/Perfetto `trace.json` document.
+pub fn chrome_trace_json(log: &SpanLog, num_nodes: usize) -> String {
+    let mut j = JsonBuf::new();
+    j.obj().str_field("displayTimeUnit", "ms").arr_key("traceEvents");
+    for node in 0..num_nodes {
+        j.obj()
+            .str_field("ph", "M")
+            .str_field("name", "thread_name")
+            .u64_field("pid", 0)
+            .u64_field("tid", node as u64)
+            .obj_key("args")
+            .str_field("name", &format!("node {node}"))
+            .end_obj()
+            .end_obj();
+    }
+    for s in &log.spans {
+        span_events(&mut j, s);
+    }
+    for e in &log.orphans {
+        let (name, line, peer): (&str, u64, NodeId) = match &e.kind {
+            TraceKind::Defer { line, from, .. } => ("Defer", *line, *from),
+            TraceKind::ServiceDeferred { line, to } => ("ServiceDeferred", *line, *to),
+            TraceKind::ConflictLost { line, to } => ("ConflictLost", *line, *to),
+            TraceKind::Marker { line, to } => ("Marker", *line, *to),
+            TraceKind::Probe { line, to } => ("Probe", *line, *to),
+            TraceKind::NackSent { line, to } => ("Nack", *line, *to),
+            TraceKind::LockAcquired { lock_addr } => ("LockAcquired", *lock_addr, e.node),
+            TraceKind::LockReleased { lock_addr } => ("LockReleased", *lock_addr, e.node),
+            _ => continue,
+        };
+        instant(&mut j, e.cycle, e.node, name, line, peer);
+    }
+    j.end_arr();
+    j.obj_key("otherData")
+        .u64_field("dropped_events", log.dropped_events)
+        .u64_field("spans", log.spans.len() as u64)
+        .end_obj();
+    j.end_obj();
+    j.finish()
+}
+
+/// Writes one histogram as `{count,sum,min,max,mean,buckets:[...]}`.
+pub fn hist_fields(j: &mut JsonBuf, key: &str, h: &Hist) {
+    j.obj_key(key)
+        .u64_field("count", h.count())
+        .u64_field("sum", h.sum())
+        .u64_field("min", h.min())
+        .u64_field("max", h.max())
+        .f64_field("mean", h.mean())
+        .arr_key("buckets");
+    for (lo, count) in h.nonzero_buckets() {
+        j.obj().u64_field("ge", lo).u64_field("count", count).end_obj();
+    }
+    j.end_arr().end_obj();
+}
+
+/// Renders a run's aggregate metrics as a flat JSON document.
+pub fn metrics_json(
+    workload: &str,
+    scheme: &str,
+    procs: usize,
+    stats: &MachineStats,
+    top_n: usize,
+) -> String {
+    let mut j = JsonBuf::new();
+    j.obj()
+        .str_field("workload", workload)
+        .str_field("scheme", scheme)
+        .u64_field("procs", procs as u64)
+        .u64_field("parallel_cycles", stats.parallel_cycles);
+    j.obj_key("totals")
+        .u64_field("elisions_started", stats.sum(|n| n.elisions_started))
+        .u64_field("commits", stats.total_commits())
+        .u64_field("restarts", stats.total_restarts())
+        .u64_field("fallbacks", stats.total_fallbacks())
+        .u64_field("aborts_descheduled", stats.sum(|n| n.aborts_descheduled))
+        .u64_field("wasted_cycles", stats.total_wasted_cycles())
+        .u64_field("lock_cycles", stats.total_lock_cycles())
+        .u64_field("requests_deferred", stats.sum(|n| n.requests_deferred))
+        .u64_field("conflicts_lost", stats.sum(|n| n.conflicts_lost))
+        .u64_field("markers_sent", stats.sum(|n| n.markers_sent))
+        .u64_field("probes_sent", stats.sum(|n| n.probes_sent))
+        .u64_field("nacks_sent", stats.sum(|n| n.nacks_sent))
+        .u64_field("single_block_relaxations", stats.sum(|n| n.single_block_relaxations))
+        .end_obj();
+    j.obj_key("bus")
+        .u64_field("get_s", stats.bus.get_s)
+        .u64_field("get_x", stats.bus.get_x)
+        .u64_field("upgrades", stats.bus.upgrades)
+        .u64_field("writebacks", stats.bus.writebacks)
+        .u64_field("arbitration_wait_cycles", stats.bus.arbitration_wait_cycles)
+        .u64_field("cache_to_cache_transfers", stats.cache_to_cache_transfers)
+        .u64_field("l2_supplies", stats.l2_supplies)
+        .u64_field("memory_supplies", stats.memory_supplies)
+        .end_obj();
+    j.obj_key("histograms");
+    hist_fields(&mut j, "cs_length_cycles", &stats.obs.cs_length);
+    hist_fields(&mut j, "commit_latency_cycles", &stats.obs.commit_latency);
+    hist_fields(&mut j, "deferral_queue_depth", &stats.obs.deferral_depth);
+    hist_fields(&mut j, "restarts_per_txn", &stats.obs.restarts_per_txn);
+    j.end_obj();
+    j.arr_key("contended_lines");
+    for (line, conflicts) in stats.obs.conflicts.top_n(top_n) {
+        j.obj()
+            .str_field("line", &format!("{line:#x}"))
+            .u64_field("conflicts", conflicts)
+            .end_obj();
+    }
+    j.end_arr();
+    j.arr_key("nodes");
+    for (id, n) in stats.nodes.iter().enumerate() {
+        j.obj()
+            .u64_field("node", id as u64)
+            .u64_field("instructions", n.instructions)
+            .u64_field("elisions_started", n.elisions_started)
+            .u64_field("commits", n.commits)
+            .u64_field("restarts", n.restarts())
+            .u64_field("fallbacks", n.fallbacks())
+            .u64_field("wasted_cycles", n.wasted_cycles)
+            .u64_field("requests_deferred", n.requests_deferred)
+            .u64_field("conflicts_lost", n.conflicts_lost)
+            .u64_field("busy_cycles", n.busy_cycles)
+            .u64_field("lock_stall_cycles", n.lock_stall_cycles)
+            .u64_field("data_stall_cycles", n.data_stall_cycles)
+            .u64_field("commit_wait_cycles", n.commit_wait_cycles)
+            .end_obj();
+    }
+    j.end_arr().end_obj();
+    j.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate;
+    use crate::span::SpanLog;
+    use crate::trace::{Trace, TraceKind};
+
+    fn sample_log() -> SpanLog {
+        let mut t = Trace::enabled();
+        t.record(10, 0, TraceKind::TxnStart { lock_addr: 0x40 });
+        t.record(12, 1, TraceKind::TxnStart { lock_addr: 0x40 });
+        t.record(15, 0, TraceKind::Defer { line: 0x80, from: 1, depth: 1 });
+        t.record(16, 1, TraceKind::Probe { line: 0x80, to: 0 });
+        t.record(18, 1, TraceKind::TxnRestart { line: 0x80 });
+        t.record(20, 0, TraceKind::TxnCommit { read_set: 2, write_set: 1, commit_wait: 3 });
+        t.record(21, 0, TraceKind::LockReleased { lock_addr: 0x40 });
+        SpanLog::build(&t)
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_span_pairs() {
+        let s = chrome_trace_json(&sample_log(), 2);
+        validate(&s).unwrap_or_else(|e| panic!("{e}\n{s}"));
+        assert_eq!(s.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(s.matches("\"ph\":\"E\"").count(), 2);
+        assert!(s.contains("\"name\":\"Defer\""));
+        assert!(s.contains("\"name\":\"Probe\""));
+        assert!(s.contains("\"name\":\"node 1\""));
+        assert!(s.contains("\"conflict_line\":\"0x80\""));
+    }
+
+    #[test]
+    fn metrics_json_is_valid_and_carries_histograms() {
+        let mut stats = MachineStats::new(2);
+        stats.parallel_cycles = 1234;
+        stats.node_mut(0).commits = 3;
+        stats.obs.cs_length.record(100);
+        stats.obs.commit_latency.record(5);
+        stats.obs.deferral_depth.record(1);
+        stats.obs.restarts_per_txn.record(0);
+        stats.obs.conflicts.record(0x80);
+        stats.obs.conflicts.record(0x80);
+        stats.obs.conflicts.record(0xc0);
+        let s = metrics_json("single_counter", "TLR", 2, &stats, 8);
+        validate(&s).unwrap_or_else(|e| panic!("{e}\n{s}"));
+        assert!(s.contains("\"cs_length_cycles\""));
+        assert!(s.contains("\"commit_latency_cycles\""));
+        assert!(s.contains("\"deferral_queue_depth\""));
+        assert!(s.contains("\"restarts_per_txn\""));
+        // 0x80 (2 conflicts) must rank before 0xc0 (1).
+        let a = s.find("\"0x80\"").unwrap();
+        let b = s.find("\"0xc0\"").unwrap();
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,374 @@
+//! A minimal, zero-dependency JSON writer and syntax validator.
+//!
+//! The observability exports ([`crate::export`]) and the benchmark
+//! binaries emit machine-readable files; this module gives them a
+//! shared, allocation-light way to build *valid* JSON (escaping,
+//! nesting bookkeeping) and a strict recursive-descent checker the
+//! `tlr-trace` binary and the tests use to prove the emitted bytes
+//! actually parse. No serde — the workspace is dependency-free by
+//! construction.
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An incremental JSON builder. Call the `obj`/`arr` open/close pairs
+/// and the typed field writers; commas are inserted automatically.
+///
+/// The builder does not prevent *structural* misuse (closing an array
+/// as an object); the validator exists precisely so tests catch that.
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    out: String,
+    need_comma: bool,
+}
+
+impl JsonBuf {
+    /// An empty builder.
+    pub fn new() -> Self {
+        JsonBuf::default()
+    }
+
+    fn pre(&mut self) {
+        if self.need_comma {
+            self.out.push(',');
+        }
+        self.need_comma = false;
+    }
+
+    fn key_inner(&mut self, key: &str) {
+        self.pre();
+        self.out.push('"');
+        self.out.push_str(&escape(key));
+        self.out.push_str("\":");
+    }
+
+    /// Opens an anonymous object (array element or document root).
+    pub fn obj(&mut self) -> &mut Self {
+        self.pre();
+        self.out.push('{');
+        self
+    }
+
+    /// Opens an object-valued field.
+    pub fn obj_key(&mut self, key: &str) -> &mut Self {
+        self.key_inner(key);
+        self.out.push('{');
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_obj(&mut self) -> &mut Self {
+        self.out.push('}');
+        self.need_comma = true;
+        self
+    }
+
+    /// Opens an anonymous array.
+    pub fn arr(&mut self) -> &mut Self {
+        self.pre();
+        self.out.push('[');
+        self
+    }
+
+    /// Opens an array-valued field.
+    pub fn arr_key(&mut self, key: &str) -> &mut Self {
+        self.key_inner(key);
+        self.out.push('[');
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_arr(&mut self) -> &mut Self {
+        self.out.push(']');
+        self.need_comma = true;
+        self
+    }
+
+    /// Writes a string field.
+    pub fn str_field(&mut self, key: &str, val: &str) -> &mut Self {
+        self.key_inner(key);
+        self.str_raw(val);
+        self
+    }
+
+    /// Writes an unsigned-integer field.
+    pub fn u64_field(&mut self, key: &str, val: u64) -> &mut Self {
+        self.key_inner(key);
+        self.out.push_str(&val.to_string());
+        self.need_comma = true;
+        self
+    }
+
+    /// Writes a float field (non-finite values become `null`).
+    pub fn f64_field(&mut self, key: &str, val: f64) -> &mut Self {
+        self.key_inner(key);
+        if val.is_finite() {
+            self.out.push_str(&format!("{val:.3}"));
+        } else {
+            self.out.push_str("null");
+        }
+        self.need_comma = true;
+        self
+    }
+
+    /// Writes a boolean field.
+    pub fn bool_field(&mut self, key: &str, val: bool) -> &mut Self {
+        self.key_inner(key);
+        self.out.push_str(if val { "true" } else { "false" });
+        self.need_comma = true;
+        self
+    }
+
+    /// Writes a bare string array element.
+    pub fn str_elem(&mut self, val: &str) -> &mut Self {
+        self.pre();
+        self.str_raw(val);
+        self
+    }
+
+    /// Writes a bare unsigned-integer array element.
+    pub fn u64_elem(&mut self, val: u64) -> &mut Self {
+        self.pre();
+        self.out.push_str(&val.to_string());
+        self.need_comma = true;
+        self
+    }
+
+    fn str_raw(&mut self, val: &str) {
+        self.out.push('"');
+        self.out.push_str(&escape(val));
+        self.out.push('"');
+        self.need_comma = true;
+    }
+
+    /// The accumulated JSON text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Validates that `s` is a single well-formed JSON value.
+///
+/// # Errors
+///
+/// Returns the byte offset and a short description of the first
+/// syntax error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(b, &mut pos);
+    value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at offset {}", *c as char, pos)),
+        None => Err(format!("unexpected end of input at offset {pos}")),
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at offset {pos}"));
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at offset {pos}"));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                match b.get(*pos + 1) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 2..*pos + 6).ok_or("truncated \\u escape")?;
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err(format!("bad \\u escape at offset {pos}"));
+                        }
+                        *pos += 6;
+                    }
+                    _ => return Err(format!("bad escape at offset {pos}")),
+                }
+            }
+            0x00..=0x1f => return Err(format!("raw control byte in string at offset {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("bad number at offset {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("bad fraction at offset {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("bad exponent at offset {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b.get(*pos..*pos + lit.len()) == Some(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at offset {pos}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_json() {
+        let mut j = JsonBuf::new();
+        j.obj()
+            .str_field("name", "a \"quoted\"\nthing")
+            .u64_field("n", 42)
+            .f64_field("x", 1.5)
+            .bool_field("ok", true)
+            .arr_key("items");
+        for i in 0..3 {
+            j.obj().u64_field("i", i).end_obj();
+        }
+        j.end_arr().obj_key("nested").str_field("k", "v").end_obj().end_obj();
+        let s = j.finish();
+        validate(&s).unwrap_or_else(|e| panic!("{e}\n{s}"));
+        assert!(s.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn validator_accepts_canonical_forms() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            "[1, 2, {\"a\": [true, false, null]}]",
+            "\"\\u00e9\\n\"",
+        ] {
+            validate(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_forms() {
+        for bad in ["", "{", "[1,]", "{\"a\":}", "{'a':1}", "tru", "1.2.3", "\"\x01\"", "{}{}"] {
+            assert!(validate(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_validator() {
+        let s = format!("\"{}\"", escape("tab\t ctrl\x02 nl\n q\" bs\\"));
+        validate(&s).unwrap();
+    }
+}

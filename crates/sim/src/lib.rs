@@ -3,8 +3,10 @@
 //! This crate holds the pieces shared by every other crate in the
 //! workspace: the machine configuration ([`config::MachineConfig`],
 //! modeled on Table 2 of the paper), a deterministic random number
-//! generator ([`rng::SimRng`]), cycle statistics ([`stats`]) and a
-//! lightweight event trace ([`trace`]).
+//! generator ([`rng::SimRng`]), cycle statistics and histogram
+//! aggregates ([`stats`]), a bounded event trace ([`trace`]), the
+//! span layer that folds it into transaction lifecycles ([`span`]),
+//! and zero-dependency JSON export backends ([`export`], [`json`]).
 //!
 //! The simulator is deterministic by construction: every source of
 //! "randomness" (fairness delays after lock releases, latency
@@ -22,12 +24,16 @@
 //! ```
 
 pub mod config;
+pub mod export;
+pub mod json;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod trace;
 
 pub use config::{LatencyConfig, MachineConfig, Scheme, UntimestampedPolicy};
 pub use rng::SimRng;
+pub use span::{SpanLog, SpanOutcome, TxnSpan};
 pub use stats::{MachineStats, NodeStats};
 
 /// A simulation cycle number. The whole machine advances in lockstep,

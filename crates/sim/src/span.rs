@@ -1,0 +1,303 @@
+//! Transaction spans: the flat [`crate::trace`] event stream folded
+//! into per-transaction lifecycles.
+//!
+//! Every elided critical section becomes a [`TxnSpan`] running from
+//! its `TxnStart` to the commit/restart/fallback that ends it.
+//! Protocol-level events that occur at the owning node while the span
+//! is open — deferrals absorbed, markers and probes exchanged,
+//! conflicts lost, NACKs — attach to the span, so a single span
+//! answers "what happened to this critical section and why". The
+//! [`crate::export`] module renders spans as Chrome/Perfetto `B`/`E`
+//! pairs; the serializability oracle dumps [`SpanLog::dump`] when a
+//! check fails so minimized counterexamples carry their own evidence.
+
+use crate::trace::{Trace, TraceEvent, TraceKind};
+use crate::{Cycle, NodeId};
+
+/// How a transaction span ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanOutcome {
+    /// Committed lock-free with the given transactional footprint.
+    Committed { read_set: u32, write_set: u32, commit_wait: u64 },
+    /// Restarted after a conflict on `line`.
+    Restarted { line: u64 },
+    /// Abandoned elision; the lock was (or will be) acquired.
+    FellBack { reason: &'static str },
+    /// Still running when the trace ended (machine stopped early or
+    /// ring evicted the terminal event).
+    Open,
+}
+
+impl SpanOutcome {
+    /// Short label used by dumps and exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpanOutcome::Committed { .. } => "commit",
+            SpanOutcome::Restarted { .. } => "restart",
+            SpanOutcome::FellBack { .. } => "fallback",
+            SpanOutcome::Open => "open",
+        }
+    }
+}
+
+/// One elided critical section, start to finish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnSpan {
+    /// Node that ran the transaction.
+    pub node: NodeId,
+    /// Address of the elided lock.
+    pub lock_addr: u64,
+    /// Cycle of the `TxnStart` event.
+    pub start: Cycle,
+    /// Cycle of the terminal event (equals `start` for open spans).
+    pub end: Cycle,
+    /// How the span ended.
+    pub outcome: SpanOutcome,
+    /// 0 for the first attempt at this lock, incremented after each
+    /// restart of the immediately preceding span on the same node and
+    /// lock.
+    pub attempt: u32,
+    /// Protocol events recorded at this node while the span was open
+    /// (deferrals absorbed, markers/probes, conflicts lost, NACKs).
+    pub events: Vec<TraceEvent>,
+}
+
+impl TxnSpan {
+    /// Span duration in cycles.
+    pub fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Number of incoming requests this span deferred.
+    pub fn deferrals(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, TraceKind::Defer { .. })).count()
+    }
+
+    /// Number of probe events recorded on this span.
+    pub fn probes(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, TraceKind::Probe { .. })).count()
+    }
+
+    /// Number of marker events recorded on this span.
+    pub fn markers(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, TraceKind::Marker { .. })).count()
+    }
+}
+
+/// All spans reconstructed from one trace, in start order, plus the
+/// events that occurred outside any transaction (actual lock
+/// acquisitions, conflicts suffered while holding a real lock).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanLog {
+    /// Completed and open spans, ordered by start cycle.
+    pub spans: Vec<TxnSpan>,
+    /// Events at a node with no open span.
+    pub orphans: Vec<TraceEvent>,
+    /// Events evicted from the trace ring before reconstruction.
+    pub dropped_events: u64,
+}
+
+impl SpanLog {
+    /// Folds a trace's event stream into spans.
+    pub fn build(trace: &Trace) -> SpanLog {
+        let mut log = SpanLog { dropped_events: trace.dropped(), ..Default::default() };
+        // Per-node index of the currently open span in `log.spans`.
+        let mut open: std::collections::BTreeMap<NodeId, usize> = std::collections::BTreeMap::new();
+        for ev in trace.events() {
+            match &ev.kind {
+                TraceKind::TxnStart { lock_addr } => {
+                    // A start while a span is open means the terminal
+                    // event was evicted by the ring: close as Open.
+                    open.remove(&ev.node);
+                    let attempt = log
+                        .spans
+                        .iter()
+                        .rev()
+                        .find(|s| s.node == ev.node && s.lock_addr == *lock_addr)
+                        .map_or(0, |prev| match prev.outcome {
+                            SpanOutcome::Restarted { .. } => prev.attempt + 1,
+                            _ => 0,
+                        });
+                    log.spans.push(TxnSpan {
+                        node: ev.node,
+                        lock_addr: *lock_addr,
+                        start: ev.cycle,
+                        end: ev.cycle,
+                        outcome: SpanOutcome::Open,
+                        attempt,
+                        events: Vec::new(),
+                    });
+                    open.insert(ev.node, log.spans.len() - 1);
+                }
+                kind if kind.ends_span() => {
+                    if let Some(idx) = open.remove(&ev.node) {
+                        let span = &mut log.spans[idx];
+                        span.end = ev.cycle;
+                        span.outcome = match kind {
+                            TraceKind::TxnCommit { read_set, write_set, commit_wait } => {
+                                SpanOutcome::Committed {
+                                    read_set: *read_set,
+                                    write_set: *write_set,
+                                    commit_wait: *commit_wait,
+                                }
+                            }
+                            TraceKind::TxnRestart { line } => SpanOutcome::Restarted { line: *line },
+                            TraceKind::TxnFallback { reason } => {
+                                SpanOutcome::FellBack { reason }
+                            }
+                            _ => unreachable!("ends_span covers exactly three variants"),
+                        };
+                    } else {
+                        log.orphans.push(ev.clone());
+                    }
+                }
+                _ => {
+                    if let Some(&idx) = open.get(&ev.node) {
+                        log.spans[idx].events.push(ev.clone());
+                    } else {
+                        log.orphans.push(ev.clone());
+                    }
+                }
+            }
+        }
+        log
+    }
+
+    /// Spans of one node, in start order.
+    pub fn spans_for(&self, node: NodeId) -> impl Iterator<Item = &TxnSpan> {
+        self.spans.iter().filter(move |s| s.node == node)
+    }
+
+    /// Number of spans that committed.
+    pub fn commits(&self) -> usize {
+        self.spans.iter().filter(|s| matches!(s.outcome, SpanOutcome::Committed { .. })).count()
+    }
+
+    /// Number of spans that restarted.
+    pub fn restarts(&self) -> usize {
+        self.spans.iter().filter(|s| matches!(s.outcome, SpanOutcome::Restarted { .. })).count()
+    }
+
+    /// Human-readable dump, one line per span with its attached
+    /// protocol events indented beneath — the format the oracle prints
+    /// on failure.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.dropped_events > 0 {
+            out.push_str(&format!(
+                "(ring evicted {} events before the window below)\n",
+                self.dropped_events
+            ));
+        }
+        for s in &self.spans {
+            out.push_str(&format!(
+                "[{:>8}..{:>8}] node {} lock {:#x} attempt {} -> {}",
+                s.start,
+                s.end,
+                s.node,
+                s.lock_addr,
+                s.attempt,
+                s.outcome.label()
+            ));
+            match &s.outcome {
+                SpanOutcome::Committed { read_set, write_set, commit_wait } => {
+                    out.push_str(&format!(
+                        " (r/w {read_set}/{write_set}, commit wait {commit_wait})"
+                    ));
+                }
+                SpanOutcome::Restarted { line } => out.push_str(&format!(" (line {line:#x})")),
+                SpanOutcome::FellBack { reason } => out.push_str(&format!(" ({reason})")),
+                SpanOutcome::Open => {}
+            }
+            out.push('\n');
+            for e in &s.events {
+                out.push_str(&format!("    {:>8} {}", e.cycle, e.kind.label()));
+                match &e.kind {
+                    TraceKind::Defer { line, from, depth } => {
+                        out.push_str(&format!(" line {line:#x} from node {from} depth {depth}"));
+                    }
+                    TraceKind::ServiceDeferred { line, to }
+                    | TraceKind::ConflictLost { line, to }
+                    | TraceKind::Marker { line, to }
+                    | TraceKind::Probe { line, to }
+                    | TraceKind::NackSent { line, to } => {
+                        out.push_str(&format!(" line {line:#x} to node {to}"));
+                    }
+                    _ => {}
+                }
+                out.push('\n');
+            }
+        }
+        for e in &self.orphans {
+            out.push_str(&format!("    {:>8} node {} {} (outside txn)\n", e.cycle, e.node, e.kind.label()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_spans_with_attached_events() {
+        let mut t = Trace::enabled();
+        t.record(10, 0, TraceKind::TxnStart { lock_addr: 0x40 });
+        t.record(12, 1, TraceKind::TxnStart { lock_addr: 0x40 });
+        t.record(15, 0, TraceKind::Defer { line: 0x80, from: 1, depth: 1 });
+        t.record(16, 1, TraceKind::Probe { line: 0x80, to: 0 });
+        t.record(20, 0, TraceKind::TxnCommit { read_set: 2, write_set: 1, commit_wait: 3 });
+        t.record(21, 0, TraceKind::ServiceDeferred { line: 0x80, to: 1 });
+        t.record(30, 1, TraceKind::TxnCommit { read_set: 1, write_set: 1, commit_wait: 0 });
+        let log = SpanLog::build(&t);
+        assert_eq!(log.spans.len(), 2);
+        assert_eq!(log.commits(), 2);
+        let winner = &log.spans[0];
+        assert_eq!(winner.node, 0);
+        assert_eq!((winner.start, winner.end), (10, 20));
+        assert_eq!(winner.deferrals(), 1);
+        assert_eq!(
+            winner.outcome,
+            SpanOutcome::Committed { read_set: 2, write_set: 1, commit_wait: 3 }
+        );
+        let loser = &log.spans[1];
+        assert_eq!(loser.probes(), 1);
+        // ServiceDeferred after node 0's commit lands in orphans.
+        assert_eq!(log.orphans.len(), 1);
+        let dump = log.dump();
+        assert!(dump.contains("node 0 lock 0x40 attempt 0 -> commit"));
+        assert!(dump.contains("defer line 0x80 from node 1 depth 1"));
+    }
+
+    #[test]
+    fn attempt_counts_restart_chains() {
+        let mut t = Trace::enabled();
+        t.record(1, 0, TraceKind::TxnStart { lock_addr: 0x40 });
+        t.record(2, 0, TraceKind::TxnRestart { line: 0x80 });
+        t.record(3, 0, TraceKind::TxnStart { lock_addr: 0x40 });
+        t.record(4, 0, TraceKind::TxnRestart { line: 0x80 });
+        t.record(5, 0, TraceKind::TxnStart { lock_addr: 0x40 });
+        t.record(6, 0, TraceKind::TxnCommit { read_set: 1, write_set: 1, commit_wait: 0 });
+        t.record(7, 0, TraceKind::TxnStart { lock_addr: 0x40 });
+        let log = SpanLog::build(&t);
+        let attempts: Vec<u32> = log.spans.iter().map(|s| s.attempt).collect();
+        // Two restarts chain 0,1,2; after a commit the next start is a
+        // fresh critical section, attempt 0 again.
+        assert_eq!(attempts, vec![0, 1, 2, 0]);
+        assert_eq!(log.restarts(), 2);
+        assert_eq!(log.spans[3].outcome, SpanOutcome::Open);
+    }
+
+    #[test]
+    fn start_after_evicted_terminal_leaves_open_span() {
+        let mut t = Trace::enabled();
+        t.record(1, 0, TraceKind::TxnStart { lock_addr: 0x40 });
+        // Terminal event "lost"; a new start arrives for the node.
+        t.record(9, 0, TraceKind::TxnStart { lock_addr: 0xc0 });
+        t.record(10, 0, TraceKind::TxnCommit { read_set: 0, write_set: 0, commit_wait: 0 });
+        let log = SpanLog::build(&t);
+        assert_eq!(log.spans.len(), 2);
+        assert_eq!(log.spans[0].outcome, SpanOutcome::Open);
+        assert!(matches!(log.spans[1].outcome, SpanOutcome::Committed { .. }));
+    }
+}

@@ -99,6 +99,15 @@ pub struct NodeStats {
     pub nacks_sent: u64,
     /// Negative acknowledgements received (requests that must retry).
     pub nacks_received: u64,
+
+    /// Speculative episodes discarded because the workload descheduled
+    /// the thread mid-elision (neither a restart nor a fallback — the
+    /// critical section is re-run from scratch later).
+    pub aborts_descheduled: u64,
+    /// Cycles of speculative work thrown away by restarts and
+    /// conflict fallbacks: for each discarded episode, the cycles
+    /// between transaction start and abort.
+    pub wasted_cycles: u64,
 }
 
 impl NodeStats {
@@ -120,6 +129,212 @@ impl NodeStats {
     pub fn restarts(&self) -> u64 {
         self.restarts_conflict + self.restarts_sharer_invalidation + self.restarts_lock_write
     }
+
+    /// Checks the transaction-lifecycle accounting identity: at
+    /// quiescence every started elision must have ended exactly one
+    /// way — commit, restart, fallback, or descheduling abort.
+    ///
+    /// `fallbacks_conflict` is deliberately excluded: the SLE
+    /// conflict-fallback path counts the same abort as both a
+    /// `restarts_conflict` (the speculation was discarded) and a
+    /// `fallbacks_conflict` (the retry acquires the lock), so adding
+    /// it would double-count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the imbalance.
+    pub fn check_txn_accounting(&self, node: NodeId) -> Result<(), String> {
+        let ended = self.commits
+            + self.restarts()
+            + self.fallbacks_resource
+            + self.fallbacks_io
+            + self.fallbacks_nesting
+            + self.aborts_descheduled;
+        if self.elisions_started == ended {
+            Ok(())
+        } else {
+            Err(format!(
+                "node {node}: txn accounting drift: started {} != ended {} \
+                 (commits {} + restarts {} + fallbacks[res {} io {} nest {}] + desched {})",
+                self.elisions_started,
+                ended,
+                self.commits,
+                self.restarts(),
+                self.fallbacks_resource,
+                self.fallbacks_io,
+                self.fallbacks_nesting,
+                self.aborts_descheduled,
+            ))
+        }
+    }
+}
+
+/// A fixed-bucket log2 histogram of `u64` samples.
+///
+/// Bucket 0 counts the value 0; bucket `k` (k ≥ 1) counts values in
+/// `[2^(k-1), 2^k)`. 65 buckets cover the full `u64` range, so
+/// recording never saturates or reallocates — the structure is a flat
+/// array suitable for the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist { buckets: [0; 65], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Hist::default()
+    }
+
+    /// Bucket index for a value: 0 for 0, else `64 - leading_zeros`.
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Lower bound of a bucket (inclusive).
+    pub fn bucket_lo(k: usize) -> u64 {
+        if k <= 1 {
+            k as u64
+        } else {
+            1u64 << (k - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(bucket_lo, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(k, &c)| (Self::bucket_lo(k), c))
+            .collect()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Per-cache-line conflict counts: the contention heatmap.
+///
+/// Every conflict resolution (defer, lose, NACK, sharer invalidation)
+/// charges the line it happened on; [`ConflictMap::top_n`] yields the
+/// hottest lines for the export and the `--json` summaries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConflictMap {
+    lines: std::collections::BTreeMap<u64, u64>,
+}
+
+impl ConflictMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        ConflictMap::default()
+    }
+
+    /// Charges one conflict to `line`.
+    pub fn record(&mut self, line: u64) {
+        *self.lines.entry(line).or_insert(0) += 1;
+    }
+
+    /// Number of distinct lines that saw a conflict.
+    pub fn distinct_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Total conflicts across all lines.
+    pub fn total(&self) -> u64 {
+        self.lines.values().sum()
+    }
+
+    /// The `n` most contended lines as `(line_addr, conflicts)`,
+    /// hottest first (ties broken by address for determinism).
+    pub fn top_n(&self, n: usize) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.lines.iter().map(|(&l, &c)| (l, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+}
+
+/// Aggregated observability metrics for one run: the histogram and
+/// heatmap layer the ISSUE 2 tentpole adds on top of the flat
+/// counters. All recording happens on transaction-boundary or
+/// conflict paths, never per cycle, so the cost is negligible even
+/// with tracing disabled.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsStats {
+    /// Critical-section length in cycles (start → commit/acquire
+    /// release), committed episodes only.
+    pub cs_length: Hist,
+    /// Cycles spent inside the commit phase (waiting for write-buffer
+    /// lines to drain/become writable).
+    pub commit_latency: Hist,
+    /// Deferral-queue depth observed at each new deferral.
+    pub deferral_depth: Hist,
+    /// Restarts absorbed before each critical section finally
+    /// completed (committed or fell back).
+    pub restarts_per_txn: Hist,
+    /// Per-line conflict heatmap.
+    pub conflicts: ConflictMap,
 }
 
 /// Counts of bus transactions by kind.
@@ -160,6 +375,8 @@ pub struct MachineStats {
     /// Wall-clock cycle at which the last thread finished: the paper's
     /// "parallel execution cycle count".
     pub parallel_cycles: u64,
+    /// Histogram/heatmap aggregates (ISSUE 2 observability layer).
+    pub obs: ObsStats,
 }
 
 impl MachineStats {
@@ -198,6 +415,23 @@ impl MachineStats {
     pub fn total_fallbacks(&self) -> u64 {
         self.sum(NodeStats::fallbacks)
     }
+
+    /// Aggregate wasted speculative cycles across nodes.
+    pub fn total_wasted_cycles(&self) -> u64 {
+        self.sum(|n| n.wasted_cycles)
+    }
+
+    /// Runs [`NodeStats::check_txn_accounting`] for every node.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first node's imbalance description.
+    pub fn check_txn_accounting(&self) -> Result<(), String> {
+        for (id, n) in self.nodes.iter().enumerate() {
+            n.check_txn_accounting(id)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -225,6 +459,81 @@ mod tests {
     fn bus_total() {
         let b = BusStats { get_s: 1, get_x: 2, upgrades: 3, writebacks: 4, ..Default::default() };
         assert_eq!(b.total(), 10);
+    }
+
+    #[test]
+    fn hist_buckets_are_log2() {
+        let mut h = Hist::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        // 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 4,7 -> 3;
+        // 8 -> 4; 1024 -> 11; u64::MAX -> 64.
+        assert_eq!(
+            h.nonzero_buckets(),
+            vec![(0, 1), (1, 1), (2, 2), (4, 2), (8, 1), (1 << 10, 1), (1 << 63, 1)]
+        );
+    }
+
+    #[test]
+    fn hist_merge_and_mean() {
+        let mut a = Hist::new();
+        a.record(2);
+        a.record(4);
+        let mut b = Hist::new();
+        b.record(6);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 12);
+        assert!((a.mean() - 4.0).abs() < 1e-9);
+        assert_eq!(Hist::new().mean(), 0.0);
+        assert_eq!(Hist::new().min(), 0);
+    }
+
+    #[test]
+    fn conflict_map_top_n_is_deterministic() {
+        let mut m = ConflictMap::new();
+        for _ in 0..3 {
+            m.record(0x1000);
+        }
+        m.record(0x2000);
+        m.record(0x3000);
+        assert_eq!(m.distinct_lines(), 3);
+        assert_eq!(m.total(), 5);
+        // Tie between 0x2000 and 0x3000 breaks by address.
+        assert_eq!(m.top_n(2), vec![(0x1000, 3), (0x2000, 1)]);
+        assert_eq!(m.top_n(10).len(), 3);
+    }
+
+    #[test]
+    fn txn_accounting_balances() {
+        let mut n = NodeStats {
+            elisions_started: 10,
+            commits: 5,
+            restarts_conflict: 2,
+            fallbacks_resource: 1,
+            fallbacks_io: 1,
+            aborts_descheduled: 1,
+            ..Default::default()
+        };
+        n.check_txn_accounting(0).unwrap();
+        // The SLE conflict fallback double-counts restarts_conflict +
+        // fallbacks_conflict for one abort; the check must tolerate it.
+        n.restarts_conflict += 1;
+        n.fallbacks_conflict += 1;
+        n.elisions_started += 1;
+        n.check_txn_accounting(0).unwrap();
+        n.commits += 1;
+        assert!(n.check_txn_accounting(0).is_err());
+
+        let mut m = MachineStats::new(2);
+        m.node_mut(1).elisions_started = 1;
+        assert!(m.check_txn_accounting().unwrap_err().contains("node 1"));
+        m.node_mut(1).commits = 1;
+        m.check_txn_accounting().unwrap();
     }
 
     #[test]

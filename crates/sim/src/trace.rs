@@ -1,13 +1,24 @@
-//! Optional event tracing.
+//! Transaction-lifecycle event tracing.
 //!
-//! A [`Trace`] records interesting machine events (transaction starts,
-//! conflicts, deferrals, probes, commits) with their cycle numbers.
+//! A [`Trace`] records machine events (transaction starts, conflicts,
+//! deferrals, probes, commits) with their cycle numbers into a
+//! *bounded ring buffer*: long fuzz runs no longer accumulate
+//! unbounded memory, and the newest events — the ones that explain a
+//! failure — are always retained. The [`crate::span`] module folds the
+//! flat event stream into per-transaction spans, and
+//! [`crate::export`] renders both as Chrome/Perfetto `trace.json`.
+//!
 //! Tracing is used by the integration tests that replay the paper's
-//! worked examples (Figures 2, 4 and 6) and by the
-//! `conflict_walkthrough` example; it is disabled (zero-cost beyond a
-//! branch) during benchmark runs.
+//! worked examples (Figures 2, 4 and 6), by the serializability
+//! oracle, and by the `tlr-trace` binary; it is disabled (zero-cost
+//! beyond a branch) during benchmark runs.
 
 use crate::{Cycle, NodeId};
+
+/// Default ring capacity for [`Trace::enabled`]: generous enough that
+/// every worked-example test and oracle run sees its full history,
+/// small enough that a multi-hour fuzz session stays bounded.
+pub const DEFAULT_CAPACITY: usize = 1 << 20;
 
 /// One recorded event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,16 +37,20 @@ pub enum TraceKind {
     /// A lock elision began a speculative transaction; the payload is
     /// the lock address.
     TxnStart { lock_addr: u64 },
-    /// A transaction committed lock-free.
-    TxnCommit,
+    /// A transaction committed lock-free. `read_set`/`write_set` are
+    /// the transactional line footprints at commit; `commit_wait` is
+    /// the number of cycles spent in the commit phase waiting for
+    /// write-buffer lines to become writable.
+    TxnCommit { read_set: u32, write_set: u32, commit_wait: u64 },
     /// A transaction restarted; the payload is the line that
-    /// conflicted.
+    /// conflicted (0 when unattributed).
     TxnRestart { line: u64 },
     /// Elision abandoned; the lock will be acquired.
     TxnFallback { reason: &'static str },
     /// An incoming request was deferred (conflict won); `from` is the
-    /// requesting node.
-    Defer { line: u64, from: NodeId },
+    /// requesting node, `depth` the deferral-queue depth including
+    /// this entry.
+    Defer { line: u64, from: NodeId, depth: u32 },
     /// A deferred request was finally serviced.
     ServiceDeferred { line: u64, to: NodeId },
     /// A conflict was lost to an earlier timestamp.
@@ -44,17 +59,55 @@ pub enum TraceKind {
     Marker { line: u64, to: NodeId },
     /// A probe propagated a conflicting timestamp upstream (§3.1.1).
     Probe { line: u64, to: NodeId },
+    /// A request was refused at the bus ordering point (NACK
+    /// retention, §3).
+    NackSent { line: u64, to: NodeId },
     /// A lock was actually acquired (BASE behaviour or fallback).
     LockAcquired { lock_addr: u64 },
     /// A lock was released by an actual store.
     LockReleased { lock_addr: u64 },
 }
 
-/// An event log. When disabled, [`Trace::record`] is a no-op.
+impl TraceKind {
+    /// Short lowercase label used by the exporters and span dumps.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceKind::TxnStart { .. } => "txn_start",
+            TraceKind::TxnCommit { .. } => "txn_commit",
+            TraceKind::TxnRestart { .. } => "txn_restart",
+            TraceKind::TxnFallback { .. } => "txn_fallback",
+            TraceKind::Defer { .. } => "defer",
+            TraceKind::ServiceDeferred { .. } => "service_deferred",
+            TraceKind::ConflictLost { .. } => "conflict_lost",
+            TraceKind::Marker { .. } => "marker",
+            TraceKind::Probe { .. } => "probe",
+            TraceKind::NackSent { .. } => "nack",
+            TraceKind::LockAcquired { .. } => "lock_acquired",
+            TraceKind::LockReleased { .. } => "lock_released",
+        }
+    }
+
+    /// Whether this event ends a transaction span.
+    pub fn ends_span(&self) -> bool {
+        matches!(
+            self,
+            TraceKind::TxnCommit { .. } | TraceKind::TxnRestart { .. } | TraceKind::TxnFallback { .. }
+        )
+    }
+}
+
+/// A bounded event log. When disabled, [`Trace::record`] is a no-op;
+/// when the ring fills, the oldest events are overwritten and
+/// [`Trace::dropped`] counts the loss.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
     enabled: bool,
+    capacity: usize,
+    /// Ring storage; once `events.len() == capacity`, `start` marks
+    /// the oldest element and new events overwrite in place.
     events: Vec<TraceEvent>,
+    start: usize,
+    dropped: u64,
 }
 
 impl Trace {
@@ -63,9 +116,19 @@ impl Trace {
         Trace::default()
     }
 
-    /// Creates an enabled trace.
+    /// Creates an enabled trace with the default ring capacity.
     pub fn enabled() -> Self {
-        Trace { enabled: true, events: Vec::new() }
+        Trace::enabled_with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates an enabled trace retaining at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enabled_with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be at least 1");
+        Trace { enabled: true, capacity, events: Vec::new(), start: 0, dropped: 0 }
     }
 
     /// Whether events are being recorded.
@@ -73,26 +136,55 @@ impl Trace {
         self.enabled
     }
 
+    /// The ring capacity (0 when disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted by ring wrap-around.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Records an event if tracing is enabled.
     pub fn record(&mut self, cycle: Cycle, node: NodeId, kind: TraceKind) {
-        if self.enabled {
-            self.events.push(TraceEvent { cycle, node, kind });
+        if !self.enabled {
+            return;
+        }
+        let ev = TraceEvent { cycle, node, kind };
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.events[self.start] = ev;
+            self.start = (self.start + 1) % self.capacity;
+            self.dropped += 1;
         }
     }
 
-    /// All recorded events in order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+    /// All retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (tail, head) = self.events.split_at(self.start.min(self.events.len()));
+        head.iter().chain(tail.iter())
     }
 
-    /// Events of one node, in order.
+    /// Events of one node, oldest first.
     pub fn events_for(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> {
-        self.events.iter().filter(move |e| e.node == node)
+        self.events().filter(move |e| e.node == node)
     }
 
-    /// Counts events matching a predicate.
+    /// Counts retained events matching a predicate.
     pub fn count<F: Fn(&TraceEvent) -> bool>(&self, f: F) -> usize {
-        self.events.iter().filter(|e| f(e)).count()
+        self.events().filter(|e| f(e)).count()
     }
 }
 
@@ -100,22 +192,57 @@ impl Trace {
 mod tests {
     use super::*;
 
+    fn commit() -> TraceKind {
+        TraceKind::TxnCommit { read_set: 0, write_set: 0, commit_wait: 0 }
+    }
+
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::new();
-        t.record(1, 0, TraceKind::TxnCommit);
-        assert!(t.events().is_empty());
+        t.record(1, 0, commit());
+        assert_eq!(t.events().count(), 0);
         assert!(!t.is_enabled());
+        assert_eq!(t.dropped(), 0);
     }
 
     #[test]
     fn enabled_trace_records_in_order() {
         let mut t = Trace::enabled();
         t.record(1, 0, TraceKind::TxnStart { lock_addr: 64 });
-        t.record(5, 1, TraceKind::TxnCommit);
-        assert_eq!(t.events().len(), 2);
-        assert_eq!(t.events()[0].cycle, 1);
+        t.record(5, 1, commit());
+        assert_eq!(t.events().count(), 2);
+        assert_eq!(t.events().next().unwrap().cycle, 1);
         assert_eq!(t.events_for(1).count(), 1);
-        assert_eq!(t.count(|e| matches!(e.kind, TraceKind::TxnCommit)), 1);
+        assert_eq!(t.count(|e| matches!(e.kind, TraceKind::TxnCommit { .. })), 1);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut t = Trace::enabled_with_capacity(4);
+        for i in 0..10u64 {
+            t.record(i, 0, TraceKind::TxnRestart { line: i });
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.dropped(), 6);
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9], "oldest evicted, order preserved");
+    }
+
+    #[test]
+    fn ring_exact_capacity_drops_nothing() {
+        let mut t = Trace::enabled_with_capacity(3);
+        for i in 0..3u64 {
+            t.record(i, 0, TraceKind::TxnRestart { line: 0 });
+        }
+        assert_eq!(t.dropped(), 0);
+        assert_eq!(t.events().count(), 3);
+    }
+
+    #[test]
+    fn labels_and_span_ends() {
+        assert_eq!(commit().label(), "txn_commit");
+        assert!(commit().ends_span());
+        assert!(TraceKind::TxnFallback { reason: "io" }.ends_span());
+        assert!(!TraceKind::Marker { line: 1, to: 0 }.ends_span());
     }
 }

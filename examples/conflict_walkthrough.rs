@@ -74,9 +74,11 @@ fn main() {
     for e in m.trace().events() {
         let what = match &e.kind {
             TraceKind::TxnStart { lock_addr } => format!("begin lock-free txn (lock 0x{lock_addr:x})"),
-            TraceKind::TxnCommit => "commit (atomic, lock never acquired)".into(),
+            TraceKind::TxnCommit { read_set, write_set, .. } => {
+                format!("commit (atomic, lock never acquired; footprint {read_set}r/{write_set}w)")
+            }
             TraceKind::TxnRestart { .. } => "restart (lost conflict, timestamp retained)".into(),
-            TraceKind::Defer { line, from } => {
+            TraceKind::Defer { line, from, .. } => {
                 format!("defer P{from}'s conflicting request for line 0x{line:x}")
             }
             TraceKind::ServiceDeferred { line, to } => {
@@ -87,6 +89,9 @@ fn main() {
             }
             TraceKind::Marker { line, to } => format!("marker to P{to} for line 0x{line:x}"),
             TraceKind::Probe { line, to } => format!("probe to P{to} for line 0x{line:x}"),
+            TraceKind::NackSent { line, to } => {
+                format!("NACK P{to}'s request for line 0x{line:x} (retry later)")
+            }
             TraceKind::LockAcquired { .. } => "acquire lock (predictor training pass)".into(),
             TraceKind::LockReleased { .. } => "release lock".into(),
             TraceKind::TxnFallback { reason } => format!("fallback to lock ({reason})"),
