@@ -10,190 +10,65 @@
 //! shrinks.
 //!
 //! ```text
-//! cargo run --release -p tlr-bench --bin exp_ablations [--quick] [--procs 8]
+//! cargo run --release -p tlr-bench --bin exp_ablations [--quick] [--procs 8] [--jobs 4]
 //! ```
 
 use tlr_bench::BenchOpts;
-use tlr_core::run::run_workload;
-use tlr_sim::config::{MachineConfig, Scheme};
-use tlr_workloads::micro::{doubly_linked_list, single_counter};
-
-fn base_cfg(procs: usize) -> MachineConfig {
-    let mut c = MachineConfig::paper_default(Scheme::Tlr, procs);
-    c.max_cycles = 60_000_000_000;
-    c
-}
 
 fn main() {
     let opts = BenchOpts::from_args();
+    let pool = opts.pool();
     if opts.check {
-        tlr_bench::checks::run("exp_ablations", tlr_bench::checks::exp_ablations, opts.json.as_deref());
+        tlr_bench::checks::run(
+            "exp_ablations",
+            tlr_bench::checks::exp_ablations,
+            &pool,
+            opts.json.as_deref(),
+        );
         return;
     }
-    let procs = *opts.procs.last().unwrap_or(&8);
-    let total = opts.scale(2048);
+    let exp = tlr_bench::sweeps::ablations(&opts, &pool);
+    println!("TLR design-parameter ablations, {} processors\n", exp.procs);
 
-    println!("TLR design-parameter ablations, {procs} processors\n");
-
-    println!("deferred-queue capacity (single-counter, {total} increments):");
+    println!("deferred-queue capacity (single-counter, {} increments):", exp.total);
     println!("{:>10} {:>12} {:>10} {:>10}", "entries", "cycles", "restarts", "deferrals");
-    let mut dq_rows: Vec<(u64, u64, u64, u64)> = Vec::new();
-    for entries in [1usize, 2, 4, 16, 64] {
-        let mut cfg = base_cfg(procs);
-        cfg.deferred_queue_entries = entries;
-        let w = single_counter(procs, total);
-        let r = run_workload(&cfg, &w);
-        r.assert_valid();
-        println!(
-            "{:>10} {:>12} {:>10} {:>10}",
-            entries,
-            r.stats.parallel_cycles,
-            r.stats.total_restarts(),
-            r.stats.sum(|n| n.requests_deferred)
-        );
-        dq_rows.push((
-            entries as u64,
-            r.stats.parallel_cycles,
-            r.stats.total_restarts(),
-            r.stats.sum(|n| n.requests_deferred),
-        ));
+    for (entries, cycles, restarts, deferrals) in &exp.deferred_queue {
+        println!("{entries:>10} {cycles:>12} {restarts:>10} {deferrals:>10}");
     }
 
-    let pairs = opts.scale(1024);
-    println!("\nvictim-cache entries (doubly-linked list, {pairs} pairs):");
+    println!("\nvictim-cache entries (doubly-linked list, {} pairs):", exp.pairs);
     println!("{:>10} {:>12} {:>10} {:>10}", "entries", "cycles", "restarts", "fallbacks");
-    let mut vc_rows: Vec<(u64, u64, u64, u64)> = Vec::new();
-    for entries in [1usize, 4, 16, 64] {
-        let mut cfg = base_cfg(procs);
-        cfg.victim_entries = entries;
-        let w = doubly_linked_list(procs, pairs);
-        let r = run_workload(&cfg, &w);
-        r.assert_valid();
-        println!(
-            "{:>10} {:>12} {:>10} {:>10}",
-            entries,
-            r.stats.parallel_cycles,
-            r.stats.total_restarts(),
-            r.stats.total_fallbacks()
-        );
-        vc_rows.push((
-            entries as u64,
-            r.stats.parallel_cycles,
-            r.stats.total_restarts(),
-            r.stats.total_fallbacks(),
-        ));
+    for (entries, cycles, restarts, fallbacks) in &exp.victim_cache {
+        println!("{entries:>10} {cycles:>12} {restarts:>10} {fallbacks:>10}");
     }
 
-    println!("\nwrite-buffer lines (doubly-linked list, {pairs} pairs):");
+    println!("\nwrite-buffer lines (doubly-linked list, {} pairs):", exp.pairs);
     println!("{:>10} {:>12} {:>10} {:>10}", "lines", "cycles", "restarts", "fallbacks");
-    let mut wb_rows: Vec<(u64, u64, u64, u64)> = Vec::new();
-    for lines in [2usize, 4, 16, 64] {
-        let mut cfg = base_cfg(procs);
-        cfg.write_buffer_lines = lines;
-        let w = doubly_linked_list(procs, pairs);
-        let r = run_workload(&cfg, &w);
-        r.assert_valid();
-        println!(
-            "{:>10} {:>12} {:>10} {:>10}",
-            lines,
-            r.stats.parallel_cycles,
-            r.stats.total_restarts(),
-            r.stats.total_fallbacks()
-        );
-        wb_rows.push((
-            lines as u64,
-            r.stats.parallel_cycles,
-            r.stats.total_restarts(),
-            r.stats.total_fallbacks(),
-        ));
+    for (lines, cycles, restarts, fallbacks) in &exp.write_buffer {
+        println!("{lines:>10} {cycles:>12} {restarts:>10} {fallbacks:>10}");
     }
 
-    println!("\ntimestamp width in bits (single-counter, {total} increments; §2.1.2 rollover):");
+    println!(
+        "\ntimestamp width in bits (single-counter, {} increments; §2.1.2 rollover):",
+        exp.total
+    );
     println!("{:>10} {:>12} {:>10}", "bits", "cycles", "restarts");
-    let mut ts_rows: Vec<(u64, u64, u64)> = Vec::new();
-    for bits in [6u32, 8, 16, 32] {
-        let mut cfg = base_cfg(procs);
-        cfg.timestamp_bits = bits;
-        let w = single_counter(procs, total);
-        let r = run_workload(&cfg, &w);
-        r.assert_valid();
-        println!("{:>10} {:>12} {:>10}", bits, r.stats.parallel_cycles, r.stats.total_restarts());
-        ts_rows.push((bits as u64, r.stats.parallel_cycles, r.stats.total_restarts()));
+    for (bits, cycles, restarts) in &exp.timestamp_bits {
+        println!("{bits:>10} {cycles:>12} {restarts:>10}");
     }
 
-    println!("\nretention policy (single-counter, {total} increments; §3 deferral vs NACK):");
+    println!(
+        "\nretention policy (single-counter, {} increments; §3 deferral vs NACK):",
+        exp.total
+    );
     println!("{:>10} {:>12} {:>10} {:>10} {:>10}", "policy", "cycles", "deferrals", "nacks", "bus txns");
-    let mut ret_rows: Vec<(&str, u64, u64, u64, u64)> = Vec::new();
-    for (name, policy) in [
-        ("deferral", tlr_sim::config::RetentionPolicy::Deferral),
-        ("nack", tlr_sim::config::RetentionPolicy::Nack),
-    ] {
-        let mut cfg = base_cfg(procs);
-        cfg.retention = policy;
-        let w = single_counter(procs, total);
-        let r = run_workload(&cfg, &w);
-        r.assert_valid();
-        println!(
-            "{:>10} {:>12} {:>10} {:>10} {:>10}",
-            name,
-            r.stats.parallel_cycles,
-            r.stats.sum(|n| n.requests_deferred),
-            r.stats.sum(|n| n.nacks_sent),
-            r.stats.bus.total(),
-        );
-        ret_rows.push((
-            name,
-            r.stats.parallel_cycles,
-            r.stats.sum(|n| n.requests_deferred),
-            r.stats.sum(|n| n.nacks_sent),
-            r.stats.bus.total(),
-        ));
+    for (name, cycles, deferrals, nacks, bus) in &exp.retention {
+        println!("{name:>10} {cycles:>12} {deferrals:>10} {nacks:>10} {bus:>10}");
     }
 
     println!("\nEvery configuration validated: resources shape performance, never correctness.");
 
     if let Some(path) = &opts.json {
-        let mut j = tlr_sim::json::JsonBuf::new();
-        j.obj();
-        j.str_field("title", "TLR design-parameter ablations");
-        j.u64_field("procs", procs as u64);
-        let sweep =
-            |j: &mut tlr_sim::json::JsonBuf, key: &str, knob: &str, rows: &[(u64, u64, u64, u64)], third: &str| {
-                j.arr_key(key);
-                for (v, cycles, restarts, extra) in rows {
-                    j.obj();
-                    j.u64_field(knob, *v);
-                    j.u64_field("cycles", *cycles);
-                    j.u64_field("restarts", *restarts);
-                    j.u64_field(third, *extra);
-                    j.end_obj();
-                }
-                j.end_arr();
-            };
-        sweep(&mut j, "deferred_queue", "entries", &dq_rows, "deferrals");
-        sweep(&mut j, "victim_cache", "entries", &vc_rows, "fallbacks");
-        sweep(&mut j, "write_buffer", "lines", &wb_rows, "fallbacks");
-        j.arr_key("timestamp_bits");
-        for (bits, cycles, restarts) in &ts_rows {
-            j.obj();
-            j.u64_field("bits", *bits);
-            j.u64_field("cycles", *cycles);
-            j.u64_field("restarts", *restarts);
-            j.end_obj();
-        }
-        j.end_arr();
-        j.arr_key("retention_policy");
-        for (name, cycles, deferrals, nacks, bus) in &ret_rows {
-            j.obj();
-            j.str_field("policy", name);
-            j.u64_field("cycles", *cycles);
-            j.u64_field("deferrals", *deferrals);
-            j.u64_field("nacks", *nacks);
-            j.u64_field("bus_transactions", *bus);
-            j.end_obj();
-        }
-        j.end_arr();
-        j.end_obj();
-        tlr_bench::write_json_file(path, &j.finish());
+        tlr_bench::write_json_file(path, &exp.json());
     }
 }

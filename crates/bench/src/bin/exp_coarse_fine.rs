@@ -12,77 +12,46 @@
 //! extracts the cell-level parallelism the coarse lock hides.
 //!
 //! ```text
-//! cargo run --release -p tlr-bench --bin exp_coarse_fine [--quick] [--procs 16]
+//! cargo run --release -p tlr-bench --bin exp_coarse_fine [--quick] [--procs 16] [--jobs 4]
 //! ```
 
-use tlr_bench::{run_cell, speedup, BenchOpts};
-use tlr_sim::config::Scheme;
-use tlr_workloads::apps::{mp3d, mp3d_coarse};
+use tlr_bench::BenchOpts;
 
 fn main() {
     let opts = BenchOpts::from_args();
+    let pool = opts.pool();
     if opts.check {
-        tlr_bench::checks::run("exp_coarse_fine", tlr_bench::checks::exp_coarse_fine, opts.json.as_deref());
+        tlr_bench::checks::run(
+            "exp_coarse_fine",
+            tlr_bench::checks::exp_coarse_fine,
+            &pool,
+            opts.json.as_deref(),
+        );
         return;
     }
-    let procs = *opts.procs.last().unwrap_or(&16);
-    let iters = opts.scale(1024);
-    let cells = 4096;
-    println!("Coarse vs fine grain (mp3d kernel), {procs} processors, {iters} moves/proc, {cells} cells");
-    let fine = mp3d(procs, iters, cells);
-    let coarse = mp3d_coarse(procs, iters, cells);
-
-    let base_fine = run_cell(Scheme::Base, procs, &fine);
-    let mcs_fine = run_cell(Scheme::Mcs, procs, &fine);
-    let tlr_fine = run_cell(Scheme::Tlr, procs, &fine);
-    let base_coarse = run_cell(Scheme::Base, procs, &coarse);
-    let mcs_coarse = run_cell(Scheme::Mcs, procs, &coarse);
-    let tlr_coarse = run_cell(Scheme::Tlr, procs, &coarse);
-
-    let configs = [
-        ("BASE  + fine-grain locks", &base_fine),
-        ("MCS   + fine-grain locks", &mcs_fine),
-        ("TLR   + fine-grain locks", &tlr_fine),
-        ("BASE  + one coarse lock", &base_coarse),
-        ("MCS   + one coarse lock", &mcs_coarse),
-        ("TLR   + one coarse lock", &tlr_coarse),
-    ];
+    let exp = tlr_bench::sweeps::coarse_fine(&opts, &pool);
+    println!(
+        "Coarse vs fine grain (mp3d kernel), {} processors, {} moves/proc, {} cells",
+        exp.procs, exp.iters, exp.cells
+    );
     println!("{:<28} {:>14}", "configuration", "cycles");
-    for (name, r) in configs {
+    for (name, r) in &exp.configs {
         println!("{:<28} {:>14}", name, r.stats.parallel_cycles);
     }
     println!();
     println!(
         "speedup TLR+coarse over BASE+fine: {:.2}   (paper: 2.40)",
-        speedup(&tlr_coarse, &base_fine)
+        exp.tlr_coarse_over_base_fine()
     );
     println!(
         "speedup TLR+coarse over TLR+fine:  {:.2}   (paper: 1.70)",
-        speedup(&tlr_coarse, &tlr_fine)
+        exp.tlr_coarse_over_tlr_fine()
     );
     println!(
         "coarse lock under BASE degrades:   {:.2}x slower than BASE+fine",
-        1.0 / speedup(&base_coarse, &base_fine)
+        1.0 / exp.base_coarse_over_base_fine()
     );
     if let Some(path) = &opts.json {
-        let mut j = tlr_sim::json::JsonBuf::new();
-        j.obj();
-        j.str_field("title", "Coarse vs fine grain (mp3d kernel)");
-        j.u64_field("procs", procs as u64);
-        j.arr_key("configurations");
-        for (name, r) in configs {
-            j.obj();
-            j.str_field("configuration", name);
-            tlr_bench::report_fields(&mut j, r);
-            j.end_obj();
-        }
-        j.end_arr();
-        j.obj_key("speedups");
-        j.f64_field("tlr_coarse_over_base_fine", speedup(&tlr_coarse, &base_fine));
-        j.f64_field("tlr_coarse_over_tlr_fine", speedup(&tlr_coarse, &tlr_fine));
-        j.f64_field("base_coarse_over_base_fine", speedup(&base_coarse, &base_fine));
-        j.end_obj();
-        j.end_obj();
-        tlr_bench::write_json_file(path, &j.finish());
+        tlr_bench::write_json_file(path, &exp.json());
     }
 }

@@ -7,68 +7,40 @@
 //! mp3d: 1.13."
 //!
 //! ```text
-//! cargo run --release -p tlr-bench --bin exp_rmw_predictor [--quick] [--procs 16]
+//! cargo run --release -p tlr-bench --bin exp_rmw_predictor [--quick] [--procs 16] [--jobs 4]
 //! ```
 
-use tlr_core::run::run_workload;
 use tlr_bench::BenchOpts;
-use tlr_sim::config::{MachineConfig, Scheme};
-use tlr_workloads::apps::figure11_apps;
 
 fn main() {
     let opts = BenchOpts::from_args();
+    let pool = opts.pool();
     if opts.check {
-        tlr_bench::checks::run("exp_rmw_predictor", tlr_bench::checks::exp_rmw_predictor, opts.json.as_deref());
+        tlr_bench::checks::run(
+            "exp_rmw_predictor",
+            tlr_bench::checks::exp_rmw_predictor,
+            &pool,
+            opts.json.as_deref(),
+        );
         return;
     }
-    let procs = *opts.procs.last().unwrap_or(&16);
-    let scale = opts.scale(512);
-    println!("Read-modify-write predictor effect on BASE, {procs} processors, scale {scale}");
+    let exp = tlr_bench::sweeps::rmw_predictor(&opts, &pool);
+    println!(
+        "Read-modify-write predictor effect on BASE, {} processors, scale {}",
+        exp.procs, exp.scale
+    );
     println!("{:<12} {:>16} {:>16} {:>10} {:>8}", "app", "BASE-no-opt", "BASE", "speedup", "paper");
-    let paper = [1.00, 1.04, 1.28, 1.05, 1.04, 1.33, 1.13];
-    let mut rows: Vec<(String, u64, u64, f64)> = Vec::new();
-    for (w, paper_speedup) in figure11_apps(procs, scale).into_iter().zip(paper) {
-        let mut no_opt = MachineConfig::paper_default(Scheme::Base, procs);
-        no_opt.rmw_predictor_enabled = false;
-        no_opt.max_cycles = 60_000_000_000;
-        let mut with = no_opt.clone();
-        with.rmw_predictor_enabled = true;
-        let r_no = run_workload(&no_opt, w.as_ref());
-        r_no.assert_valid();
-        let r_with = run_workload(&with, w.as_ref());
-        r_with.assert_valid();
+    for row in &exp.rows {
         println!(
             "{:<12} {:>16} {:>16} {:>10.2} {:>8.2}",
-            w.name(),
-            r_no.stats.parallel_cycles,
-            r_with.stats.parallel_cycles,
-            r_no.stats.parallel_cycles as f64 / r_with.stats.parallel_cycles as f64,
-            paper_speedup,
+            row.app,
+            row.base_no_opt_cycles,
+            row.base_cycles,
+            row.base_no_opt_cycles as f64 / row.base_cycles as f64,
+            row.paper_speedup,
         );
-        rows.push((
-            w.name().to_string(),
-            r_no.stats.parallel_cycles,
-            r_with.stats.parallel_cycles,
-            paper_speedup,
-        ));
     }
     if let Some(path) = &opts.json {
-        let mut j = tlr_sim::json::JsonBuf::new();
-        j.obj();
-        j.str_field("title", "RMW predictor effect on BASE");
-        j.u64_field("procs", procs as u64);
-        j.arr_key("apps");
-        for (name, no_opt, with, paper_speedup) in &rows {
-            j.obj();
-            j.str_field("app", name);
-            j.u64_field("base_no_opt_cycles", *no_opt);
-            j.u64_field("base_cycles", *with);
-            j.f64_field("speedup", *no_opt as f64 / *with as f64);
-            j.f64_field("paper_speedup", *paper_speedup);
-            j.end_obj();
-        }
-        j.end_arr();
-        j.end_obj();
-        tlr_bench::write_json_file(path, &j.finish());
+        tlr_bench::write_json_file(path, &exp.json());
     }
 }

@@ -9,45 +9,29 @@
 //! protocol-order/timestamp-order mismatches cause restarts.
 //!
 //! ```text
-//! cargo run --release -p tlr-bench --bin fig09_single_counter [--quick] [--procs 1,2,4]
+//! cargo run --release -p tlr-bench --bin fig09_single_counter [--quick] [--procs 1,2,4] [--jobs 4]
 //! ```
 
-use tlr_bench::{print_events, print_series, run_cell_seeded, write_series_csv, write_series_json, BenchOpts};
-use tlr_sim::config::Scheme;
-use tlr_workloads::micro::single_counter;
+use tlr_bench::{write_series_csv, BenchOpts};
 
 fn main() {
     let opts = BenchOpts::from_args();
+    let pool = opts.pool();
     if opts.check {
-        tlr_bench::checks::run("fig09_single_counter", tlr_bench::checks::fig09, opts.json.as_deref());
+        tlr_bench::checks::run(
+            "fig09_single_counter",
+            tlr_bench::checks::fig09,
+            &pool,
+            opts.json.as_deref(),
+        );
         return;
     }
-    // Paper: 2^16 total increments; scaled down (DESIGN.md).
-    let total = opts.scale(1 << 12);
-    let schemes =
-        [Scheme::Base, Scheme::Mcs, Scheme::Sle, Scheme::TlrStrictTs, Scheme::Tlr];
-    let mut rows = Vec::new();
-    for &procs in &opts.procs {
-        let w = single_counter(procs, total);
-        let reports: Vec<_> = schemes.iter().map(|&s| run_cell_seeded(s, procs, &w, opts.seeds)).collect();
-        print!(".");
-        use std::io::Write;
-        std::io::stdout().flush().ok();
-        rows.push((procs, reports));
-    }
-    println!();
-    print_series(
-        &format!("Figure 9: single-counter, {total} total increments (cycles, lower is better)"),
-        &schemes,
-        &rows,
-    );
-    if let Some((_, last)) = rows.last() {
-        print_events(&schemes, last);
-    }
+    let sweep = tlr_bench::sweeps::fig09(&opts, &pool);
+    sweep.print();
     if let Some(path) = &opts.csv {
-        write_series_csv(path, &schemes, &rows);
+        write_series_csv(path, &sweep.schemes, &sweep.rows);
     }
     if let Some(path) = &opts.json {
-        write_series_json(path, "Figure 9: single-counter microbenchmark", &schemes, &rows);
+        tlr_bench::write_json_file(path, &sweep.json());
     }
 }

@@ -10,52 +10,53 @@
 //! of TLR there), cholesky ≈ 1.05×, ocean-cont / water-nsq ≈ 1.0×.
 //!
 //! ```text
-//! cargo run --release -p tlr-bench --bin fig11_applications [--quick] [--procs 16]
+//! cargo run --release -p tlr-bench --bin fig11_applications [--quick] [--procs 16] [--jobs 4]
 //! ```
 
-use tlr_bench::{run_cell, speedup, write_apps_json, BenchOpts};
-use tlr_sim::config::Scheme;
-use tlr_workloads::apps::figure11_apps;
+use tlr_bench::{speedup, BenchOpts};
 
 fn main() {
     let opts = BenchOpts::from_args();
+    let pool = opts.pool();
     if opts.check {
-        tlr_bench::checks::run("fig11_applications", tlr_bench::checks::fig11, opts.json.as_deref());
+        tlr_bench::checks::run(
+            "fig11_applications",
+            tlr_bench::checks::fig11,
+            &pool,
+            opts.json.as_deref(),
+        );
         return;
     }
-    let procs = *opts.procs.last().unwrap_or(&16);
-    let scale = opts.scale(512);
-    println!("Figure 11: application performance, {procs} processors, scale {scale}");
+    let sweep = tlr_bench::sweeps::fig11(&opts, &pool);
+    println!(
+        "Figure 11: application performance, {} processors, scale {}",
+        sweep.procs, sweep.scale
+    );
     println!(
         "{:<12} {:>9} {:>22} {:>22} {:>22} {:>9} {:>9}",
         "app", "BASE(cyc)", "BASE lock/other", "SLE lock/other", "TLR lock/other", "TLR/BASE", "MCS/BASE"
     );
-    let mut rows: Vec<(String, Vec<tlr_core::run::RunReport>)> = Vec::new();
-    for w in figure11_apps(procs, scale) {
-        let base = run_cell(Scheme::Base, procs, w.as_ref());
-        let sle = run_cell(Scheme::Sle, procs, w.as_ref());
-        let tlr = run_cell(Scheme::Tlr, procs, w.as_ref());
-        let mcs = run_cell(Scheme::Mcs, procs, w.as_ref());
+    for (name, reports) in &sweep.rows {
+        let (base, sle, tlr, mcs) = (&reports[0], &reports[1], &reports[2], &reports[3]);
         let part = |r: &tlr_core::run::RunReport| {
-            let total = (r.stats.parallel_cycles * procs as u64).max(1) as f64;
+            let total = (r.stats.parallel_cycles * sweep.procs as u64).max(1) as f64;
             let lock = r.stats.total_lock_cycles() as f64 / total;
             let norm = r.stats.parallel_cycles as f64 / base.stats.parallel_cycles as f64;
             format!("{:>6.3} ({:>4.1}%/{:>4.1}%)", norm, lock * 100.0, (1.0 - lock) * 100.0)
         };
         println!(
             "{:<12} {:>9} {:>22} {:>22} {:>22} {:>9.2} {:>9.2}",
-            w.name(),
+            name,
             base.stats.parallel_cycles,
-            part(&base),
-            part(&sle),
-            part(&tlr),
-            speedup(&tlr, &base),
-            speedup(&mcs, &base),
+            part(base),
+            part(sle),
+            part(tlr),
+            speedup(tlr, base),
+            speedup(mcs, base),
         );
-        rows.push((w.name().to_string(), vec![base, sle, tlr, mcs]));
     }
     println!("\n(normalized execution time; lock% = cycles attributed to lock variables)");
     if let Some(path) = &opts.json {
-        write_apps_json(path, "Figure 11: application performance", procs, &rows);
+        tlr_bench::write_json_file(path, &sweep.json());
     }
 }

@@ -8,8 +8,9 @@
 
 fn main() {
     let opts = tlr_bench::BenchOpts::from_args();
+    let pool = opts.pool();
     if opts.check {
-        tlr_bench::checks::run("table1_benchmarks", tlr_bench::checks::table1, opts.json.as_deref());
+        tlr_bench::checks::run("table1_benchmarks", tlr_bench::checks::table1, &pool, opts.json.as_deref());
         return;
     }
     println!("Table 1: Benchmarks (paper column -> this reproduction's kernel)");
@@ -17,43 +18,13 @@ fn main() {
         "{:<12} {:<22} {:<34} {:<40}",
         "Application", "Type of simulation", "Type of critical sections", "Kernel substitution"
     );
-    let rows = [
-        ("Barnes", "N-Body", "tree node locks",
-         "4-ary tree insert, per-node lock+counter"),
-        ("Cholesky", "Matrix factoring", "task queue & col. locks",
-         "task pop + column writes; 1/32 tasks exceed the write buffer"),
-        ("Mp3D", "Rarefied field flow", "cell locks",
-         "4096 packed cell locks (footprint > L1), random cell updates"),
-        ("Radiosity", "3-D rendering", "task queue & buffer locks",
-         "one contended central queue + 4 buffer locks"),
-        ("Water-nsq", "Water molecules", "global structure locks",
-         "8 round-robin global accumulators, compute between"),
-        ("Ocean-cont", "Hydrodynamics", "counter locks",
-         "private grid sweeps + 2 convergence counter locks"),
-        ("Raytrace", "Image rendering", "work list & counter locks",
-         "work-list pop + ray tally under two locks"),
-    ];
-    for (app, sim, cs, kernel) in rows {
+    for (app, sim, cs, kernel) in tlr_bench::sweeps::table1_rows() {
         println!("{app:<12} {sim:<22} {cs:<34} {kernel:<40}");
     }
     println!();
     println!("All kernels run the same binary under BASE/SLE/TLR (test&test&set locks)");
     println!("and an MCS-lock binary under the MCS configuration, as in §5.");
     if let Some(path) = &opts.json {
-        let mut j = tlr_sim::json::JsonBuf::new();
-        j.obj();
-        j.str_field("title", "Table 1: Benchmarks");
-        j.arr_key("rows");
-        for (app, sim, cs, kernel) in rows {
-            j.obj();
-            j.str_field("application", app);
-            j.str_field("simulation", sim);
-            j.str_field("critical_sections", cs);
-            j.str_field("kernel", kernel);
-            j.end_obj();
-        }
-        j.end_arr();
-        j.end_obj();
-        tlr_bench::write_json_file(path, &j.finish());
+        tlr_bench::write_json_file(path, &tlr_bench::sweeps::table1_json());
     }
 }

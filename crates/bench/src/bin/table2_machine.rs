@@ -7,67 +7,20 @@
 //! cargo run --release -p tlr-bench --bin table2_machine
 //! ```
 
-use tlr_sim::config::{MachineConfig, Scheme};
-
 fn main() {
     let opts = tlr_bench::BenchOpts::from_args();
+    let pool = opts.pool();
     if opts.check {
-        tlr_bench::checks::run("table2_machine", tlr_bench::checks::table2, opts.json.as_deref());
+        tlr_bench::checks::run("table2_machine", tlr_bench::checks::table2, &pool, opts.json.as_deref());
         return;
     }
-    let cfg = MachineConfig::paper_default(Scheme::Tlr, 16);
     println!("Table 2: simulated machine parameters (this reproduction)");
-    let rows: Vec<(&str, String, &str)> = vec![
-        ("processors", cfg.num_procs.to_string(), "16 (CMP, snooping L1s)"),
-        ("core model", "in-order, 1 op/cycle, 64-entry store buffer".into(),
-         "8-wide OoO, 128-entry ROB (see DESIGN.md substitution)"),
-        ("L1 data cache", format!("{} KB, {}-way, {} B lines",
-            cfg.l1_sets * cfg.l1_ways * 64 / 1024, cfg.l1_ways, cfg.line_bytes()),
-         "128 KB, 4-way, 64 B lines, 1-cycle"),
-        ("L1 hit latency", format!("{} cycle", cfg.latency.l1_hit), "1 cycle"),
-        ("write buffer", format!("{} lines (speculative)", cfg.write_buffer_lines),
-         "64 entries, 64 B wide"),
-        ("victim cache", format!("{} entries", cfg.victim_entries), "16 (stability discussion)"),
-        ("MSHRs", format!("{}", cfg.mshrs), "16 pending misses"),
-        ("SLE predictor", format!("{} entries", cfg.sle_predictor_entries),
-         "64-entry silent store-pair predictor"),
-        ("elision depth", format!("{}", cfg.max_elision_depth), "8 store-pair elisions"),
-        ("RMW predictor", format!("{} entries, enabled={}", cfg.rmw_predictor_entries,
-            cfg.rmw_predictor_enabled),
-         "128-entry PC-indexed, all experiments"),
-        ("coherence", "MOESI broadcast snooping, split transaction".into(),
-         "Sun Gigaplane-type MOESI"),
-        ("snoop latency", format!("{} cycles", cfg.latency.snoop), "20 cycles"),
-        ("data network", format!("{} cycles, point-to-point", cfg.latency.data_network),
-         "20 cycles, pipelined"),
-        ("L2 cache", format!("{} MB, {}-way, {}-cycle",
-            cfg.l2_sets * cfg.l2_ways * 64 / (1024 * 1024), cfg.l2_ways, cfg.latency.l2),
-         "4 MB, 12-cycle"),
-        ("memory", format!("{} cycles", cfg.latency.memory), "70 cycles"),
-        ("synchronization", "load-linked/store-conditional".into(), "LL/SC"),
-        ("memory model", "TSO (store buffer + fences)".into(), "TSO, aggressive"),
-        ("timestamps", format!("{}-bit wrapping logical clock + node id", cfg.timestamp_bits),
-         "logical clock + processor id (§2.1.2)"),
-    ];
     let (h1, h2, h3) = ("parameter", "this reproduction", "paper");
     println!("{h1:<18} {h2:<48} {h3}");
-    for (k, v, p) in &rows {
+    for (k, v, p) in &tlr_bench::sweeps::table2_rows() {
         println!("{k:<18} {v:<48} {p}");
     }
     if let Some(path) = &opts.json {
-        let mut j = tlr_sim::json::JsonBuf::new();
-        j.obj();
-        j.str_field("title", "Table 2: simulated machine parameters");
-        j.arr_key("rows");
-        for (k, v, p) in &rows {
-            j.obj();
-            j.str_field("parameter", k);
-            j.str_field("reproduction", v);
-            j.str_field("paper", p);
-            j.end_obj();
-        }
-        j.end_arr();
-        j.end_obj();
-        tlr_bench::write_json_file(path, &j.finish());
+        tlr_bench::write_json_file(path, &tlr_bench::sweeps::table2_json());
     }
 }

@@ -18,9 +18,11 @@
 //! `mp3d|mp3d_coarse`, `--scheme base|mcs|sle|tlr|tlr_strict_ts`,
 //! `--procs N`, `--total N`, `--capacity N` (trace ring-buffer
 //! capacity), `--top-n N` (contended-line table size), `--out PATH`,
-//! `--metrics PATH`, `--dump-spans` (print the span log), and
+//! `--metrics PATH`, `--dump-spans` (print the span log),
 //! `--expect-defer` (exit non-zero unless the trace holds at least
-//! one deferral — CI uses this to pin the protocol path down).
+//! one deferral — CI uses this to pin the protocol path down), and
+//! `--jobs N` (accepted for sweep-script uniformity; a trace runs one
+//! machine, so anything above 1 is noted and runs serially anyway).
 
 use tlr_core::run::{build_machine, WorkloadSpec};
 use tlr_sim::config::{MachineConfig, Scheme};
@@ -40,6 +42,7 @@ struct TraceOpts {
     metrics: Option<std::path::PathBuf>,
     dump_spans: bool,
     expect_defer: bool,
+    jobs: usize,
 }
 
 fn parse_args() -> TraceOpts {
@@ -54,6 +57,7 @@ fn parse_args() -> TraceOpts {
         metrics: None,
         dump_spans: false,
         expect_defer: false,
+        jobs: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -78,9 +82,14 @@ fn parse_args() -> TraceOpts {
             "--metrics" => o.metrics = Some(std::path::PathBuf::from(val("--metrics"))),
             "--dump-spans" => o.dump_spans = true,
             "--expect-defer" => o.expect_defer = true,
+            "--jobs" => {
+                o.jobs = val("--jobs").parse().expect("bad --jobs");
+                assert!(o.jobs >= 1, "--jobs must be at least 1");
+            }
             other => panic!(
                 "unknown argument {other:?} (supported: --workload, --scheme, --procs, \
-                 --total, --capacity, --top-n, --out, --metrics, --dump-spans, --expect-defer)"
+                 --total, --capacity, --top-n, --out, --metrics, --dump-spans, \
+                 --expect-defer, --jobs)"
             ),
         }
     }
@@ -111,6 +120,9 @@ fn write_validated(path: &std::path::Path, contents: &str, what: &str) {
 
 fn main() {
     let o = parse_args();
+    if o.jobs > 1 {
+        println!("(note: a trace follows one machine; --jobs {} runs it serially)", o.jobs);
+    }
     let w = workload(&o.workload, o.procs, o.total);
     let mut cfg = MachineConfig::paper_default(o.scheme, o.procs);
     cfg.max_cycles = 60_000_000_000;

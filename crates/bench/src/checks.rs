@@ -12,20 +12,27 @@
 //! The functions are shared between the binaries (`--check` flag) and
 //! the `check_mode` integration test, so `cargo test` exercises the
 //! same invariants CI asserts via the binaries.
+//!
+//! Every check takes the shared worker [`Pool`] and fans its cells out
+//! through it; a cell that fails (panic or serializability violation)
+//! cancels the rest of that check's scatter and surfaces as the
+//! check's error, with the cell's (workload, scheme, procs, seed)
+//! coordinates in the message.
 
 use tlr_core::run::{run_workload, RunReport, WorkloadSpec};
 use tlr_sim::config::{MachineConfig, RetentionPolicy, Scheme};
+use tlr_sim::pool::{Job, Pool};
 use tlr_workloads::apps::{figure11_apps, mp3d, mp3d_coarse};
 use tlr_workloads::micro::{doubly_linked_list, multiple_counter, single_counter};
 
-use crate::{run_cell, speedup};
+use crate::{cell_coords, run_cell, speedup};
 
-/// Runs one named check, printing a `CHECK PASS`/`CHECK FAIL` line and
-/// exiting non-zero on failure (the binaries' `--check` entry point).
-/// With `--json`, the verdict is also written as
-/// `{"check": name, "pass": bool, "error"?: string}`.
-pub fn run(name: &str, f: fn() -> Result<(), String>, json: Option<&std::path::Path>) {
-    let outcome = f();
+/// Runs one named check through `pool`, printing a `CHECK
+/// PASS`/`CHECK FAIL` line and exiting non-zero on failure (the
+/// binaries' `--check` entry point). With `--json`, the verdict is
+/// also written as `{"check": name, "pass": bool, "error"?: string}`.
+pub fn run(name: &str, f: fn(&Pool) -> Result<(), String>, pool: &Pool, json: Option<&std::path::Path>) {
+    let outcome = f(pool);
     if let Some(path) = json {
         let mut j = tlr_sim::json::JsonBuf::new();
         j.obj();
@@ -46,8 +53,32 @@ pub fn run(name: &str, f: fn() -> Result<(), String>, json: Option<&std::path::P
     }
 }
 
-fn cycles(scheme: Scheme, procs: usize, w: &dyn WorkloadSpec) -> u64 {
-    run_cell(scheme, procs, w).stats.parallel_cycles
+/// Scatters `jobs` and collects the results, turning the first failed
+/// cell (a panic inside the cell, coordinates attached by the pool)
+/// into the check's error. Workers claim cells in submission order, so
+/// the first error seen here is a genuine failure, never a
+/// cancellation echo.
+fn pooled<T: Send>(pool: &Pool, jobs: Vec<Job<'_, T>>) -> Result<Vec<T>, String> {
+    pool.scatter_indexed(jobs).into_iter().map(|r| r.map_err(|e| e.to_string())).collect()
+}
+
+/// Runs `w` under each scheme concurrently, returning the parallel
+/// cycle counts in scheme order.
+fn scheme_cycles(
+    pool: &Pool,
+    procs: usize,
+    schemes: &[Scheme],
+    w: &dyn WorkloadSpec,
+) -> Result<Vec<u64>, String> {
+    let jobs = schemes
+        .iter()
+        .map(|&s| {
+            Job::new(cell_coords(w.name(), s, procs), move |_| {
+                run_cell(s, procs, w).stats.parallel_cycles
+            })
+        })
+        .collect();
+    pooled(pool, jobs)
 }
 
 fn ensure(cond: bool, msg: String) -> Result<(), String> {
@@ -61,12 +92,11 @@ fn ensure(cond: bool, msg: String) -> Result<(), String> {
 /// Figure 8 (multiple counters, no data conflicts): SLE and TLR are
 /// near-identical and both decisively beat BASE at high processor
 /// counts.
-pub fn fig08() -> Result<(), String> {
+pub fn fig08(pool: &Pool) -> Result<(), String> {
     let procs = 8;
     let w = multiple_counter(procs, 1024);
-    let base = cycles(Scheme::Base, procs, &w);
-    let sle = cycles(Scheme::Sle, procs, &w);
-    let tlr = cycles(Scheme::Tlr, procs, &w);
+    let c = scheme_cycles(pool, procs, &[Scheme::Base, Scheme::Sle, Scheme::Tlr], &w)?;
+    let (base, sle, tlr) = (c[0], c[1], c[2]);
     ensure(
         (sle as f64 - tlr as f64).abs() / tlr as f64 <= 0.25,
         format!("SLE ({sle}) and TLR ({tlr}) must be near-identical without conflicts"),
@@ -76,14 +106,16 @@ pub fn fig08() -> Result<(), String> {
 
 /// Figure 9 (one contended counter): TLR < strict-ts < BASE, TLR <
 /// SLE, TLR < MCS — the paper's scheme ordering under high conflict.
-pub fn fig09() -> Result<(), String> {
+pub fn fig09(pool: &Pool) -> Result<(), String> {
     let procs = 8;
     let w = single_counter(procs, 1024);
-    let base = cycles(Scheme::Base, procs, &w);
-    let mcs = cycles(Scheme::Mcs, procs, &w);
-    let sle = cycles(Scheme::Sle, procs, &w);
-    let strict = cycles(Scheme::TlrStrictTs, procs, &w);
-    let tlr = cycles(Scheme::Tlr, procs, &w);
+    let c = scheme_cycles(
+        pool,
+        procs,
+        &[Scheme::Base, Scheme::Mcs, Scheme::Sle, Scheme::TlrStrictTs, Scheme::Tlr],
+        &w,
+    )?;
+    let (base, mcs, sle, strict, tlr) = (c[0], c[1], c[2], c[3], c[4]);
     ensure(tlr < strict, format!("§3.2 relaxation must help: TLR {tlr} vs strict {strict}"))?;
     ensure(strict < base, format!("even strict TLR beats BASE: {strict} vs {base}"))?;
     ensure(tlr < sle, format!("TLR beats SLE under conflicts: {tlr} vs {sle}"))?;
@@ -93,30 +125,39 @@ pub fn fig09() -> Result<(), String> {
 
 /// Figure 10 (doubly-linked list): TLR extracts the head/tail
 /// concurrency the single lock hides.
-pub fn fig10() -> Result<(), String> {
+pub fn fig10(pool: &Pool) -> Result<(), String> {
     let procs = 8;
     let w = doubly_linked_list(procs, 256);
-    let base = cycles(Scheme::Base, procs, &w);
-    let tlr = cycles(Scheme::Tlr, procs, &w);
+    let c = scheme_cycles(pool, procs, &[Scheme::Base, Scheme::Tlr], &w)?;
+    let (base, tlr) = (c[0], c[1]);
     ensure(tlr < base, format!("TLR must beat BASE on the deque: {tlr} vs {base}"))
 }
 
 /// Figure 11 (application kernels): exactly seven uniquely named
 /// apps; across the suite TLR is no slower than BASE and removes most
 /// of the cycles attributed to lock variables.
-pub fn fig11() -> Result<(), String> {
+pub fn fig11(pool: &Pool) -> Result<(), String> {
     let procs = 4;
     let apps = figure11_apps(procs, 64);
     ensure(apps.len() == 7, format!("figure 11 needs 7 apps, found {}", apps.len()))?;
     let names: std::collections::HashSet<&str> = apps.iter().map(|w| w.name()).collect();
     ensure(names.len() == 7, format!("app names must be unique: {names:?}"))?;
+    let mut jobs = Vec::with_capacity(apps.len() * 2);
+    for w in &apps {
+        for scheme in [Scheme::Base, Scheme::Tlr] {
+            let w = w.as_ref();
+            jobs.push(Job::new(cell_coords(w.name(), scheme, procs), move |_| {
+                run_cell(scheme, procs, w)
+            }));
+        }
+    }
+    let reports = pooled(pool, jobs)?;
     let mut base_total = 0u64;
     let mut tlr_total = 0u64;
     let mut base_lock = 0u64;
     let mut tlr_lock = 0u64;
-    for w in &apps {
-        let base = run_cell(Scheme::Base, procs, w.as_ref());
-        let tlr = run_cell(Scheme::Tlr, procs, w.as_ref());
+    for pair in reports.chunks(2) {
+        let (base, tlr) = (&pair[0], &pair[1]);
         base_total += base.stats.parallel_cycles;
         tlr_total += tlr.stats.parallel_cycles;
         base_lock += base.stats.total_lock_cycles();
@@ -133,8 +174,8 @@ pub fn fig11() -> Result<(), String> {
 }
 
 /// Table 1 schema: the inventory covers exactly the applications the
-/// Figure 11 suite actually runs.
-pub fn table1() -> Result<(), String> {
+/// Figure 11 suite actually runs. (Schema-only — no cells to fan out.)
+pub fn table1(_pool: &Pool) -> Result<(), String> {
     let table = ["barnes", "cholesky", "mp3d", "radiosity", "water-nsq", "ocean-cont", "raytrace"];
     let mut have: Vec<String> =
         figure11_apps(2, 16).iter().map(|w| w.name().to_string()).collect();
@@ -146,7 +187,8 @@ pub fn table1() -> Result<(), String> {
 
 /// Table 2 schema: the default machine configuration carries the
 /// paper's parameters (Table 2) in every field the dump prints.
-pub fn table2() -> Result<(), String> {
+/// (Schema-only — no cells to fan out.)
+pub fn table2(_pool: &Pool) -> Result<(), String> {
     let cfg = MachineConfig::paper_default(Scheme::Tlr, 16);
     ensure(cfg.num_procs == 16, format!("16 processors, got {}", cfg.num_procs))?;
     ensure(cfg.line_bytes() == 64, format!("64 B lines, got {}", cfg.line_bytes()))?;
@@ -174,16 +216,21 @@ pub fn table2() -> Result<(), String> {
 
 /// §6.3 granularity experiment: the coarse lock cripples BASE but TLR
 /// still extracts the cell-level parallelism it hides.
-pub fn exp_coarse_fine() -> Result<(), String> {
+pub fn exp_coarse_fine(pool: &Pool) -> Result<(), String> {
     let procs = 4;
     let (iters, cells) = (96, 512);
     let fine = mp3d(procs, iters, cells);
     let coarse = mp3d_coarse(procs, iters, cells);
-    let base_fine = run_cell(Scheme::Base, procs, &fine);
-    let base_coarse = run_cell(Scheme::Base, procs, &coarse);
-    let tlr_coarse = run_cell(Scheme::Tlr, procs, &coarse);
+    let plan: [(Scheme, &dyn WorkloadSpec); 3] =
+        [(Scheme::Base, &fine), (Scheme::Base, &coarse), (Scheme::Tlr, &coarse)];
+    let jobs = plan
+        .iter()
+        .map(|&(s, w)| Job::new(cell_coords(w.name(), s, procs), move |_| run_cell(s, procs, w)))
+        .collect();
+    let r = pooled(pool, jobs)?;
+    let (base_fine, base_coarse, tlr_coarse) = (&r[0], &r[1], &r[2]);
     ensure(
-        speedup(&tlr_coarse, &base_coarse) > 1.0,
+        speedup(tlr_coarse, base_coarse) > 1.0,
         format!(
             "TLR must recover the parallelism the coarse lock hides: {} vs {}",
             tlr_coarse.stats.parallel_cycles, base_coarse.stats.parallel_cycles
@@ -200,23 +247,26 @@ pub fn exp_coarse_fine() -> Result<(), String> {
 
 /// §6.3 RMW-predictor experiment: enabling the predictor never slows
 /// BASE down materially, and helps somewhere in the suite.
-pub fn exp_rmw_predictor() -> Result<(), String> {
+pub fn exp_rmw_predictor(pool: &Pool) -> Result<(), String> {
     let procs = 4;
-    let mut without = 0u64;
-    let mut with = 0u64;
-    for w in figure11_apps(procs, 48) {
-        let mut no_opt = MachineConfig::paper_default(Scheme::Base, procs);
-        no_opt.rmw_predictor_enabled = false;
-        no_opt.max_cycles = 60_000_000_000;
-        let mut on = no_opt.clone();
-        on.rmw_predictor_enabled = true;
-        let r_no = run_workload(&no_opt, w.as_ref());
-        r_no.assert_valid();
-        let r_on = run_workload(&on, w.as_ref());
-        r_on.assert_valid();
-        without += r_no.stats.parallel_cycles;
-        with += r_on.stats.parallel_cycles;
+    let apps = figure11_apps(procs, 48);
+    let mut jobs = Vec::with_capacity(apps.len() * 2);
+    for w in &apps {
+        for enabled in [false, true] {
+            let w = w.as_ref();
+            jobs.push(Job::new(cell_coords(w.name(), Scheme::Base, procs), move |_| {
+                let mut cfg = MachineConfig::paper_default(Scheme::Base, procs);
+                cfg.rmw_predictor_enabled = enabled;
+                cfg.max_cycles = 60_000_000_000;
+                let r = run_workload(&cfg, w);
+                r.assert_valid();
+                r.stats.parallel_cycles
+            }));
+        }
     }
+    let cycles = pooled(pool, jobs)?;
+    let without: u64 = cycles.iter().step_by(2).sum();
+    let with: u64 = cycles.iter().skip(1).step_by(2).sum();
     ensure(
         with as f64 <= without as f64 * 1.02,
         format!("the predictor must not slow BASE down: {with} vs {without}"),
@@ -226,33 +276,34 @@ pub fn exp_rmw_predictor() -> Result<(), String> {
 
 /// §3.3 resource ablations: starving every TLR resource shapes
 /// performance but never correctness — all configurations validate.
-pub fn exp_ablations() -> Result<(), String> {
+pub fn exp_ablations(pool: &Pool) -> Result<(), String> {
     let procs = 4;
-    let validated = |cfg: MachineConfig, w: &dyn WorkloadSpec, what: &str| {
-        let r: RunReport = run_workload(&cfg, w);
-        r.validation.clone().map_err(|e| format!("{what}: {e}"))
-    };
-    let base = |f: &dyn Fn(&mut MachineConfig)| {
+    let base = |f: fn(&mut MachineConfig)| {
         let mut c = MachineConfig::paper_default(Scheme::Tlr, procs);
         c.max_cycles = 60_000_000_000;
         f(&mut c);
         c
     };
-    validated(
-        base(&|c| c.deferred_queue_entries = 1),
-        &single_counter(procs, 128),
-        "deferred queue of 1",
-    )?;
-    validated(base(&|c| c.victim_entries = 1), &doubly_linked_list(procs, 64), "victim cache of 1")?;
-    validated(
-        base(&|c| c.write_buffer_lines = 2),
-        &doubly_linked_list(procs, 64),
-        "write buffer of 2",
-    )?;
-    validated(base(&|c| c.timestamp_bits = 6), &single_counter(procs, 128), "6-bit timestamps")?;
-    validated(
-        base(&|c| c.retention = RetentionPolicy::Nack),
-        &single_counter(procs, 128),
-        "NACK retention",
-    )
+    let counter = single_counter(procs, 128);
+    let deque = doubly_linked_list(procs, 64);
+    let plan: [(MachineConfig, &dyn WorkloadSpec, &'static str); 5] = [
+        (base(|c| c.deferred_queue_entries = 1), &counter, "deferred queue of 1"),
+        (base(|c| c.victim_entries = 1), &deque, "victim cache of 1"),
+        (base(|c| c.write_buffer_lines = 2), &deque, "write buffer of 2"),
+        (base(|c| c.timestamp_bits = 6), &counter, "6-bit timestamps"),
+        (base(|c| c.retention = RetentionPolicy::Nack), &counter, "NACK retention"),
+    ];
+    let jobs = plan
+        .iter()
+        .map(|(cfg, w, what)| {
+            Job::new(cell_coords(w.name(), cfg.scheme, procs), move |_| {
+                let r: RunReport = run_workload(cfg, *w);
+                r.validation.clone().map_err(|e| format!("{what}: {e}"))
+            })
+        })
+        .collect();
+    for validation in pooled(pool, jobs)? {
+        validation?;
+    }
+    Ok(())
 }

@@ -12,7 +12,11 @@
 //!   (see [`checks`]), exiting non-zero on violation;
 //! * `--json <path>` — also write the results as machine-readable
 //!   JSON (with `--check`, the check verdict instead). The committed
-//!   examples live under `bench_results/`.
+//!   examples live under `bench_results/`;
+//! * `--jobs N` — fan the sweep's independent cells out to N worker
+//!   threads (default: `TLR_JOBS` or the host parallelism). Results
+//!   are merged in submission order, so every output is byte-identical
+//!   to `--jobs 1` (enforced by `tests/parallel_determinism.rs`).
 //!
 //! Run lengths are scaled down from the paper (2^24/2^16 iterations)
 //! as documented in `DESIGN.md`; shapes, not absolute cycle counts,
@@ -20,8 +24,10 @@
 
 use tlr_core::run::{run_workload, RunReport, WorkloadSpec};
 use tlr_sim::config::{MachineConfig, Scheme};
+use tlr_sim::pool::{CellCoords, CellResult, Job, Pool};
 
 pub mod checks;
+pub mod sweeps;
 
 /// Command-line options shared by the figure binaries.
 #[derive(Debug, Clone)]
@@ -40,6 +46,9 @@ pub struct BenchOpts {
     pub json: Option<std::path::PathBuf>,
     /// Run the binary's golden-shape check instead of the full sweep.
     pub check: bool,
+    /// Worker count for the parallel execution engine (`--jobs N`);
+    /// `None` falls back to `TLR_JOBS` or the host parallelism.
+    pub jobs: Option<usize>,
 }
 
 impl BenchOpts {
@@ -56,6 +65,7 @@ impl BenchOpts {
             csv: None,
             json: None,
             check: false,
+            jobs: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
@@ -82,9 +92,15 @@ impl BenchOpts {
                     let v = args.next().expect("--json needs a file path");
                     opts.json = Some(std::path::PathBuf::from(v));
                 }
+                "--jobs" => {
+                    let v = args.next().expect("--jobs needs a worker count");
+                    let n: usize = v.parse().expect("bad job count");
+                    assert!(n >= 1, "--jobs must be at least 1");
+                    opts.jobs = Some(n);
+                }
                 other => {
                     panic!(
-                        "unknown argument {other:?} (supported: --quick, --check, --procs, --seeds, --csv, --json)"
+                        "unknown argument {other:?} (supported: --quick, --check, --procs, --seeds, --csv, --json, --jobs)"
                     )
                 }
             }
@@ -100,6 +116,70 @@ impl BenchOpts {
             full
         }
     }
+
+    /// The worker pool these options select (`--jobs`, then `TLR_JOBS`,
+    /// then the host's available parallelism).
+    pub fn pool(&self) -> Pool {
+        Pool::new(tlr_sim::pool::resolve_jobs(self.jobs))
+    }
+}
+
+/// Coordinates for one sweep cell (used in pool-error messages).
+pub fn cell_coords(workload: &str, scheme: Scheme, procs: usize) -> CellCoords {
+    CellCoords {
+        workload: workload.to_string(),
+        scheme: scheme.label().to_string(),
+        procs,
+        seed: MachineConfig::paper_default(scheme, procs).seed,
+    }
+}
+
+/// Unwraps pooled cell results, panicking with the failing cell's
+/// (workload, scheme, procs, seed) coordinates — sweep binaries
+/// surface failures immediately, exactly as the serial loops did.
+///
+/// # Panics
+///
+/// Panics with the first failed cell's coordinates and message.
+pub fn unwrap_cells<T>(results: Vec<CellResult<T>>) -> Vec<T> {
+    // Workers claim cells in submission order and cancellation only
+    // skips cells *after* a failure, so the first error found here is
+    // always a genuinely failed cell, never a cancelled one.
+    results.into_iter().map(|r| r.unwrap_or_else(|e| panic!("{e}"))).collect()
+}
+
+/// Fans one series sweep (`procs_list` × `schemes` cells) out to
+/// `pool` and merges the per-cell reports in submission order, so the
+/// returned rows — and everything serialized from them — are
+/// byte-identical to a serial sweep regardless of the worker count.
+pub fn sweep_series<W, F>(
+    pool: &Pool,
+    workload_name: &str,
+    schemes: &[Scheme],
+    procs_list: &[usize],
+    seeds: u64,
+    make_workload: F,
+) -> Vec<(usize, Vec<RunReport>)>
+where
+    W: WorkloadSpec,
+    F: Fn(usize) -> W + Sync,
+{
+    let make_workload = &make_workload;
+    let mut jobs = Vec::with_capacity(procs_list.len() * schemes.len());
+    for &procs in procs_list {
+        for &scheme in schemes {
+            jobs.push(Job::new(cell_coords(workload_name, scheme, procs), move |_| {
+                run_cell_seeded(scheme, procs, &make_workload(procs), seeds)
+            }));
+        }
+    }
+    let mut cells = unwrap_cells(pool.scatter_indexed(jobs)).into_iter();
+    procs_list
+        .iter()
+        .map(|&procs| {
+            (procs, (0..schemes.len()).map(|_| cells.next().expect("one cell per scheme")).collect())
+        })
+        .collect()
 }
 
 /// Runs one (scheme, procs) cell of a sweep.
@@ -216,19 +296,10 @@ pub fn report_fields(j: &mut tlr_sim::json::JsonBuf, r: &RunReport) {
     j.u64_field("wasted_cycles", r.stats.total_wasted_cycles());
 }
 
-/// Serializes a sweep (the same rows [`print_series`] prints) as
-/// JSON, validates the result, and writes it to `path`.
-///
-/// # Panics
-///
-/// Panics if the file cannot be written or (a bug) the generated JSON
-/// does not parse.
-pub fn write_series_json(
-    path: &std::path::Path,
-    title: &str,
-    schemes: &[Scheme],
-    rows: &[(usize, Vec<RunReport>)],
-) {
+/// Serializes a sweep (the same rows [`print_series`] prints) as a
+/// JSON string. A pure function of the rows: parallel and serial
+/// sweeps that merged identical reports serialize byte-identically.
+pub fn series_json(title: &str, schemes: &[Scheme], rows: &[(usize, Vec<RunReport>)]) -> String {
     let mut j = tlr_sim::json::JsonBuf::new();
     j.obj();
     j.str_field("title", title);
@@ -252,22 +323,28 @@ pub fn write_series_json(
     }
     j.end_arr();
     j.end_obj();
-    write_json_file(path, &j.finish());
+    j.finish()
 }
 
-/// Like [`write_series_json`] but for per-application rows (Figure
-/// 11): rows are keyed by app name instead of processor count.
+/// Serializes a sweep as JSON (see [`series_json`]), validates the
+/// result, and writes it to `path`.
 ///
 /// # Panics
 ///
-/// Panics if the file cannot be written or the generated JSON does
-/// not parse.
-pub fn write_apps_json(
+/// Panics if the file cannot be written or (a bug) the generated JSON
+/// does not parse.
+pub fn write_series_json(
     path: &std::path::Path,
     title: &str,
-    procs: usize,
-    rows: &[(String, Vec<RunReport>)],
+    schemes: &[Scheme],
+    rows: &[(usize, Vec<RunReport>)],
 ) {
+    write_json_file(path, &series_json(title, schemes, rows));
+}
+
+/// Like [`series_json`] but for per-application rows (Figure 11):
+/// rows are keyed by app name instead of processor count.
+pub fn apps_json(title: &str, procs: usize, rows: &[(String, Vec<RunReport>)]) -> String {
     let mut j = tlr_sim::json::JsonBuf::new();
     j.obj();
     j.str_field("title", title);
@@ -287,7 +364,22 @@ pub fn write_apps_json(
     }
     j.end_arr();
     j.end_obj();
-    write_json_file(path, &j.finish());
+    j.finish()
+}
+
+/// Writes [`apps_json`] to `path` with validation.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written or the generated JSON does
+/// not parse.
+pub fn write_apps_json(
+    path: &std::path::Path,
+    title: &str,
+    procs: usize,
+    rows: &[(String, Vec<RunReport>)],
+) {
+    write_json_file(path, &apps_json(title, procs, rows));
 }
 
 /// Validates `json` with the in-repo parser and writes it to `path`
@@ -342,6 +434,7 @@ mod tests {
             csv: None,
             json: None,
             check: false,
+            jobs: None,
         };
         let full = BenchOpts {
             procs: vec![2],
@@ -350,6 +443,7 @@ mod tests {
             csv: None,
             json: None,
             check: false,
+            jobs: None,
         };
         assert_eq!(full.scale(1 << 14), 1 << 14);
         assert_eq!(quick.scale(1 << 14), 1 << 10);

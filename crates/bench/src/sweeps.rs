@@ -1,0 +1,648 @@
+//! Library entry points for the nine figure/table/exp binaries.
+//!
+//! Each function runs its binary's full sweep through the
+//! deterministic parallel execution engine ([`tlr_sim::pool`]) and
+//! returns the collected rows plus a `json()` serializer. The binaries
+//! in `src/bin/` are thin wrappers (argument parsing + printing)
+//! around these entry points, and `tests/parallel_determinism.rs`
+//! calls them directly to assert that `jobs=1` and `jobs=4` produce
+//! byte-identical JSON documents.
+//!
+//! Determinism argument: every cell is a pure function of (workload
+//! parameters, scheme, procs, seed) — the machine's RNG is seeded from
+//! the config, never from the host — and cells share no state. The
+//! pool merges results in submission order, so the row vectors built
+//! here are independent of scheduling, and the serializers are pure
+//! functions of the rows.
+
+use tlr_core::run::{run_workload, RunReport, WorkloadSpec};
+use tlr_sim::config::{MachineConfig, RetentionPolicy, Scheme};
+use tlr_sim::pool::{Job, Pool};
+use tlr_workloads::apps::{figure11_apps, mp3d, mp3d_coarse};
+use tlr_workloads::micro::{doubly_linked_list, multiple_counter, single_counter};
+
+use crate::{
+    apps_json, cell_coords, print_events, print_series, run_cell, series_json, speedup,
+    unwrap_cells, BenchOpts,
+};
+
+/// A processor-count sweep (Figures 8-10): one row per processor
+/// count, one report per scheme.
+pub struct SeriesSweep {
+    /// Title used when printing the text table.
+    pub display_title: String,
+    /// Title embedded in the JSON document.
+    pub json_title: String,
+    /// Schemes, in column order.
+    pub schemes: Vec<Scheme>,
+    /// Rows in `opts.procs` order.
+    pub rows: Vec<(usize, Vec<RunReport>)>,
+}
+
+impl SeriesSweep {
+    /// The sweep as a JSON document.
+    pub fn json(&self) -> String {
+        series_json(&self.json_title, &self.schemes, &self.rows)
+    }
+
+    /// Prints the figure-style table plus the last row's event
+    /// diagnostics.
+    pub fn print(&self) {
+        print_series(&self.display_title, &self.schemes, &self.rows);
+        if let Some((_, last)) = self.rows.last() {
+            print_events(&self.schemes, last);
+        }
+    }
+}
+
+/// Figure 8: multiple-counter microbenchmark (coarse-grain locking,
+/// no data conflicts).
+pub fn fig08(opts: &BenchOpts, pool: &Pool) -> SeriesSweep {
+    let total = opts.scale(1 << 14);
+    let schemes = vec![Scheme::Base, Scheme::Mcs, Scheme::Sle, Scheme::Tlr];
+    let rows = crate::sweep_series(pool, "multiple_counter", &schemes, &opts.procs, opts.seeds, |procs| {
+        multiple_counter(procs, total)
+    });
+    SeriesSweep {
+        display_title: format!(
+            "Figure 8: multiple-counter, {total} total increments (cycles, lower is better)"
+        ),
+        json_title: "Figure 8: multiple-counter microbenchmark".to_string(),
+        schemes,
+        rows,
+    }
+}
+
+/// Figure 9: single-counter microbenchmark (fine-grain locking, high
+/// conflict).
+pub fn fig09(opts: &BenchOpts, pool: &Pool) -> SeriesSweep {
+    let total = opts.scale(1 << 12);
+    let schemes = vec![Scheme::Base, Scheme::Mcs, Scheme::Sle, Scheme::TlrStrictTs, Scheme::Tlr];
+    let rows = crate::sweep_series(pool, "single_counter", &schemes, &opts.procs, opts.seeds, |procs| {
+        single_counter(procs, total)
+    });
+    SeriesSweep {
+        display_title: format!(
+            "Figure 9: single-counter, {total} total increments (cycles, lower is better)"
+        ),
+        json_title: "Figure 9: single-counter microbenchmark".to_string(),
+        schemes,
+        rows,
+    }
+}
+
+/// Figure 10: doubly-linked-list microbenchmark (fine-grain locking,
+/// dynamic conflicts).
+pub fn fig10(opts: &BenchOpts, pool: &Pool) -> SeriesSweep {
+    let total_pairs = opts.scale(1 << 11);
+    let schemes = vec![Scheme::Base, Scheme::Mcs, Scheme::Sle, Scheme::Tlr];
+    let rows = crate::sweep_series(pool, "linked_list", &schemes, &opts.procs, opts.seeds, |procs| {
+        doubly_linked_list(procs, total_pairs)
+    });
+    SeriesSweep {
+        display_title: format!(
+            "Figure 10: doubly-linked list, {total_pairs} dequeue+enqueue pairs (cycles, lower is better)"
+        ),
+        json_title: "Figure 10: doubly-linked-list microbenchmark".to_string(),
+        schemes,
+        rows,
+    }
+}
+
+/// A per-application sweep (Figure 11): one row per app, reports in
+/// BASE / SLE / TLR / MCS order.
+pub struct AppsSweep {
+    /// Title embedded in the JSON document.
+    pub json_title: String,
+    /// Processor count all apps ran at.
+    pub procs: usize,
+    /// Work scale the apps ran at.
+    pub scale: u64,
+    /// One row per application.
+    pub rows: Vec<(String, Vec<RunReport>)>,
+}
+
+impl AppsSweep {
+    /// The sweep as a JSON document.
+    pub fn json(&self) -> String {
+        apps_json(&self.json_title, self.procs, &self.rows)
+    }
+}
+
+/// Figure 11: application kernels at one processor count, under
+/// BASE / SLE / TLR / MCS.
+pub fn fig11(opts: &BenchOpts, pool: &Pool) -> AppsSweep {
+    let procs = *opts.procs.last().unwrap_or(&16);
+    let scale = opts.scale(512);
+    let apps = figure11_apps(procs, scale);
+    let schemes = [Scheme::Base, Scheme::Sle, Scheme::Tlr, Scheme::Mcs];
+    let mut jobs = Vec::with_capacity(apps.len() * schemes.len());
+    for w in &apps {
+        for &scheme in &schemes {
+            let w = w.as_ref();
+            jobs.push(Job::new(cell_coords(w.name(), scheme, procs), move |_| {
+                run_cell(scheme, procs, w)
+            }));
+        }
+    }
+    let mut cells = unwrap_cells(pool.scatter_indexed(jobs)).into_iter();
+    let rows = apps
+        .iter()
+        .map(|w| {
+            (
+                w.name().to_string(),
+                (0..schemes.len()).map(|_| cells.next().expect("cell per scheme")).collect(),
+            )
+        })
+        .collect();
+    AppsSweep {
+        json_title: "Figure 11: application performance".to_string(),
+        procs,
+        scale,
+        rows,
+    }
+}
+
+/// Table 1 rows: (application, simulation type, critical-section
+/// structure, kernel substitution).
+pub fn table1_rows() -> [(&'static str, &'static str, &'static str, &'static str); 7] {
+    [
+        ("Barnes", "N-Body", "tree node locks",
+         "4-ary tree insert, per-node lock+counter"),
+        ("Cholesky", "Matrix factoring", "task queue & col. locks",
+         "task pop + column writes; 1/32 tasks exceed the write buffer"),
+        ("Mp3D", "Rarefied field flow", "cell locks",
+         "4096 packed cell locks (footprint > L1), random cell updates"),
+        ("Radiosity", "3-D rendering", "task queue & buffer locks",
+         "one contended central queue + 4 buffer locks"),
+        ("Water-nsq", "Water molecules", "global structure locks",
+         "8 round-robin global accumulators, compute between"),
+        ("Ocean-cont", "Hydrodynamics", "counter locks",
+         "private grid sweeps + 2 convergence counter locks"),
+        ("Raytrace", "Image rendering", "work list & counter locks",
+         "work-list pop + ray tally under two locks"),
+    ]
+}
+
+/// Table 1 as a JSON document.
+pub fn table1_json() -> String {
+    let mut j = tlr_sim::json::JsonBuf::new();
+    j.obj();
+    j.str_field("title", "Table 1: Benchmarks");
+    j.arr_key("rows");
+    for (app, sim, cs, kernel) in table1_rows() {
+        j.obj();
+        j.str_field("application", app);
+        j.str_field("simulation", sim);
+        j.str_field("critical_sections", cs);
+        j.str_field("kernel", kernel);
+        j.end_obj();
+    }
+    j.end_arr();
+    j.end_obj();
+    j.finish()
+}
+
+/// Table 2 rows: (parameter, this reproduction's value, paper value).
+pub fn table2_rows() -> Vec<(&'static str, String, &'static str)> {
+    let cfg = MachineConfig::paper_default(Scheme::Tlr, 16);
+    vec![
+        ("processors", cfg.num_procs.to_string(), "16 (CMP, snooping L1s)"),
+        ("core model", "in-order, 1 op/cycle, 64-entry store buffer".into(),
+         "8-wide OoO, 128-entry ROB (see DESIGN.md substitution)"),
+        ("L1 data cache", format!("{} KB, {}-way, {} B lines",
+            cfg.l1_sets * cfg.l1_ways * 64 / 1024, cfg.l1_ways, cfg.line_bytes()),
+         "128 KB, 4-way, 64 B lines, 1-cycle"),
+        ("L1 hit latency", format!("{} cycle", cfg.latency.l1_hit), "1 cycle"),
+        ("write buffer", format!("{} lines (speculative)", cfg.write_buffer_lines),
+         "64 entries, 64 B wide"),
+        ("victim cache", format!("{} entries", cfg.victim_entries), "16 (stability discussion)"),
+        ("MSHRs", format!("{}", cfg.mshrs), "16 pending misses"),
+        ("SLE predictor", format!("{} entries", cfg.sle_predictor_entries),
+         "64-entry silent store-pair predictor"),
+        ("elision depth", format!("{}", cfg.max_elision_depth), "8 store-pair elisions"),
+        ("RMW predictor", format!("{} entries, enabled={}", cfg.rmw_predictor_entries,
+            cfg.rmw_predictor_enabled),
+         "128-entry PC-indexed, all experiments"),
+        ("coherence", "MOESI broadcast snooping, split transaction".into(),
+         "Sun Gigaplane-type MOESI"),
+        ("snoop latency", format!("{} cycles", cfg.latency.snoop), "20 cycles"),
+        ("data network", format!("{} cycles, point-to-point", cfg.latency.data_network),
+         "20 cycles, pipelined"),
+        ("L2 cache", format!("{} MB, {}-way, {}-cycle",
+            cfg.l2_sets * cfg.l2_ways * 64 / (1024 * 1024), cfg.l2_ways, cfg.latency.l2),
+         "4 MB, 12-cycle"),
+        ("memory", format!("{} cycles", cfg.latency.memory), "70 cycles"),
+        ("synchronization", "load-linked/store-conditional".into(), "LL/SC"),
+        ("memory model", "TSO (store buffer + fences)".into(), "TSO, aggressive"),
+        ("timestamps", format!("{}-bit wrapping logical clock + node id", cfg.timestamp_bits),
+         "logical clock + processor id (§2.1.2)"),
+    ]
+}
+
+/// Table 2 as a JSON document.
+pub fn table2_json() -> String {
+    let mut j = tlr_sim::json::JsonBuf::new();
+    j.obj();
+    j.str_field("title", "Table 2: simulated machine parameters");
+    j.arr_key("rows");
+    for (k, v, p) in &table2_rows() {
+        j.obj();
+        j.str_field("parameter", k);
+        j.str_field("reproduction", v);
+        j.str_field("paper", p);
+        j.end_obj();
+    }
+    j.end_arr();
+    j.end_obj();
+    j.finish()
+}
+
+/// §6.3 coarse-vs-fine granularity experiment results. `configs`
+/// holds, in order: BASE/MCS/TLR over fine-grain locks, then
+/// BASE/MCS/TLR over the one coarse lock.
+pub struct CoarseFine {
+    /// Processor count.
+    pub procs: usize,
+    /// Moves per processor.
+    pub iters: u64,
+    /// Cell count of the mp3d kernel.
+    pub cells: u64,
+    /// Labeled reports in fixed configuration order.
+    pub configs: Vec<(&'static str, RunReport)>,
+}
+
+impl CoarseFine {
+    fn report(&self, i: usize) -> &RunReport {
+        &self.configs[i].1
+    }
+
+    /// TLR+coarse over BASE+fine (paper: 2.40).
+    pub fn tlr_coarse_over_base_fine(&self) -> f64 {
+        speedup(self.report(5), self.report(0))
+    }
+
+    /// TLR+coarse over TLR+fine (paper: 1.70).
+    pub fn tlr_coarse_over_tlr_fine(&self) -> f64 {
+        speedup(self.report(5), self.report(2))
+    }
+
+    /// BASE+coarse over BASE+fine (< 1: the coarse lock hurts BASE).
+    pub fn base_coarse_over_base_fine(&self) -> f64 {
+        speedup(self.report(3), self.report(0))
+    }
+
+    /// The experiment as a JSON document.
+    pub fn json(&self) -> String {
+        let mut j = tlr_sim::json::JsonBuf::new();
+        j.obj();
+        j.str_field("title", "Coarse vs fine grain (mp3d kernel)");
+        j.u64_field("procs", self.procs as u64);
+        j.arr_key("configurations");
+        for (name, r) in &self.configs {
+            j.obj();
+            j.str_field("configuration", name);
+            crate::report_fields(&mut j, r);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.obj_key("speedups");
+        j.f64_field("tlr_coarse_over_base_fine", self.tlr_coarse_over_base_fine());
+        j.f64_field("tlr_coarse_over_tlr_fine", self.tlr_coarse_over_tlr_fine());
+        j.f64_field("base_coarse_over_base_fine", self.base_coarse_over_base_fine());
+        j.end_obj();
+        j.end_obj();
+        j.finish()
+    }
+}
+
+/// §6.3 coarse-grain vs fine-grain experiment (mp3d kernel).
+pub fn coarse_fine(opts: &BenchOpts, pool: &Pool) -> CoarseFine {
+    let procs = *opts.procs.last().unwrap_or(&16);
+    let iters = opts.scale(1024);
+    let cells = 4096;
+    let fine = mp3d(procs, iters, cells);
+    let coarse = mp3d_coarse(procs, iters, cells);
+    let plan: [(&'static str, Scheme, &dyn WorkloadSpec); 6] = [
+        ("BASE  + fine-grain locks", Scheme::Base, &fine),
+        ("MCS   + fine-grain locks", Scheme::Mcs, &fine),
+        ("TLR   + fine-grain locks", Scheme::Tlr, &fine),
+        ("BASE  + one coarse lock", Scheme::Base, &coarse),
+        ("MCS   + one coarse lock", Scheme::Mcs, &coarse),
+        ("TLR   + one coarse lock", Scheme::Tlr, &coarse),
+    ];
+    let jobs = plan
+        .iter()
+        .map(|&(_, scheme, w)| {
+            Job::new(cell_coords(w.name(), scheme, procs), move |_| run_cell(scheme, procs, w))
+        })
+        .collect();
+    let reports = unwrap_cells(pool.scatter_indexed(jobs));
+    let configs = plan.iter().zip(reports).map(|(&(name, _, _), r)| (name, r)).collect();
+    CoarseFine { procs, iters, cells, configs }
+}
+
+/// One application row of the RMW-predictor experiment.
+pub struct RmwRow {
+    /// Application name.
+    pub app: String,
+    /// BASE cycles with the predictor disabled.
+    pub base_no_opt_cycles: u64,
+    /// BASE cycles with the predictor enabled.
+    pub base_cycles: u64,
+    /// The paper's reported speedup for this app.
+    pub paper_speedup: f64,
+}
+
+/// §6.3 read-modify-write predictor experiment results.
+pub struct RmwPredictor {
+    /// Processor count.
+    pub procs: usize,
+    /// Work scale.
+    pub scale: u64,
+    /// One row per Figure 11 application, in suite order.
+    pub rows: Vec<RmwRow>,
+}
+
+impl RmwPredictor {
+    /// The experiment as a JSON document.
+    pub fn json(&self) -> String {
+        let mut j = tlr_sim::json::JsonBuf::new();
+        j.obj();
+        j.str_field("title", "RMW predictor effect on BASE");
+        j.u64_field("procs", self.procs as u64);
+        j.arr_key("apps");
+        for row in &self.rows {
+            j.obj();
+            j.str_field("app", &row.app);
+            j.u64_field("base_no_opt_cycles", row.base_no_opt_cycles);
+            j.u64_field("base_cycles", row.base_cycles);
+            j.f64_field("speedup", row.base_no_opt_cycles as f64 / row.base_cycles as f64);
+            j.f64_field("paper_speedup", row.paper_speedup);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        j.finish()
+    }
+}
+
+/// The paper's §6.3 RMW-predictor speedups, in Figure 11 suite order.
+pub const RMW_PAPER_SPEEDUPS: [f64; 7] = [1.00, 1.04, 1.28, 1.05, 1.04, 1.33, 1.13];
+
+/// §6.3 read-modify-write prediction experiment: BASE with and
+/// without the predictor, across the Figure 11 suite.
+pub fn rmw_predictor(opts: &BenchOpts, pool: &Pool) -> RmwPredictor {
+    let procs = *opts.procs.last().unwrap_or(&16);
+    let scale = opts.scale(512);
+    let apps = figure11_apps(procs, scale);
+    let mut jobs = Vec::with_capacity(apps.len() * 2);
+    for w in &apps {
+        for enabled in [false, true] {
+            let w = w.as_ref();
+            jobs.push(Job::new(cell_coords(w.name(), Scheme::Base, procs), move |_| {
+                let mut cfg = MachineConfig::paper_default(Scheme::Base, procs);
+                cfg.rmw_predictor_enabled = enabled;
+                cfg.max_cycles = 60_000_000_000;
+                let r = run_workload(&cfg, w);
+                r.assert_valid();
+                r
+            }));
+        }
+    }
+    let mut cells = unwrap_cells(pool.scatter_indexed(jobs)).into_iter();
+    let rows = apps
+        .iter()
+        .zip(RMW_PAPER_SPEEDUPS)
+        .map(|(w, paper_speedup)| {
+            let no_opt = cells.next().expect("predictor-off cell");
+            let with = cells.next().expect("predictor-on cell");
+            RmwRow {
+                app: w.name().to_string(),
+                base_no_opt_cycles: no_opt.stats.parallel_cycles,
+                base_cycles: with.stats.parallel_cycles,
+                paper_speedup,
+            }
+        })
+        .collect();
+    RmwPredictor { procs, scale, rows }
+}
+
+/// §3.3 design-parameter ablation results: one sweep per knob, rows
+/// in knob-setting order.
+pub struct Ablations {
+    /// Processor count.
+    pub procs: usize,
+    /// Increment total for the counter workloads.
+    pub total: u64,
+    /// Pair total for the linked-list workloads.
+    pub pairs: u64,
+    /// (entries, cycles, restarts, deferrals) per deferred-queue size.
+    pub deferred_queue: Vec<(u64, u64, u64, u64)>,
+    /// (entries, cycles, restarts, fallbacks) per victim-cache size.
+    pub victim_cache: Vec<(u64, u64, u64, u64)>,
+    /// (lines, cycles, restarts, fallbacks) per write-buffer size.
+    pub write_buffer: Vec<(u64, u64, u64, u64)>,
+    /// (bits, cycles, restarts) per timestamp width.
+    pub timestamp_bits: Vec<(u64, u64, u64)>,
+    /// (policy, cycles, deferrals, nacks, bus txns) per retention policy.
+    pub retention: Vec<(&'static str, u64, u64, u64, u64)>,
+}
+
+impl Ablations {
+    /// The experiment as a JSON document.
+    pub fn json(&self) -> String {
+        let mut j = tlr_sim::json::JsonBuf::new();
+        j.obj();
+        j.str_field("title", "TLR design-parameter ablations");
+        j.u64_field("procs", self.procs as u64);
+        let sweep =
+            |j: &mut tlr_sim::json::JsonBuf, key: &str, knob: &str, rows: &[(u64, u64, u64, u64)], third: &str| {
+                j.arr_key(key);
+                for (v, cycles, restarts, extra) in rows {
+                    j.obj();
+                    j.u64_field(knob, *v);
+                    j.u64_field("cycles", *cycles);
+                    j.u64_field("restarts", *restarts);
+                    j.u64_field(third, *extra);
+                    j.end_obj();
+                }
+                j.end_arr();
+            };
+        sweep(&mut j, "deferred_queue", "entries", &self.deferred_queue, "deferrals");
+        sweep(&mut j, "victim_cache", "entries", &self.victim_cache, "fallbacks");
+        sweep(&mut j, "write_buffer", "lines", &self.write_buffer, "fallbacks");
+        j.arr_key("timestamp_bits");
+        for (bits, cycles, restarts) in &self.timestamp_bits {
+            j.obj();
+            j.u64_field("bits", *bits);
+            j.u64_field("cycles", *cycles);
+            j.u64_field("restarts", *restarts);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.arr_key("retention_policy");
+        for (name, cycles, deferrals, nacks, bus) in &self.retention {
+            j.obj();
+            j.str_field("policy", name);
+            j.u64_field("cycles", *cycles);
+            j.u64_field("deferrals", *deferrals);
+            j.u64_field("nacks", *nacks);
+            j.u64_field("bus_transactions", *bus);
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        j.finish()
+    }
+}
+
+/// Knob settings the ablation experiment sweeps.
+pub const ABLATION_DQ_ENTRIES: [usize; 5] = [1, 2, 4, 16, 64];
+/// Victim-cache sizes swept.
+pub const ABLATION_VC_ENTRIES: [usize; 4] = [1, 4, 16, 64];
+/// Write-buffer sizes swept.
+pub const ABLATION_WB_LINES: [usize; 4] = [2, 4, 16, 64];
+/// Timestamp widths swept.
+pub const ABLATION_TS_BITS: [u32; 4] = [6, 8, 16, 32];
+
+/// §3.3 design-parameter ablations: all 19 cells fanned out in one
+/// scatter, decomposed into per-knob rows in submission order.
+pub fn ablations(opts: &BenchOpts, pool: &Pool) -> Ablations {
+    let procs = *opts.procs.last().unwrap_or(&8);
+    let total = opts.scale(2048);
+    let pairs = opts.scale(1024);
+    let base_cfg = move || {
+        let mut c = MachineConfig::paper_default(Scheme::Tlr, procs);
+        c.max_cycles = 60_000_000_000;
+        c
+    };
+
+    enum Knob {
+        Dq(usize),
+        Vc(usize),
+        Wb(usize),
+        Ts(u32),
+        Ret(RetentionPolicy),
+    }
+    let mut plan: Vec<Knob> = Vec::new();
+    plan.extend(ABLATION_DQ_ENTRIES.iter().map(|&e| Knob::Dq(e)));
+    plan.extend(ABLATION_VC_ENTRIES.iter().map(|&e| Knob::Vc(e)));
+    plan.extend(ABLATION_WB_LINES.iter().map(|&l| Knob::Wb(l)));
+    plan.extend(ABLATION_TS_BITS.iter().map(|&b| Knob::Ts(b)));
+    plan.push(Knob::Ret(RetentionPolicy::Deferral));
+    plan.push(Knob::Ret(RetentionPolicy::Nack));
+
+    let jobs = plan
+        .iter()
+        .map(|knob| {
+            let (workload_name, job): (&str, Box<dyn FnOnce() -> RunReport + Send>) = match *knob {
+                Knob::Dq(entries) => ("single_counter", Box::new(move || {
+                    let mut cfg = base_cfg();
+                    cfg.deferred_queue_entries = entries;
+                    run_workload(&cfg, &single_counter(procs, total))
+                })),
+                Knob::Vc(entries) => ("linked_list", Box::new(move || {
+                    let mut cfg = base_cfg();
+                    cfg.victim_entries = entries;
+                    run_workload(&cfg, &doubly_linked_list(procs, pairs))
+                })),
+                Knob::Wb(lines) => ("linked_list", Box::new(move || {
+                    let mut cfg = base_cfg();
+                    cfg.write_buffer_lines = lines;
+                    run_workload(&cfg, &doubly_linked_list(procs, pairs))
+                })),
+                Knob::Ts(bits) => ("single_counter", Box::new(move || {
+                    let mut cfg = base_cfg();
+                    cfg.timestamp_bits = bits;
+                    run_workload(&cfg, &single_counter(procs, total))
+                })),
+                Knob::Ret(policy) => ("single_counter", Box::new(move || {
+                    let mut cfg = base_cfg();
+                    cfg.retention = policy;
+                    run_workload(&cfg, &single_counter(procs, total))
+                })),
+            };
+            Job::new(cell_coords(workload_name, Scheme::Tlr, procs), move |_| {
+                let r = job();
+                r.assert_valid();
+                r
+            })
+        })
+        .collect();
+    let mut cells = unwrap_cells(pool.scatter_indexed(jobs)).into_iter();
+    let mut next = || cells.next().expect("one report per planned cell");
+
+    let deferred_queue = ABLATION_DQ_ENTRIES
+        .iter()
+        .map(|&e| {
+            let r = next();
+            (e as u64, r.stats.parallel_cycles, r.stats.total_restarts(),
+             r.stats.sum(|n| n.requests_deferred))
+        })
+        .collect();
+    let victim_cache = ABLATION_VC_ENTRIES
+        .iter()
+        .map(|&e| {
+            let r = next();
+            (e as u64, r.stats.parallel_cycles, r.stats.total_restarts(), r.stats.total_fallbacks())
+        })
+        .collect();
+    let write_buffer = ABLATION_WB_LINES
+        .iter()
+        .map(|&l| {
+            let r = next();
+            (l as u64, r.stats.parallel_cycles, r.stats.total_restarts(), r.stats.total_fallbacks())
+        })
+        .collect();
+    let timestamp_bits = ABLATION_TS_BITS
+        .iter()
+        .map(|&b| {
+            let r = next();
+            (b as u64, r.stats.parallel_cycles, r.stats.total_restarts())
+        })
+        .collect();
+    let retention = ["deferral", "nack"]
+        .iter()
+        .map(|&name| {
+            let r = next();
+            (name, r.stats.parallel_cycles, r.stats.sum(|n| n.requests_deferred),
+             r.stats.sum(|n| n.nacks_sent), r.stats.bus.total())
+        })
+        .collect();
+
+    Ablations { procs, total, pairs, deferred_queue, victim_cache, write_buffer, timestamp_bits, retention }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> BenchOpts {
+        BenchOpts {
+            procs: vec![1, 2],
+            quick: true,
+            seeds: 1,
+            csv: None,
+            json: None,
+            check: false,
+            jobs: None,
+        }
+    }
+
+    #[test]
+    fn fig08_rows_follow_opts() {
+        let s = fig08(&tiny_opts(), &Pool::serial());
+        assert_eq!(s.rows.len(), 2);
+        assert_eq!(s.rows[0].0, 1);
+        assert_eq!(s.rows[0].1.len(), s.schemes.len());
+        tlr_sim::json::validate(&s.json()).expect("valid JSON");
+    }
+
+    #[test]
+    fn table_documents_are_valid_json() {
+        tlr_sim::json::validate(&table1_json()).expect("table1");
+        tlr_sim::json::validate(&table2_json()).expect("table2");
+        assert_eq!(table1_rows().len(), 7);
+    }
+}

@@ -6,50 +6,59 @@
 //! paper's result *directions* (TLR ≥ SLE ≥ BASE orderings, coarse
 //! locks hurting BASE but not TLR, ...) and output schemas without
 //! pinning absolute cycle counts.
+//!
+//! The checks run through the same worker pool the binaries use
+//! (`TLR_JOBS` or host parallelism), so `cargo test` also exercises
+//! the parallel fan-out path.
 
 use tlr_bench::checks;
+use tlr_sim::pool::Pool;
+
+fn pool() -> Pool {
+    Pool::from_env()
+}
 
 #[test]
 fn fig08_shape_holds() {
-    checks::fig08().unwrap();
+    checks::fig08(&pool()).unwrap();
 }
 
 #[test]
 fn fig09_shape_holds() {
-    checks::fig09().unwrap();
+    checks::fig09(&pool()).unwrap();
 }
 
 #[test]
 fn fig10_shape_holds() {
-    checks::fig10().unwrap();
+    checks::fig10(&pool()).unwrap();
 }
 
 #[test]
 fn fig11_shape_holds() {
-    checks::fig11().unwrap();
+    checks::fig11(&pool()).unwrap();
 }
 
 #[test]
 fn table1_schema_holds() {
-    checks::table1().unwrap();
+    checks::table1(&pool()).unwrap();
 }
 
 #[test]
 fn table2_schema_holds() {
-    checks::table2().unwrap();
+    checks::table2(&pool()).unwrap();
 }
 
 #[test]
 fn exp_coarse_fine_shape_holds() {
-    checks::exp_coarse_fine().unwrap();
+    checks::exp_coarse_fine(&pool()).unwrap();
 }
 
 #[test]
 fn exp_rmw_predictor_shape_holds() {
-    checks::exp_rmw_predictor().unwrap();
+    checks::exp_rmw_predictor(&pool()).unwrap();
 }
 
 #[test]
 fn exp_ablations_never_break_correctness() {
-    checks::exp_ablations().unwrap();
+    checks::exp_ablations(&pool()).unwrap();
 }

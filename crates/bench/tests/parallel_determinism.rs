@@ -1,0 +1,83 @@
+//! The reproducibility wall: every figure/table/exp entry point must
+//! produce **byte-identical** JSON at `jobs=1` and `jobs=4`, and a
+//! fuzz batch must digest identically at both worker counts.
+//!
+//! This is the load-bearing guarantee of the parallel execution
+//! engine — parallelism may only change wall-clock time, never a
+//! single output byte. The tests run at `--quick` scale with two
+//! perturbation seeds so the seeded-averaging path is exercised too.
+
+use tlr_bench::{sweeps, BenchOpts};
+use tlr_sim::pool::Pool;
+
+fn opts(procs: Vec<usize>) -> BenchOpts {
+    BenchOpts { procs, quick: true, seeds: 2, csv: None, json: None, check: false, jobs: None }
+}
+
+/// Renders one entry point's JSON under a serial and a 4-worker pool
+/// and demands byte equality.
+fn assert_identical(name: &str, render: impl Fn(&Pool) -> String) {
+    let serial = render(&Pool::new(1));
+    let parallel = render(&Pool::new(4));
+    assert_eq!(
+        serial, parallel,
+        "{name}: jobs=4 output must be byte-identical to jobs=1"
+    );
+    tlr_sim::json::validate(&serial).unwrap_or_else(|e| panic!("{name}: invalid JSON: {e}"));
+}
+
+#[test]
+fn fig08_is_parallel_deterministic() {
+    assert_identical("fig08", |pool| sweeps::fig08(&opts(vec![1, 2]), pool).json());
+}
+
+#[test]
+fn fig09_is_parallel_deterministic() {
+    assert_identical("fig09", |pool| sweeps::fig09(&opts(vec![1, 2]), pool).json());
+}
+
+#[test]
+fn fig10_is_parallel_deterministic() {
+    assert_identical("fig10", |pool| sweeps::fig10(&opts(vec![1, 2]), pool).json());
+}
+
+#[test]
+fn fig11_is_parallel_deterministic() {
+    assert_identical("fig11", |pool| sweeps::fig11(&opts(vec![2]), pool).json());
+}
+
+#[test]
+fn table1_is_parallel_deterministic() {
+    // Static data — the entry point must not depend on any pool state.
+    assert_identical("table1", |_pool| sweeps::table1_json());
+}
+
+#[test]
+fn table2_is_parallel_deterministic() {
+    assert_identical("table2", |_pool| sweeps::table2_json());
+}
+
+#[test]
+fn exp_coarse_fine_is_parallel_deterministic() {
+    assert_identical("exp_coarse_fine", |pool| sweeps::coarse_fine(&opts(vec![2]), pool).json());
+}
+
+#[test]
+fn exp_rmw_predictor_is_parallel_deterministic() {
+    assert_identical("exp_rmw_predictor", |pool| {
+        sweeps::rmw_predictor(&opts(vec![2]), pool).json()
+    });
+}
+
+#[test]
+fn exp_ablations_is_parallel_deterministic() {
+    assert_identical("exp_ablations", |pool| sweeps::ablations(&opts(vec![2]), pool).json());
+}
+
+#[test]
+fn fuzz_batch_digest_parallel_matches_serial() {
+    let serial = tlr_check::fuzz::batch_digest(0xd1ce, 64, &Pool::new(1));
+    let parallel = tlr_check::fuzz::batch_digest(0xd1ce, 64, &Pool::new(4));
+    assert_eq!(serial, parallel, "64-case fuzz batch must digest identically at any worker count");
+    assert_eq!(serial.len(), 16, "FNV-1a 64 digest renders as 16 hex digits: {serial}");
+}

@@ -13,6 +13,7 @@
 
 use tlr_core::run::run_workload;
 use tlr_sim::config::{MachineConfig, RetentionPolicy, Scheme, UntimestampedPolicy};
+use tlr_sim::pool::{CellCoords, Job, Pool};
 use tlr_workloads::micro;
 
 use crate::oracle::OracleWorkload;
@@ -99,17 +100,60 @@ pub fn micro_case(s: &mut Source) -> Result<(), String> {
 /// `TLR_CHECK_*` environment overrides) and panics with a minimized
 /// (seed, config, workload) triple on the first violation. The shrink
 /// budget is kept small because every candidate is a full simulation.
+///
+/// Cases fan out across the worker pool (`TLR_JOBS` or host
+/// parallelism); each case's seed is a pure function of (root seed,
+/// case index), so the batch behaves identically at any worker count.
 pub fn fuzz_schedules(name: &str, cases: u32) {
     let mut cfg = prop::Config::from_env(cases);
     cfg.max_shrink_checks = 64;
-    prop::check_with(name, cfg, schedule_case);
+    prop::check_with_pool(name, cfg, &Pool::from_env(), schedule_case);
 }
 
 /// Runs `cases` micro-workload fuzz cases, as [`fuzz_schedules`].
 pub fn fuzz_micro(name: &str, cases: u32) {
     let mut cfg = prop::Config::from_env(cases);
     cfg.max_shrink_checks = 64;
-    prop::check_with(name, cfg, micro_case);
+    prop::check_with_pool(name, cfg, &Pool::from_env(), micro_case);
+}
+
+/// Runs a `cases`-sized schedule-fuzz batch rooted at `seed` through
+/// `pool` — without stopping at failures — and folds every case's
+/// (index, seed, choice count, verdict) into an FNV-1a 64 digest.
+///
+/// The digest is a pure function of the batch's outcomes, so any two
+/// worker counts must produce the same 16-hex-digit string; the
+/// reproducibility wall pins `jobs=1` against `jobs=4` with it.
+pub fn batch_digest(seed: u64, cases: u32, pool: &Pool) -> String {
+    let jobs: Vec<Job<'_, String>> = (0..cases)
+        .map(|case| {
+            let case_seed = prop::case_seed(seed, case);
+            let coords = CellCoords {
+                workload: "fuzz-batch".to_string(),
+                scheme: "schedule".to_string(),
+                procs: case as usize,
+                seed: case_seed,
+            };
+            Job::new(coords, move |_| {
+                let mut src = Source::from_seed(case_seed);
+                let mut case_fn = schedule_case;
+                let verdict = match prop::run_guarded(&mut case_fn, &mut src) {
+                    Ok(()) => "ok".to_string(),
+                    Err(e) => format!("err:{e}"),
+                };
+                format!("{case}:{case_seed:#x}:{}:{verdict}\n", src.choices().len())
+            })
+        })
+        .collect();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for cell in pool.scatter_indexed(jobs) {
+        let line = cell.unwrap_or_else(|e| panic!("fuzz batch cell failed: {e}"));
+        for b in line.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    format!("{hash:016x}")
 }
 
 #[cfg(test)]

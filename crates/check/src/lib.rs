@@ -14,7 +14,10 @@
 //! * [`prop`] — the case runner: configurable case counts
 //!   (`TLR_CHECK_CASES`), seed override (`TLR_CHECK_SEED`), panics
 //!   converted into failures, and a reproduction line printed with
-//!   every minimized counterexample;
+//!   every minimized counterexample. Case seeds are a pure function of
+//!   (root seed, case index), so [`prop::check_with_pool`] can fan
+//!   cases out across the [`tlr_sim::pool`] worker threads while
+//!   reporting exactly what the serial runner would;
 //! * [`oracle`] — the serializability oracle: a workload family whose
 //!   critical sections are replayed under a single global lock in
 //!   Rust (the serial reference) and additionally replayed in the
@@ -36,5 +39,5 @@ pub mod shrink;
 pub mod source;
 pub mod timing;
 
-pub use prop::{check, check_with, Config};
+pub use prop::{check, check_with, check_with_pool, Config};
 pub use source::Source;

@@ -13,6 +13,9 @@
 //! * `TLR_CHECK_SEED=S` — root seed (every failure prints the exact
 //!   value to set here to reproduce it deterministically).
 
+use tlr_sim::pool::{CellCoords, Job, Pool};
+use tlr_sim::SimRng;
+
 use crate::shrink;
 use crate::source::Source;
 
@@ -56,6 +59,16 @@ where
     check_with(name, Config::from_env(cases), prop)
 }
 
+/// The seed for case `case` of a run rooted at `root`: a pure
+/// function of (root seed, case index), so cases can be generated in
+/// any order — or on any worker thread — and still draw the exact
+/// stream the serial runner would have handed them.
+/// (`SimRng::nth` indexes the same stream `SimRng::new(root)` walks,
+/// so historical reproduction lines stay valid.)
+pub fn case_seed(root: u64, case: u32) -> u64 {
+    SimRng::nth(root, case as u64)
+}
+
 /// Runs `prop` under an explicit [`Config`].
 ///
 /// # Panics
@@ -65,47 +78,124 @@ pub fn check_with<F>(name: &str, cfg: Config, mut prop: F)
 where
     F: FnMut(&mut Source) -> Result<(), String>,
 {
-    let mut case_seeds = tlr_sim::SimRng::new(cfg.seed);
     for case in 0..cfg.cases {
-        let case_seed = case_seeds.next_u64();
+        let case_seed = case_seed(cfg.seed, case);
         let mut src = Source::from_seed(case_seed);
         let outcome = run_guarded(&mut prop, &mut src);
         let err = match outcome {
             Ok(()) => continue,
             Err(e) => e,
         };
-        // Minimize by editing the recorded choice stream.
-        let recorded = src.choices().to_vec();
-        let minimized = shrink::minimize(
-            &recorded,
-            |cand| {
-                let mut s = Source::replay(cand);
-                run_guarded(&mut prop, &mut s).is_err()
-            },
-            cfg.max_shrink_checks,
-        );
-        let mut replay = Source::replay(&minimized.choices);
-        let min_err = run_guarded(&mut prop, &mut replay)
-            .expect_err("minimized case must still fail");
-        panic!(
-            "property '{name}' failed\n\
-             \x20 case {case}/{cases} (case seed {case_seed}); reproduce with \
-             TLR_CHECK_SEED={root} TLR_CHECK_CASES={next}\n\
-             \x20 original failure: {err}\n\
-             \x20 minimized after {checks} candidate runs to {n} choices: {choices:?}\n\
-             \x20 minimized failure: {min_err}",
-            cases = cfg.cases,
-            root = cfg.seed,
-            next = case + 1,
-            checks = minimized.checks,
-            n = minimized.choices.len(),
-            choices = minimized.choices,
-        );
+        minimize_and_panic(name, &cfg, case, case_seed, err, src.choices(), &mut prop);
     }
 }
 
+/// Runs `prop` over the configured cases with the worker [`Pool`],
+/// fanning independent cases out to threads. Case seeds come from
+/// [`case_seed`], so every case draws exactly the stream the serial
+/// [`check_with`] would hand it; the first failing case (lowest case
+/// index — workers claim cases in submission order) cancels the rest
+/// of the batch and is then minimized serially, producing the same
+/// panic message `check_with` would.
+///
+/// The property must be `Fn + Sync` (shared read-only across
+/// workers); with a 1-job pool this degenerates to the serial runner.
+///
+/// # Panics
+///
+/// Panics with the minimized counterexample if any case fails.
+pub fn check_with_pool<F>(name: &str, cfg: Config, pool: &Pool, prop: F)
+where
+    F: Fn(&mut Source) -> Result<(), String> + Sync,
+{
+    if pool.jobs() <= 1 {
+        return check_with(name, cfg, prop);
+    }
+    let prop_ref = &prop;
+    let jobs: Vec<Job<'_, (u64, Result<(), String>, Vec<u64>)>> = (0..cfg.cases)
+        .map(|case| {
+            let coords = CellCoords {
+                workload: name.to_string(),
+                scheme: "prop-case".to_string(),
+                procs: case as usize,
+                seed: case_seed(cfg.seed, case),
+            };
+            Job::new(coords, move |token| {
+                let seed = case_seed(cfg.seed, case);
+                let mut src = Source::from_seed(seed);
+                let mut adapter = |s: &mut Source| prop_ref(s);
+                let outcome = run_guarded(&mut adapter, &mut src);
+                if outcome.is_err() {
+                    // Stop claiming later cases; already-claimed ones
+                    // finish, and the lowest failing index wins below.
+                    token.cancel();
+                }
+                (seed, outcome, src.choices().to_vec())
+            })
+        })
+        .collect();
+    for (case, cell) in pool.scatter_indexed(jobs).into_iter().enumerate() {
+        match cell {
+            // Cells skipped after an earlier failure: the failure
+            // itself sits at a lower index and was handled first.
+            Err(e) if e.cancelled => continue,
+            // run_guarded already converts property panics to Err, so
+            // a failed cell here is a runner bug; surface it loudly.
+            Err(e) => panic!("property '{name}': worker failure: {e}"),
+            Ok((seed, Err(err), recorded)) => {
+                let mut adapter = |s: &mut Source| prop_ref(s);
+                minimize_and_panic(name, &cfg, case as u32, seed, err, &recorded, &mut adapter);
+            }
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Shrinks a failing case's recorded choice stream and panics with the
+/// reproduction line (shared by the serial and pooled runners so their
+/// failure reports are identical).
+fn minimize_and_panic<F>(
+    name: &str,
+    cfg: &Config,
+    case: u32,
+    case_seed: u64,
+    err: String,
+    recorded: &[u64],
+    prop: &mut F,
+) -> !
+where
+    F: FnMut(&mut Source) -> Result<(), String>,
+{
+    // Minimize by editing the recorded choice stream.
+    let minimized = shrink::minimize(
+        recorded,
+        |cand| {
+            let mut s = Source::replay(cand);
+            run_guarded(prop, &mut s).is_err()
+        },
+        cfg.max_shrink_checks,
+    );
+    let mut replay = Source::replay(&minimized.choices);
+    let min_err = run_guarded(prop, &mut replay)
+        .expect_err("minimized case must still fail");
+    panic!(
+        "property '{name}' failed\n\
+         \x20 case {case}/{cases} (case seed {case_seed}); reproduce with \
+         TLR_CHECK_SEED={root} TLR_CHECK_CASES={next}\n\
+         \x20 original failure: {err}\n\
+         \x20 minimized after {checks} candidate runs to {n} choices: {choices:?}\n\
+         \x20 minimized failure: {min_err}",
+        cases = cfg.cases,
+        root = cfg.seed,
+        next = case + 1,
+        checks = minimized.checks,
+        n = minimized.choices.len(),
+        choices = minimized.choices,
+    );
+}
+
 /// Runs the property once, converting panics into `Err`.
-fn run_guarded<F>(prop: &mut F, src: &mut Source) -> Result<(), String>
+pub(crate) fn run_guarded<F>(prop: &mut F, src: &mut Source) -> Result<(), String>
 where
     F: FnMut(&mut Source) -> Result<(), String>,
 {
@@ -168,6 +258,50 @@ mod tests {
             });
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn pooled_runner_draws_the_serial_case_seeds() {
+        use std::sync::Mutex;
+        let cfg = Config { cases: 24, seed: 0xfeed, max_shrink_checks: 0 };
+        let serial: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+        check_with("serial-seeds", cfg.clone(), |s| {
+            serial.lock().unwrap().push(s.u64_in(0..=u64::MAX - 1));
+            Ok(())
+        });
+        let pooled: Mutex<std::collections::BTreeSet<u64>> = Mutex::new(Default::default());
+        check_with_pool("pooled-seeds", cfg, &Pool::new(4), |s| {
+            pooled.lock().unwrap().insert(s.u64_in(0..=u64::MAX - 1));
+            Ok(())
+        });
+        let mut serial = serial.into_inner().unwrap();
+        serial.sort_unstable();
+        let pooled: Vec<u64> = pooled.into_inner().unwrap().into_iter().collect();
+        assert_eq!(serial, pooled, "workers must draw exactly the serial seed set");
+    }
+
+    #[test]
+    fn pooled_failure_report_matches_the_serial_report() {
+        let cfg = Config { cases: 64, seed: 99, max_shrink_checks: 32 };
+        let prop = |s: &mut Source| {
+            let v = s.u64_in(0..=1000);
+            if v >= 400 {
+                Err(format!("saw {v}"))
+            } else {
+                Ok(())
+            }
+        };
+        let grab = |r: std::thread::Result<()>| match r {
+            Err(p) => p.downcast_ref::<String>().cloned().expect("string panic"),
+            Ok(()) => panic!("property should have failed"),
+        };
+        let serial = grab(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check_with("same-name", cfg.clone(), prop);
+        })));
+        let pooled = grab(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check_with_pool("same-name", cfg, &Pool::new(4), prop);
+        })));
+        assert_eq!(serial, pooled, "parallel runs must report the same first failure");
     }
 
     #[test]

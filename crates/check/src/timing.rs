@@ -27,31 +27,62 @@ pub struct TimingOpts {
     pub min_batch_ns: u64,
     /// Emit JSON instead of the text table.
     pub json: bool,
+    /// Worker count. Wall-clock measurement must stay at 1: timed
+    /// batches sharing cores with sweep workers measure scheduler
+    /// contention, not the simulator. The field exists so `--jobs`
+    /// from shared sweep scripts is *rejected loudly* rather than
+    /// silently ignored — see [`TimingOpts::validated`].
+    pub jobs: usize,
 }
 
 impl Default for TimingOpts {
     fn default() -> Self {
-        TimingOpts { samples: 7, min_batch_ns: 10_000_000, json: false }
+        TimingOpts { samples: 7, min_batch_ns: 10_000_000, json: false, jobs: 1 }
     }
 }
 
 impl TimingOpts {
     /// Parses process arguments: `--quick` (3 samples, 1 ms batches),
-    /// `--json`; `--bench`/`--test` and free arguments are ignored so
+    /// `--json`, `--jobs N` (anything but 1 is rejected when the suite
+    /// starts); `--bench`/`--test` and free arguments are ignored so
     /// the binary survives however cargo invokes it.
     pub fn from_args() -> Self {
         let mut o = TimingOpts::default();
-        for a in std::env::args().skip(1) {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
             match a.as_str() {
                 "--quick" => {
                     o.samples = 3;
                     o.min_batch_ns = 1_000_000;
                 }
                 "--json" => o.json = true,
+                "--jobs" => {
+                    let v = args.next().expect("--jobs needs a worker count");
+                    o.jobs = v.parse().expect("bad job count");
+                }
                 _ => {}
             }
         }
         o
+    }
+
+    /// Checks that the options are usable for wall-clock measurement.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `jobs != 1`: the parallel execution engine is for
+    /// simulation sweeps (deterministic cycle counts), never for timed
+    /// batches, whose numbers worker threads would pollute.
+    pub fn validated(self) -> Result<Self, String> {
+        if self.jobs != 1 {
+            return Err(format!(
+                "timing harness requires --jobs 1 (got {}): concurrent workers \
+                 pollute wall-clock measurement; parallelism is for simulation \
+                 sweeps, where the metric is deterministic cycle counts",
+                self.jobs
+            ));
+        }
+        Ok(self)
     }
 }
 
@@ -79,7 +110,13 @@ pub struct Suite {
 
 impl Suite {
     /// A new suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the options fail [`TimingOpts::validated`] (e.g.
+    /// `--jobs` above 1 — measurement is pinned to one worker).
     pub fn new(name: &str, opts: TimingOpts) -> Self {
+        let opts = opts.validated().unwrap_or_else(|e| panic!("{e}"));
         Suite { name: name.to_string(), opts, rows: Vec::new() }
     }
 
@@ -169,7 +206,20 @@ mod tests {
     use super::*;
 
     fn quick() -> TimingOpts {
-        TimingOpts { samples: 3, min_batch_ns: 1_000, json: false }
+        TimingOpts { samples: 3, min_batch_ns: 1_000, json: false, jobs: 1 }
+    }
+
+    #[test]
+    fn harness_rejects_parallel_jobs() {
+        let opts = TimingOpts { jobs: 4, ..TimingOpts::default() };
+        let err = opts.validated().expect_err("jobs above 1 must be rejected");
+        assert!(err.contains("--jobs 1"), "{err}");
+        assert!(err.contains("wall-clock"), "{err}");
+        let result = std::panic::catch_unwind(|| {
+            Suite::new("polluted", TimingOpts { jobs: 2, ..TimingOpts::default() })
+        });
+        assert!(result.is_err(), "Suite::new must refuse a parallel harness");
+        assert!(TimingOpts::default().validated().is_ok(), "jobs=1 stays accepted");
     }
 
     #[test]

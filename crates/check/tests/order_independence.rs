@@ -1,0 +1,68 @@
+//! Satellite wall for the seed-derivation decoupling: every fuzz
+//! case's RNG stream must be a pure function of (root seed, case
+//! index), never of the order cases happen to execute in.
+//!
+//! Before the parallel execution engine, case seeds came from one
+//! shared mutable `SimRng` stream, so case `i`'s seed depended on
+//! cases `0..i` having been drawn first — correct serially, but any
+//! reordering (a worker pool, a skipped case) would silently change
+//! every subsequent case. These tests run the same case set forward,
+//! reversed, and interleaved, and demand identical per-case outcomes.
+
+use tlr_check::fuzz::schedule_case;
+use tlr_check::prop::case_seed;
+use tlr_check::Source;
+use tlr_sim::SimRng;
+
+const ROOT: u64 = 0x0dd5_eed5;
+const CASES: u32 = 12;
+
+/// Runs case `i` of the batch and returns everything observable about
+/// it: the seed it drew, the verdict, and the recorded choice stream.
+fn run_case(i: u32) -> (u64, String, Vec<u64>) {
+    let seed = case_seed(ROOT, i);
+    let mut src = Source::from_seed(seed);
+    let verdict = match schedule_case(&mut src) {
+        Ok(()) => "ok".to_string(),
+        Err(e) => format!("err:{e}"),
+    };
+    (seed, verdict, src.choices().to_vec())
+}
+
+#[test]
+fn case_seeds_match_the_sequential_stream() {
+    // Back-compat anchor: `case_seed(root, i)` must equal the i-th
+    // draw of the old shared stream, so reproduction lines printed by
+    // earlier failures still replay the same cases.
+    let mut sequential = SimRng::new(ROOT);
+    for i in 0..64 {
+        assert_eq!(
+            case_seed(ROOT, i),
+            sequential.next_u64(),
+            "case {i} must draw the seed the serial stream produced"
+        );
+    }
+}
+
+#[test]
+fn reversed_execution_changes_no_case() {
+    let forward: Vec<_> = (0..CASES).map(run_case).collect();
+    let mut reversed: Vec<_> = (0..CASES).rev().map(run_case).collect();
+    reversed.reverse();
+    for (i, (f, r)) in forward.iter().zip(&reversed).enumerate() {
+        assert_eq!(f, r, "case {i} must be identical run first-to-last or last-to-first");
+    }
+}
+
+#[test]
+fn interleaved_execution_changes_no_case() {
+    let forward: Vec<_> = (0..CASES).map(run_case).collect();
+    // Evens first, then odds — a schedule no serial loop would produce.
+    let mut interleaved: Vec<Option<(u64, String, Vec<u64>)>> = vec![None; CASES as usize];
+    for i in (0..CASES).step_by(2).chain((1..CASES).step_by(2)) {
+        interleaved[i as usize] = Some(run_case(i));
+    }
+    for (i, (f, shuffled)) in forward.iter().zip(&interleaved).enumerate() {
+        assert_eq!(f, shuffled.as_ref().expect("every case ran"), "case {i} order-dependent");
+    }
+}

@@ -24,7 +24,11 @@ use crate::machine::Machine;
 /// Programs receive the [`Scheme`] because the paper's MCS
 /// configuration runs a different binary (MCS queue locks) while
 /// BASE/SLE/TLR share one test&test&set binary (§5).
-pub trait WorkloadSpec {
+///
+/// Workloads are `Send + Sync` so sweep cells referencing one workload
+/// can fan out across the [`tlr_sim::pool`] worker threads; every
+/// implementation is a plain parameter struct, so this costs nothing.
+pub trait WorkloadSpec: Send + Sync {
     /// Workload name (used in benchmark output).
     fn name(&self) -> &str;
 

@@ -6,7 +6,10 @@
 //! generator ([`rng::SimRng`]), cycle statistics and histogram
 //! aggregates ([`stats`]), a bounded event trace ([`trace`]), the
 //! span layer that folds it into transaction lifecycles ([`span`]),
-//! and zero-dependency JSON export backends ([`export`], [`json`]).
+//! zero-dependency JSON export backends ([`export`], [`json`]), and
+//! the deterministic parallel execution engine that fans independent
+//! simulation cells out to worker threads with submission-order
+//! result merging ([`pool`]).
 //!
 //! The simulator is deterministic by construction: every source of
 //! "randomness" (fairness delays after lock releases, latency
@@ -26,12 +29,14 @@
 pub mod config;
 pub mod export;
 pub mod json;
+pub mod pool;
 pub mod rng;
 pub mod span;
 pub mod stats;
 pub mod trace;
 
 pub use config::{LatencyConfig, MachineConfig, Scheme, UntimestampedPolicy};
+pub use pool::{CancelToken, CellCoords, CellError, CellResult, Job, Pool};
 pub use rng::SimRng;
 pub use span::{SpanLog, SpanOutcome, TxnSpan};
 pub use stats::{MachineStats, NodeStats};

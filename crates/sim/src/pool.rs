@@ -1,0 +1,309 @@
+//! Deterministic parallel execution engine.
+//!
+//! Every simulation cell in this reproduction — one (workload, scheme,
+//! processor-count, seed) point of a sweep, a fuzz case, an oracle
+//! check — is an independent, pure function of its inputs. This module
+//! fans such cells out to a [`std::thread`] worker pool while keeping
+//! the *observable output bit-identical to serial execution*:
+//!
+//! * [`Pool::scatter_indexed`] returns results **in submission order**
+//!   regardless of completion order, so merged CSV/JSON documents do
+//!   not depend on scheduling;
+//! * a panicking cell is captured and converted into a [`CellError`]
+//!   carrying the cell's [`CellCoords`] (workload, scheme, procs,
+//!   seed), never a torn process;
+//! * a [`CancelToken`] lets one failed cell stop the sweep early:
+//!   cells not yet claimed by a worker are skipped and reported as
+//!   cancelled. Workers claim cells in submission order, so the
+//!   lowest-indexed failure is always executed and observed — early
+//!   exit can not mask it;
+//! * a pool of one job degenerates to in-line execution on the calling
+//!   thread (no threads are spawned), which is the reference the
+//!   determinism tests compare against.
+//!
+//! The worker count defaults to [`std::thread::available_parallelism`]
+//! and is overridable with `TLR_JOBS` or the benchmark binaries'
+//! `--jobs N` flag (see [`resolve_jobs`]).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Coordinates identifying one simulation cell inside a sweep. Carried
+/// by every [`Job`] so a failure names the exact cell that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellCoords {
+    /// Workload name (or the fuzz property's name).
+    pub workload: String,
+    /// Scheme label (or a batch-kind tag for non-sweep work).
+    pub scheme: String,
+    /// Simulated processor count; 0 when not applicable.
+    pub procs: usize,
+    /// The cell's base RNG seed.
+    pub seed: u64,
+}
+
+impl std::fmt::Display for CellCoords {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{} x{} seed {:#x}]",
+            self.workload, self.scheme, self.procs, self.seed
+        )
+    }
+}
+
+/// A failed (or cancelled) cell: the coordinates plus the captured
+/// panic message.
+#[derive(Debug, Clone)]
+pub struct CellError {
+    /// Which cell failed.
+    pub coords: CellCoords,
+    /// The captured panic payload, or a cancellation note.
+    pub message: String,
+    /// True when the cell never ran because an earlier cell failed.
+    pub cancelled: bool,
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.cancelled {
+            write!(f, "cell {} cancelled: {}", self.coords, self.message)
+        } else {
+            write!(f, "cell {} failed: {}", self.coords, self.message)
+        }
+    }
+}
+
+/// Per-cell outcome of a scatter.
+pub type CellResult<T> = Result<T, CellError>;
+
+/// Cooperative cancellation shared by every cell of one scatter: set
+/// once, checked by workers before claiming the next cell. Cells that
+/// already started are left to finish (their results still land in
+/// submission order); cells not yet claimed return a cancelled
+/// [`CellError`] without running.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation of all not-yet-started cells.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// One unit of work: coordinates plus the closure computing the cell.
+/// The closure receives the scatter's [`CancelToken`] so a cell that
+/// detects a failure itself (e.g. a `--check` verdict) can stop the
+/// rest of the sweep.
+pub struct Job<'a, T> {
+    /// The cell's coordinates, echoed in any [`CellError`].
+    pub coords: CellCoords,
+    run: Box<dyn FnOnce(&CancelToken) -> T + Send + 'a>,
+}
+
+impl<'a, T> Job<'a, T> {
+    /// A job from coordinates and a closure.
+    pub fn new(coords: CellCoords, run: impl FnOnce(&CancelToken) -> T + Send + 'a) -> Self {
+        Job { coords, run: Box::new(run) }
+    }
+}
+
+/// The worker pool. Holds no threads between scatters — each
+/// [`Pool::scatter_indexed`] call spawns scoped workers sized to
+/// `min(jobs, cells)` and joins them before returning, so borrowed
+/// (non-`'static`) jobs are allowed.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool running at most `jobs` cells concurrently.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jobs` is 0.
+    pub fn new(jobs: usize) -> Self {
+        assert!(jobs >= 1, "a pool needs at least one job");
+        Pool { jobs }
+    }
+
+    /// A serial pool (`jobs = 1`): cells run in-line on the calling
+    /// thread, in submission order, with the same error conversion.
+    pub fn serial() -> Self {
+        Pool::new(1)
+    }
+
+    /// A pool sized by `TLR_JOBS` or the host's available parallelism
+    /// (see [`resolve_jobs`]).
+    pub fn from_env() -> Self {
+        Pool::new(resolve_jobs(None))
+    }
+
+    /// The concurrency bound.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Fans `jobs` out to the workers and returns one result per job
+    /// **in submission order**, regardless of completion order. A
+    /// panicking job becomes an `Err` carrying its coordinates and
+    /// cancels the cells not yet started.
+    pub fn scatter_indexed<'a, T: Send>(&self, jobs: Vec<Job<'a, T>>) -> Vec<CellResult<T>> {
+        self.scatter_with_token(jobs, &CancelToken::new())
+    }
+
+    /// As [`Pool::scatter_indexed`], but sharing an external
+    /// [`CancelToken`] (e.g. to chain several scatters under one
+    /// early-exit domain).
+    pub fn scatter_with_token<'a, T: Send>(
+        &self,
+        jobs: Vec<Job<'a, T>>,
+        token: &CancelToken,
+    ) -> Vec<CellResult<T>> {
+        let n = jobs.len();
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            // Serial degenerate case: no threads, same semantics.
+            return jobs.into_iter().map(|job| run_one(job, token)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Job<'a, T>>>> =
+            jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let results: Vec<Mutex<Option<CellResult<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    // Cells are claimed in submission order, so when a
+                    // failure at index i cancels the scatter, every
+                    // index below i has already been claimed and will
+                    // complete — min-index failures are deterministic.
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let job = slots[i]
+                        .lock()
+                        .expect("slot lock never poisoned (panics are caught per cell)")
+                        .take()
+                        .expect("each slot is claimed exactly once");
+                    let r = run_one(job, token);
+                    *results[i].lock().expect("result lock never poisoned") = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result lock never poisoned")
+                    .expect("every claimed slot stores a result")
+            })
+            .collect()
+    }
+}
+
+/// Runs one job with cancellation check and panic capture.
+fn run_one<'a, T>(job: Job<'a, T>, token: &CancelToken) -> CellResult<T> {
+    let coords = job.coords;
+    if token.is_cancelled() {
+        return Err(CellError {
+            coords,
+            message: "skipped: an earlier cell failed".to_string(),
+            cancelled: true,
+        });
+    }
+    let run = job.run;
+    match catch_unwind(AssertUnwindSafe(|| run(token))) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            token.cancel();
+            Err(CellError { coords, message: panic_message(payload), cancelled: false })
+        }
+    }
+}
+
+/// Renders a caught panic payload as a string.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic".to_string())
+}
+
+/// Resolves the worker count: an explicit request (a `--jobs N` flag)
+/// wins, then the `TLR_JOBS` environment variable, then the host's
+/// [`std::thread::available_parallelism`]. Zero or unparsable values
+/// are ignored at each step.
+pub fn resolve_jobs(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        if n >= 1 {
+            return n;
+        }
+    }
+    if let Ok(v) = std::env::var("TLR_JOBS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coords(i: usize) -> CellCoords {
+        CellCoords { workload: format!("w{i}"), scheme: "test".to_string(), procs: i, seed: i as u64 }
+    }
+
+    #[test]
+    fn scatter_preserves_submission_order() {
+        let pool = Pool::new(3);
+        let jobs: Vec<Job<usize>> =
+            (0..16).map(|i| Job::new(coords(i), move |_| i * 10)).collect();
+        let out = pool.scatter_indexed(jobs);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().expect("ok"), i * 10);
+        }
+    }
+
+    #[test]
+    fn empty_scatter_is_empty() {
+        assert!(Pool::new(4).scatter_indexed(Vec::<Job<()>>::new()).is_empty());
+    }
+
+    #[test]
+    fn resolve_jobs_prefers_explicit() {
+        assert_eq!(resolve_jobs(Some(3)), 3);
+        assert!(resolve_jobs(None) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn zero_jobs_is_rejected() {
+        Pool::new(0);
+    }
+
+    #[test]
+    fn display_formats_carry_coordinates() {
+        let e = CellError { coords: coords(2), message: "boom".to_string(), cancelled: false };
+        let s = e.to_string();
+        assert!(s.contains("w2") && s.contains("x2") && s.contains("boom"), "{s}");
+    }
+}

@@ -6,6 +6,16 @@
 //! the same but keep every run exactly reproducible by deriving all
 //! randomness from a seeded SplitMix64 generator.
 
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64's output mixing function.
+fn mix(state: u64) -> u64 {
+    let mut z = state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// A small, fast, deterministic PRNG (SplitMix64).
 ///
 /// # Example
@@ -24,7 +34,7 @@ pub struct SimRng {
 impl SimRng {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        SimRng { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+        SimRng { state: seed.wrapping_add(GOLDEN) }
     }
 
     /// Derives an independent stream for a sub-component (e.g. one
@@ -37,11 +47,22 @@ impl SimRng {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
+        self.state = self.state.wrapping_add(GOLDEN);
+        mix(self.state)
+    }
+
+    /// The `index`-th value (0-based) of the stream `SimRng::new(seed)`
+    /// produces, computed directly without advancing a cursor.
+    ///
+    /// SplitMix64's state is an arithmetic progression, so any position
+    /// is addressable in O(1). This is what makes the seed derivation
+    /// of parallel sweeps order-independent: cell `i`'s seed is a pure
+    /// function of (master seed, `i`), never of which cells ran before
+    /// it or on which worker.
+    pub fn nth(seed: u64, index: u64) -> u64 {
+        // `new` adds one GOLDEN, each `next_u64` adds another; the
+        // (index+1)-th call therefore mixes seed + (index+2)*GOLDEN.
+        mix(seed.wrapping_add(GOLDEN.wrapping_mul(index.wrapping_add(2))))
     }
 
     /// Uniform value in `[0, bound)`. Returns 0 when `bound == 0`.
@@ -76,6 +97,16 @@ mod tests {
         let mut b = SimRng::new(7);
         for _ in 0..100 {
             assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn nth_matches_the_sequential_stream() {
+        for seed in [0u64, 7, 0x5eed_cafe, u64::MAX] {
+            let mut r = SimRng::new(seed);
+            for i in 0..64 {
+                assert_eq!(SimRng::nth(seed, i), r.next_u64(), "seed {seed:#x} index {i}");
+            }
         }
     }
 

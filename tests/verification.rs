@@ -12,27 +12,54 @@ use tlr_check::fuzz;
 use tlr_check::oracle::OracleWorkload;
 use tlr_check::Source;
 use tlr_sim::config::{MachineConfig, RetentionPolicy, Scheme};
+use tlr_sim::pool::{CellCoords, Job, Pool};
+use tlr_sim::SimRng;
 
 /// Deterministic sweep: scheme x retention x procs, one seeded
-/// workload per cell (5 * 2 * 3 = 30 cells).
+/// workload per cell (5 * 2 * 3 = 30 cells), fanned out across the
+/// worker pool. Each cell's seed is `SimRng::nth(root, index)` — the
+/// exact value the historical serial loop drew from its sequential
+/// stream — so the covered cases are unchanged and independent of
+/// both execution order and worker count.
 #[test]
 fn oracle_sweep_all_schemes() {
-    let mut cell_seeds = tlr_sim::SimRng::new(0x5eed_cafe);
+    let root = 0x5eed_cafe;
+    let mut cells = Vec::new();
     for scheme in Scheme::ALL {
         for retention in [RetentionPolicy::Deferral, RetentionPolicy::Nack] {
             for procs in [1usize, 2, 4] {
+                let index = cells.len() as u64;
+                cells.push((scheme, retention, procs, SimRng::nth(root, index)));
+            }
+        }
+    }
+    let jobs = cells
+        .iter()
+        .map(|&(scheme, retention, procs, seed)| {
+            let coords = CellCoords {
+                workload: "oracle-sweep".to_string(),
+                scheme: format!("{} {retention:?}", scheme.label()),
+                procs,
+                seed,
+            };
+            Job::new(coords, move |_| {
                 let mut cfg = MachineConfig::paper_default(scheme, procs);
                 cfg.retention = retention;
                 cfg.max_cycles = 50_000_000;
-                let mut s = Source::from_seed(cell_seeds.next_u64());
+                let mut s = Source::from_seed(seed);
                 let w = OracleWorkload::arbitrary(&mut s, procs, 6);
-                w.check(&cfg).unwrap_or_else(|e| {
-                    panic!(
-                        "sweep cell {} / {retention:?} / {procs}p: {e}\n  workload: {w:?}",
-                        scheme.label()
-                    )
-                });
-            }
+                w.check(&cfg).map_err(|e| {
+                    format!("sweep cell {} / {retention:?} / {procs}p: {e}\n  workload: {w:?}", scheme.label())
+                })
+            })
+        })
+        .collect();
+    for cell in Pool::from_env().scatter_indexed(jobs) {
+        match cell {
+            Err(e) if e.cancelled => continue,
+            Err(e) => panic!("{e}"),
+            Ok(Err(violation)) => panic!("{violation}"),
+            Ok(Ok(())) => {}
         }
     }
 }
