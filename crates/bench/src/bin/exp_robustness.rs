@@ -1,0 +1,39 @@
+//! `exp_robustness`: degradation curves under the deterministic
+//! fault-injection ("chaos") layer.
+//!
+//! Sweeps fault intensity 0 (calm baseline) through `--faults N`
+//! (default: the maximum level) for BASE, SLE, and TLR on the
+//! contended-counter workload, reporting cycles, restarts, fallbacks,
+//! and the injected-fault counts per cell. The chaos layer's contract
+//! — faults perturb timing, never correctness — is asserted on every
+//! cell, so a serializability violation under chaos fails the run.
+//!
+//! ```text
+//! cargo run --release -p tlr-bench --bin exp_robustness -- \
+//!     --faults 4 --fault-seed 0xc4a05eed --json robustness.json
+//! ```
+//!
+//! Shares the core flag surface (`--quick`, `--check`, `--json`,
+//! `--jobs`, ...) with the other binaries, plus `--faults N` and
+//! `--fault-seed S`.
+
+use tlr_bench::BenchOpts;
+
+fn main() {
+    let opts = BenchOpts::parse_chaos();
+    let pool = opts.pool();
+    if opts.check {
+        tlr_bench::checks::run(
+            "exp_robustness",
+            tlr_bench::checks::exp_robustness,
+            &pool,
+            opts.json.as_deref(),
+        );
+        return;
+    }
+    let sweep = tlr_bench::sweeps::robustness(&opts, &pool);
+    sweep.print();
+    if let Some(path) = &opts.json {
+        tlr_bench::write_json_file(path, &sweep.json());
+    }
+}

@@ -13,7 +13,7 @@
 use tlr_bench::{write_series_csv, BenchOpts};
 
 fn main() {
-    let opts = BenchOpts::from_args();
+    let opts = BenchOpts::parse();
     let pool = opts.pool();
     if opts.check {
         tlr_bench::checks::run(

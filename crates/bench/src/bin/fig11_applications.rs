@@ -16,7 +16,7 @@
 use tlr_bench::{speedup, BenchOpts};
 
 fn main() {
-    let opts = BenchOpts::from_args();
+    let opts = BenchOpts::parse();
     let pool = opts.pool();
     if opts.check {
         tlr_bench::checks::run(

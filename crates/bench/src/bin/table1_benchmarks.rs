@@ -7,7 +7,7 @@
 //! ```
 
 fn main() {
-    let opts = tlr_bench::BenchOpts::from_args();
+    let opts = tlr_bench::BenchOpts::parse();
     let pool = opts.pool();
     if opts.check {
         tlr_bench::checks::run("table1_benchmarks", tlr_bench::checks::table1, &pool, opts.json.as_deref());

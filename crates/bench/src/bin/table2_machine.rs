@@ -8,7 +8,7 @@
 //! ```
 
 fn main() {
-    let opts = tlr_bench::BenchOpts::from_args();
+    let opts = tlr_bench::BenchOpts::parse();
     let pool = opts.pool();
     if opts.check {
         tlr_bench::checks::run("table2_machine", tlr_bench::checks::table2, &pool, opts.json.as_deref());

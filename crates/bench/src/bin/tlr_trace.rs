@@ -24,6 +24,7 @@
 //! `--jobs N` (accepted for sweep-script uniformity; a trace runs one
 //! machine, so anything above 1 is noted and runs serially anyway).
 
+use tlr_bench::cli::Args;
 use tlr_core::run::{build_machine, WorkloadSpec};
 use tlr_sim::config::{MachineConfig, Scheme};
 use tlr_sim::trace::TraceKind;
@@ -59,13 +60,14 @@ fn parse_args() -> TraceOpts {
         expect_defer: false,
         jobs: 1,
     };
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut val = |what: &str| args.next().unwrap_or_else(|| panic!("{what} needs a value"));
-        match arg.as_str() {
-            "--workload" => o.workload = val("--workload"),
+    // Trace-specific flags layer on the shared core surface; the hook
+    // claims `--procs` too, because a trace follows ONE machine (a
+    // single count, not the sweep's comma list).
+    let shared = Args::parse_with(|_, mut flag| {
+        match flag.name {
+            "--workload" => o.workload = flag.value(),
             "--scheme" => {
-                o.scheme = match val("--scheme").as_str() {
+                o.scheme = match flag.value().as_str() {
                     "base" => Scheme::Base,
                     "mcs" => Scheme::Mcs,
                     "sle" => Scheme::Sle,
@@ -74,25 +76,19 @@ fn parse_args() -> TraceOpts {
                     other => panic!("unknown scheme {other:?} (base|mcs|sle|tlr|tlr_strict_ts)"),
                 }
             }
-            "--procs" => o.procs = val("--procs").parse().expect("bad --procs"),
-            "--total" => o.total = val("--total").parse().expect("bad --total"),
-            "--capacity" => o.capacity = val("--capacity").parse().expect("bad --capacity"),
-            "--top-n" => o.top_n = val("--top-n").parse().expect("bad --top-n"),
-            "--out" => o.out = Some(std::path::PathBuf::from(val("--out"))),
-            "--metrics" => o.metrics = Some(std::path::PathBuf::from(val("--metrics"))),
+            "--procs" => o.procs = flag.value().parse().expect("bad --procs"),
+            "--total" => o.total = flag.value().parse().expect("bad --total"),
+            "--capacity" => o.capacity = flag.value().parse().expect("bad --capacity"),
+            "--top-n" => o.top_n = flag.value().parse().expect("bad --top-n"),
+            "--metrics" => o.metrics = Some(std::path::PathBuf::from(flag.value())),
             "--dump-spans" => o.dump_spans = true,
             "--expect-defer" => o.expect_defer = true,
-            "--jobs" => {
-                o.jobs = val("--jobs").parse().expect("bad --jobs");
-                assert!(o.jobs >= 1, "--jobs must be at least 1");
-            }
-            other => panic!(
-                "unknown argument {other:?} (supported: --workload, --scheme, --procs, \
-                 --total, --capacity, --top-n, --out, --metrics, --dump-spans, \
-                 --expect-defer, --jobs)"
-            ),
+            _ => return false,
         }
-    }
+        true
+    });
+    o.out = shared.out;
+    o.jobs = shared.jobs.unwrap_or(1);
     o
 }
 

@@ -214,6 +214,75 @@ pub fn table2(_pool: &Pool) -> Result<(), String> {
     ensure(cfg.timestamp_bits > 0, "timestamps must be present".into())
 }
 
+/// Chaos degradation experiment: injected faults may cost cycles but
+/// never correctness. Every cell validates, the fault bookkeeping is
+/// self-consistent, level 0 is indistinguishable from a machine that
+/// never heard of the fault layer, and the max-intensity cells
+/// actually inject faults.
+pub fn exp_robustness(pool: &Pool) -> Result<(), String> {
+    use tlr_sim::fault::FaultConfig;
+    let procs = 4;
+    let total = 256u64;
+    let seed = crate::cli::DEFAULT_FAULT_SEED;
+    let schemes = crate::sweeps::ROBUSTNESS_SCHEMES;
+    let mut jobs = Vec::with_capacity(schemes.len() * 3);
+    for level in [0, FaultConfig::MAX_INTENSITY] {
+        for scheme in schemes {
+            jobs.push(Job::new(cell_coords("single_counter", scheme, procs), move |_| {
+                let cfg = MachineConfig::builder()
+                    .scheme(scheme)
+                    .procs(procs)
+                    .max_cycles(60_000_000_000)
+                    .faults(FaultConfig::intensity(seed, level))
+                    .build();
+                run_workload(&cfg, &single_counter(procs, total))
+            }));
+        }
+    }
+    // Reference cells: the pre-chaos configuration path.
+    for scheme in schemes {
+        jobs.push(Job::new(cell_coords("single_counter", scheme, procs), move |_| {
+            run_cell(scheme, procs, &single_counter(procs, total))
+        }));
+    }
+    let reports = pooled(pool, jobs)?;
+    for r in &reports {
+        r.validation
+            .clone()
+            .map_err(|e| format!("[{} x{}] chaos broke serializability: {e}", r.scheme, r.procs))?;
+        ensure(
+            r.stats.faults.spurious_aborts == r.stats.sum(|n| n.aborts_injected),
+            format!(
+                "[{}] spurious-abort bookkeeping must agree: machine {} vs nodes {}",
+                r.scheme,
+                r.stats.faults.spurious_aborts,
+                r.stats.sum(|n| n.aborts_injected)
+            ),
+        )?;
+    }
+    let (calm, rest) = reports.split_at(schemes.len());
+    let (wild, refs) = rest.split_at(schemes.len());
+    for (a, b) in calm.iter().zip(refs) {
+        ensure(
+            a.stats.faults.total_injected() == 0,
+            format!("[{}] level 0 must inject nothing", a.scheme),
+        )?;
+        ensure(
+            a.stats.parallel_cycles == b.stats.parallel_cycles
+                && a.stats.total_commits() == b.stats.total_commits()
+                && a.stats.total_restarts() == b.stats.total_restarts(),
+            format!(
+                "[{}] faults-off cell must match the fault-free build: {} vs {} cycles",
+                a.scheme, a.stats.parallel_cycles, b.stats.parallel_cycles
+            ),
+        )?;
+    }
+    ensure(
+        wild.iter().any(|r| r.stats.faults.total_injected() > 0),
+        "max-intensity cells must actually inject faults".into(),
+    )
+}
+
 /// §6.3 granularity experiment: the coarse lock cripples BASE but TLR
 /// still extracts the cell-level parallelism it hides.
 pub fn exp_coarse_fine(pool: &Pool) -> Result<(), String> {

@@ -1,0 +1,321 @@
+//! Shared command-line parsing for the figure/table/exp binaries.
+//!
+//! Every binary accepts the same core surface — `--quick`, `--check`,
+//! `--procs`, `--seeds`, `--csv`, `--json`, `--out`, `--jobs` — which
+//! used to be re-parsed (and drift-prone) in each `main`. [`Args`]
+//! centralizes it; binaries with extra flags (`tlr-trace`'s workload
+//! selection, `exp_robustness`'s `--faults`/`--fault-seed`) layer them
+//! on top with [`Args::parse_with`] without re-implementing the core.
+
+use std::path::PathBuf;
+
+use tlr_sim::fault::FaultConfig;
+use tlr_sim::pool::Pool;
+
+/// Default root seed for the chaos sweep's fault streams (arbitrary,
+/// fixed so `exp_robustness` output is reproducible out of the box).
+pub const DEFAULT_FAULT_SEED: u64 = 0xc4a0_5eed;
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Processor counts to sweep (x-axis of Figures 8-10).
+    pub procs: Vec<usize>,
+    /// Work scale divisor: 1 for the default, larger for `--quick`.
+    pub quick: bool,
+    /// Number of seeds to average over (the Alameldeen methodology:
+    /// perturbed runs instead of a single sample).
+    pub seeds: u64,
+    /// Optional path to also write the results as CSV (for plotting).
+    pub csv: Option<PathBuf>,
+    /// Optional path to also write the results as JSON (for tooling;
+    /// with `--check`, the check verdict is written instead).
+    pub json: Option<PathBuf>,
+    /// Optional generic output path (`--out`; `tlr-trace` writes its
+    /// Perfetto trace here).
+    pub out: Option<PathBuf>,
+    /// Run the binary's golden-shape check instead of the full sweep.
+    pub check: bool,
+    /// Worker count for the parallel execution engine (`--jobs N`);
+    /// `None` falls back to `TLR_JOBS` or the host parallelism.
+    pub jobs: Option<usize>,
+    /// Maximum fault intensity for chaos sweeps (`--faults`, parsed
+    /// only by [`Args::parse_chaos`]; `exp_robustness` sweeps levels
+    /// `0..=faults`).
+    pub faults: u32,
+    /// Root seed for the fault streams (`--fault-seed`, parsed only by
+    /// [`Args::parse_chaos`]).
+    pub fault_seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            procs: vec![1, 2, 4, 8, 12, 16],
+            quick: false,
+            seeds: 1,
+            csv: None,
+            json: None,
+            out: None,
+            check: false,
+            jobs: None,
+            faults: FaultConfig::MAX_INTENSITY,
+            fault_seed: DEFAULT_FAULT_SEED,
+        }
+    }
+}
+
+/// Cursor over the raw argument tokens, handed to the `extra` hook of
+/// [`Args::parse_with`] so binary-specific flags can pull their
+/// values with the same error style as the core flags.
+pub struct ArgStream {
+    tokens: Vec<String>,
+    i: usize,
+}
+
+impl ArgStream {
+    /// Next token, consumed as the value of `flag`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message when the value is missing.
+    pub fn value(&mut self, flag: &str) -> String {
+        let v = self.tokens.get(self.i).unwrap_or_else(|| panic!("{flag} needs a value"));
+        self.i += 1;
+        v.clone()
+    }
+}
+
+impl Args {
+    /// Parses the core flag surface from the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse() -> Self {
+        Self::parse_with(|_, _| false)
+    }
+
+    /// Parses the core surface plus the chaos flags `--faults N`
+    /// (maximum intensity level) and `--fault-seed S`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse_chaos() -> Self {
+        Self::parse_with(chaos_flags)
+    }
+
+    /// Parses the process arguments, offering each flag to `extra`
+    /// first (so binaries can both add flags and override a core
+    /// flag's meaning); unclaimed flags fall through to the core
+    /// parser. `extra` returns whether it consumed the flag.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse_with(extra: impl FnMut(&mut Args, Flag<'_>) -> bool) -> Self {
+        Self::parse_tokens(std::env::args().skip(1).collect(), extra)
+    }
+
+    /// [`Args::parse_with`] over an explicit token list (tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse_tokens(
+        tokens: Vec<String>,
+        mut extra: impl FnMut(&mut Args, Flag<'_>) -> bool,
+    ) -> Self {
+        let mut opts = Args::default();
+        let mut s = ArgStream { tokens, i: 0 };
+        while s.i < s.tokens.len() {
+            let arg = s.tokens[s.i].clone();
+            s.i += 1;
+            if extra(&mut opts, Flag { name: &arg, stream: &mut s }) {
+                continue;
+            }
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--check" => opts.check = true,
+                "--procs" => {
+                    opts.procs = s
+                        .value("--procs")
+                        .split(',')
+                        .map(|p| p.parse().unwrap_or_else(|_| panic!("bad proc count {p:?}")))
+                        .collect();
+                }
+                "--seeds" => {
+                    opts.seeds = s.value("--seeds").parse().expect("bad seed count");
+                    assert!(opts.seeds >= 1, "--seeds must be at least 1");
+                }
+                "--csv" => opts.csv = Some(PathBuf::from(s.value("--csv"))),
+                "--json" => opts.json = Some(PathBuf::from(s.value("--json"))),
+                "--out" => opts.out = Some(PathBuf::from(s.value("--out"))),
+                "--jobs" => {
+                    let n: usize = s.value("--jobs").parse().expect("bad job count");
+                    assert!(n >= 1, "--jobs must be at least 1");
+                    opts.jobs = Some(n);
+                }
+                other => {
+                    panic!(
+                        "unknown argument {other:?} (supported: --quick, --check, --procs, \
+                         --seeds, --csv, --json, --out, --jobs, plus any binary-specific flags)"
+                    )
+                }
+            }
+        }
+        opts
+    }
+
+    /// Scales a default work total down for quick mode.
+    pub fn scale(&self, full: u64) -> u64 {
+        if self.quick {
+            (full / 16).max(64)
+        } else {
+            full
+        }
+    }
+
+    /// The worker pool these options select (`--jobs`, then `TLR_JOBS`,
+    /// then the host's available parallelism).
+    pub fn pool(&self) -> Pool {
+        Pool::new(tlr_sim::pool::resolve_jobs(self.jobs))
+    }
+
+    /// The fault configuration at one intensity `level` of the chaos
+    /// sweep, rooted at this invocation's `--fault-seed`.
+    pub fn fault_config(&self, level: u32) -> FaultConfig {
+        FaultConfig::intensity(self.fault_seed, level)
+    }
+}
+
+/// One flag offered to an [`Args::parse_with`] hook: its name and the
+/// stream to pull values from.
+pub struct Flag<'a> {
+    /// The flag token, e.g. `--workload`.
+    pub name: &'a str,
+    /// Cursor for consuming the flag's value(s).
+    pub stream: &'a mut ArgStream,
+}
+
+impl Flag<'_> {
+    /// Consumes and returns this flag's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message when the value is missing.
+    pub fn value(&mut self) -> String {
+        let name = self.name.to_string();
+        self.stream.value(&name)
+    }
+}
+
+/// The `extra` hook implementing `--faults` / `--fault-seed`.
+fn chaos_flags(opts: &mut Args, mut flag: Flag<'_>) -> bool {
+    match flag.name {
+        "--faults" => {
+            opts.faults = flag.value().parse().expect("bad fault intensity");
+            assert!(
+                opts.faults <= FaultConfig::MAX_INTENSITY,
+                "--faults must be at most {}",
+                FaultConfig::MAX_INTENSITY
+            );
+            true
+        }
+        "--fault-seed" => {
+            let v = flag.value();
+            opts.fault_seed = v
+                .strip_prefix("0x")
+                .map_or_else(|| v.parse(), |h| u64::from_str_radix(h, 16))
+                .expect("bad fault seed");
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn core_flags_parse() {
+        let a = Args::parse_tokens(
+            toks("--quick --check --procs 1,2,4 --seeds 3 --jobs 2 --json x.json --out t.json"),
+            |_, _| false,
+        );
+        assert!(a.quick && a.check);
+        assert_eq!(a.procs, vec![1, 2, 4]);
+        assert_eq!(a.seeds, 3);
+        assert_eq!(a.jobs, Some(2));
+        assert_eq!(a.json.as_deref(), Some(std::path::Path::new("x.json")));
+        assert_eq!(a.out.as_deref(), Some(std::path::Path::new("t.json")));
+    }
+
+    #[test]
+    fn defaults_match_the_old_bench_opts() {
+        let a = Args::parse_tokens(vec![], |_, _| false);
+        assert_eq!(a.procs, vec![1, 2, 4, 8, 12, 16]);
+        assert!(!a.quick && !a.check);
+        assert_eq!(a.seeds, 1);
+        assert_eq!(a.jobs, None);
+        assert_eq!(a.faults, FaultConfig::MAX_INTENSITY);
+        assert_eq!(a.fault_seed, DEFAULT_FAULT_SEED);
+    }
+
+    #[test]
+    fn chaos_flags_parse_decimal_and_hex() {
+        let a = Args::parse_tokens(toks("--faults 2 --fault-seed 0xdead --quick"), chaos_flags);
+        assert_eq!(a.faults, 2);
+        assert_eq!(a.fault_seed, 0xdead);
+        assert!(a.quick);
+        let b = Args::parse_tokens(toks("--fault-seed 17"), chaos_flags);
+        assert_eq!(b.fault_seed, 17);
+        assert_eq!(b.fault_config(0), FaultConfig::off());
+        assert_eq!(b.fault_config(2), FaultConfig::intensity(17, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn unknown_flags_are_rejected() {
+        Args::parse_tokens(toks("--bogus"), |_, _| false);
+    }
+
+    #[test]
+    #[should_panic(expected = "--faults must be at most")]
+    fn overlarge_fault_intensity_is_rejected() {
+        Args::parse_tokens(toks("--faults 9"), chaos_flags);
+    }
+
+    #[test]
+    fn extra_hook_wins_over_core() {
+        // A binary may claim a core flag for itself (tlr-trace's
+        // single-valued --procs).
+        let mut seen = None;
+        let a = Args::parse_tokens(toks("--procs 7 --quick"), |_, mut f| {
+            if f.name == "--procs" {
+                seen = Some(f.value());
+                true
+            } else {
+                false
+            }
+        });
+        assert_eq!(seen.as_deref(), Some("7"));
+        assert_eq!(a.procs, vec![1, 2, 4, 8, 12, 16], "core never saw it");
+        assert!(a.quick);
+    }
+
+    #[test]
+    fn scaling() {
+        let quick = Args { quick: true, ..Default::default() };
+        let full = Args::default();
+        assert_eq!(full.scale(1 << 14), 1 << 14);
+        assert_eq!(quick.scale(1 << 14), 1 << 10);
+        assert_eq!(quick.scale(100), 64, "quick floor");
+    }
+}

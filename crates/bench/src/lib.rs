@@ -2,8 +2,8 @@
 //! paper's evaluation (§5, §6).
 //!
 //! Each figure/table has its own binary (see `src/bin/`); this
-//! library holds the shared sweep and reporting machinery. Binaries
-//! accept two optional flags:
+//! library holds the shared sweep and reporting machinery. All
+//! binaries share the flag surface parsed by [`cli::Args`]:
 //!
 //! * `--quick` — smaller work totals (CI-sized, ~seconds per series);
 //! * `--procs 1,2,4,8,16` — override the processor counts;
@@ -16,7 +16,10 @@
 //! * `--jobs N` — fan the sweep's independent cells out to N worker
 //!   threads (default: `TLR_JOBS` or the host parallelism). Results
 //!   are merged in submission order, so every output is byte-identical
-//!   to `--jobs 1` (enforced by `tests/parallel_determinism.rs`).
+//!   to `--jobs 1` (enforced by `tests/parallel_determinism.rs`);
+//! * `exp_robustness` additionally takes `--faults N` (maximum chaos
+//!   intensity level) and `--fault-seed S` (root seed for the fault
+//!   streams) via [`cli::Args::parse_chaos`].
 //!
 //! Run lengths are scaled down from the paper (2^24/2^16 iterations)
 //! as documented in `DESIGN.md`; shapes, not absolute cycle counts,
@@ -27,102 +30,10 @@ use tlr_sim::config::{MachineConfig, Scheme};
 use tlr_sim::pool::{CellCoords, CellResult, Job, Pool};
 
 pub mod checks;
+pub mod cli;
 pub mod sweeps;
 
-/// Command-line options shared by the figure binaries.
-#[derive(Debug, Clone)]
-pub struct BenchOpts {
-    /// Processor counts to sweep (x-axis of Figures 8-10).
-    pub procs: Vec<usize>,
-    /// Work scale divisor: 1 for the default, larger for `--quick`.
-    pub quick: bool,
-    /// Number of seeds to average over (the Alameldeen methodology:
-    /// perturbed runs instead of a single sample).
-    pub seeds: u64,
-    /// Optional path to also write the results as CSV (for plotting).
-    pub csv: Option<std::path::PathBuf>,
-    /// Optional path to also write the results as JSON (for tooling;
-    /// with `--check`, the check verdict is written instead).
-    pub json: Option<std::path::PathBuf>,
-    /// Run the binary's golden-shape check instead of the full sweep.
-    pub check: bool,
-    /// Worker count for the parallel execution engine (`--jobs N`);
-    /// `None` falls back to `TLR_JOBS` or the host parallelism.
-    pub jobs: Option<usize>,
-}
-
-impl BenchOpts {
-    /// Parses `--quick` and `--procs a,b,c` from the process args.
-    ///
-    /// # Panics
-    ///
-    /// Panics with a usage message on malformed arguments.
-    pub fn from_args() -> Self {
-        let mut opts = BenchOpts {
-            procs: vec![1, 2, 4, 8, 12, 16],
-            quick: false,
-            seeds: 1,
-            csv: None,
-            json: None,
-            check: false,
-            jobs: None,
-        };
-        let mut args = std::env::args().skip(1);
-        while let Some(arg) = args.next() {
-            match arg.as_str() {
-                "--quick" => opts.quick = true,
-                "--check" => opts.check = true,
-                "--procs" => {
-                    let v = args.next().expect("--procs needs a value like 1,2,4");
-                    opts.procs = v
-                        .split(',')
-                        .map(|s| s.parse().unwrap_or_else(|_| panic!("bad proc count {s:?}")))
-                        .collect();
-                }
-                "--seeds" => {
-                    let v = args.next().expect("--seeds needs a count");
-                    opts.seeds = v.parse().expect("bad seed count");
-                    assert!(opts.seeds >= 1, "--seeds must be at least 1");
-                }
-                "--csv" => {
-                    let v = args.next().expect("--csv needs a file path");
-                    opts.csv = Some(std::path::PathBuf::from(v));
-                }
-                "--json" => {
-                    let v = args.next().expect("--json needs a file path");
-                    opts.json = Some(std::path::PathBuf::from(v));
-                }
-                "--jobs" => {
-                    let v = args.next().expect("--jobs needs a worker count");
-                    let n: usize = v.parse().expect("bad job count");
-                    assert!(n >= 1, "--jobs must be at least 1");
-                    opts.jobs = Some(n);
-                }
-                other => {
-                    panic!(
-                        "unknown argument {other:?} (supported: --quick, --check, --procs, --seeds, --csv, --json, --jobs)"
-                    )
-                }
-            }
-        }
-        opts
-    }
-
-    /// Scales a default work total down for quick mode.
-    pub fn scale(&self, full: u64) -> u64 {
-        if self.quick {
-            (full / 16).max(64)
-        } else {
-            full
-        }
-    }
-
-    /// The worker pool these options select (`--jobs`, then `TLR_JOBS`,
-    /// then the host's available parallelism).
-    pub fn pool(&self) -> Pool {
-        Pool::new(tlr_sim::pool::resolve_jobs(self.jobs))
-    }
-}
+pub use cli::Args as BenchOpts;
 
 /// Coordinates for one sweep cell (used in pool-error messages).
 pub fn cell_coords(workload: &str, scheme: Scheme, procs: usize) -> CellCoords {
@@ -423,31 +334,6 @@ mod tests {
         let mut b = a.clone();
         b.stats.parallel_cycles = a.stats.parallel_cycles * 2;
         assert!((speedup(&a, &b) - 2.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn opts_scaling() {
-        let quick = BenchOpts {
-            procs: vec![2],
-            quick: true,
-            seeds: 1,
-            csv: None,
-            json: None,
-            check: false,
-            jobs: None,
-        };
-        let full = BenchOpts {
-            procs: vec![2],
-            quick: false,
-            seeds: 1,
-            csv: None,
-            json: None,
-            check: false,
-            jobs: None,
-        };
-        assert_eq!(full.scale(1 << 14), 1 << 14);
-        assert_eq!(quick.scale(1 << 14), 1 << 10);
-        assert_eq!(quick.scale(100), 64, "quick floor");
     }
 
     #[test]

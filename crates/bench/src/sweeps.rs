@@ -614,20 +614,131 @@ pub fn ablations(opts: &BenchOpts, pool: &Pool) -> Ablations {
     Ablations { procs, total, pairs, deferred_queue, victim_cache, write_buffer, timestamp_bits, retention }
 }
 
+/// Schemes the robustness experiment compares (MCS and strict-TS are
+/// variants; the degradation story is about the three main designs).
+pub const ROBUSTNESS_SCHEMES: [Scheme; 3] = [Scheme::Base, Scheme::Sle, Scheme::Tlr];
+
+/// Chaos degradation results: one row per fault-intensity level, one
+/// report per scheme, every cell validated by the workload's
+/// serializability check (faults may cost cycles, never correctness).
+pub struct Robustness {
+    /// Processor count.
+    pub procs: usize,
+    /// Increment total for the counter workload.
+    pub total: u64,
+    /// Root seed the per-level fault configurations derive from.
+    pub fault_seed: u64,
+    /// Rows in intensity order: (level, one report per
+    /// [`ROBUSTNESS_SCHEMES`] entry).
+    pub rows: Vec<(u32, Vec<RunReport>)>,
+}
+
+impl Robustness {
+    /// The experiment as a JSON document.
+    pub fn json(&self) -> String {
+        let mut j = tlr_sim::json::JsonBuf::new();
+        j.obj();
+        j.str_field("title", "Degradation under injected faults");
+        j.u64_field("procs", self.procs as u64);
+        j.u64_field("total", self.total);
+        j.u64_field("fault_seed", self.fault_seed);
+        j.arr_key("schemes");
+        for s in ROBUSTNESS_SCHEMES {
+            j.str_elem(s.label());
+        }
+        j.end_arr();
+        j.arr_key("levels");
+        for (level, reports) in &self.rows {
+            j.obj();
+            j.u64_field("intensity", u64::from(*level));
+            j.arr_key("cells");
+            for r in reports {
+                j.obj();
+                crate::report_fields(&mut j, r);
+                j.u64_field("net_delays", r.stats.faults.net_delays);
+                j.u64_field("bus_reorders", r.stats.faults.bus_reorders);
+                j.u64_field("spurious_aborts", r.stats.faults.spurious_aborts);
+                j.u64_field("injected_aborts", r.stats.sum(|n| n.aborts_injected));
+                j.u64_field("faults_injected", r.stats.faults.total_injected());
+                j.end_obj();
+            }
+            j.end_arr();
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        j.finish()
+    }
+
+    /// Prints the degradation table: cycles per (level, scheme) plus
+    /// the injected-fault counts driving each row.
+    pub fn print(&self) {
+        println!("\n== Degradation under injected faults (single_counter x{}, total {}, fault seed {:#x}) ==",
+                 self.procs, self.total, self.fault_seed);
+        print!("{:>9}", "intensity");
+        for s in ROBUSTNESS_SCHEMES {
+            print!("{:>24}", s.label());
+        }
+        println!("{:>30}", "injected (net/bus/abort)");
+        for (level, reports) in &self.rows {
+            print!("{level:>9}");
+            for r in reports {
+                print!("{:>24}", r.stats.parallel_cycles);
+            }
+            let f = &reports.last().expect("one cell per scheme").stats.faults;
+            println!("{:>30}", format!("{}/{}/{}", f.net_delays, f.bus_reorders, f.spurious_aborts));
+        }
+        print!("{:>9}", "");
+        if let Some((_, last)) = self.rows.last() {
+            print_events(&ROBUSTNESS_SCHEMES, last);
+        }
+    }
+}
+
+/// `exp_robustness`: the counter workload under increasing fault
+/// intensity (level 0 = faults off, the baseline the degradation
+/// curves are read against), all (level, scheme) cells in one scatter.
+pub fn robustness(opts: &BenchOpts, pool: &Pool) -> Robustness {
+    let procs = if opts.quick { 4 } else { 8 };
+    let total = opts.scale(1 << 12);
+    let levels: Vec<u32> = (0..=opts.faults.min(tlr_sim::fault::FaultConfig::MAX_INTENSITY)).collect();
+
+    let mut jobs = Vec::with_capacity(levels.len() * ROBUSTNESS_SCHEMES.len());
+    for &level in &levels {
+        for scheme in ROBUSTNESS_SCHEMES {
+            let faults = opts.fault_config(level);
+            jobs.push(Job::new(cell_coords("single_counter", scheme, procs), move |_| {
+                let cfg = MachineConfig::builder()
+                    .scheme(scheme)
+                    .procs(procs)
+                    .max_cycles(60_000_000_000)
+                    .faults(faults)
+                    .build();
+                let r = run_workload(&cfg, &single_counter(procs, total));
+                // The chaos layer's contract: faults perturb timing
+                // only, so even the max-intensity cell must validate.
+                r.assert_valid();
+                r
+            }));
+        }
+    }
+    let mut cells = unwrap_cells(pool.scatter_indexed(jobs)).into_iter();
+    let rows = levels
+        .iter()
+        .map(|&level| {
+            (level,
+             (0..ROBUSTNESS_SCHEMES.len()).map(|_| cells.next().expect("one cell per scheme")).collect())
+        })
+        .collect();
+    Robustness { procs, total, fault_seed: opts.fault_seed, rows }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn tiny_opts() -> BenchOpts {
-        BenchOpts {
-            procs: vec![1, 2],
-            quick: true,
-            seeds: 1,
-            csv: None,
-            json: None,
-            check: false,
-            jobs: None,
-        }
+        BenchOpts { procs: vec![1, 2], quick: true, ..Default::default() }
     }
 
     #[test]
@@ -637,6 +748,18 @@ mod tests {
         assert_eq!(s.rows[0].0, 1);
         assert_eq!(s.rows[0].1.len(), s.schemes.len());
         tlr_sim::json::validate(&s.json()).expect("valid JSON");
+    }
+
+    #[test]
+    fn robustness_levels_start_fault_free_and_serialize() {
+        let o = BenchOpts { quick: true, faults: 1, ..Default::default() };
+        let r = robustness(&o, &Pool::serial());
+        assert_eq!(r.rows.len(), 2, "levels 0..=1");
+        assert_eq!(r.rows[0].0, 0);
+        for cell in &r.rows[0].1 {
+            assert_eq!(cell.stats.faults.total_injected(), 0, "level 0 is the calm baseline");
+        }
+        tlr_sim::json::validate(&r.json()).expect("valid JSON");
     }
 
     #[test]

@@ -62,3 +62,8 @@ fn exp_rmw_predictor_shape_holds() {
 fn exp_ablations_never_break_correctness() {
     checks::exp_ablations(&pool()).unwrap();
 }
+
+#[test]
+fn exp_robustness_chaos_never_breaks_correctness() {
+    checks::exp_robustness(&pool()).unwrap();
+}

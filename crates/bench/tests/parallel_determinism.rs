@@ -11,7 +11,7 @@ use tlr_bench::{sweeps, BenchOpts};
 use tlr_sim::pool::Pool;
 
 fn opts(procs: Vec<usize>) -> BenchOpts {
-    BenchOpts { procs, quick: true, seeds: 2, csv: None, json: None, check: false, jobs: None }
+    BenchOpts { procs, quick: true, seeds: 2, ..Default::default() }
 }
 
 /// Renders one entry point's JSON under a serial and a 4-worker pool
@@ -72,6 +72,48 @@ fn exp_rmw_predictor_is_parallel_deterministic() {
 #[test]
 fn exp_ablations_is_parallel_deterministic() {
     assert_identical("exp_ablations", |pool| sweeps::ablations(&opts(vec![2]), pool).json());
+}
+
+#[test]
+fn exp_robustness_is_parallel_deterministic() {
+    let o = BenchOpts { quick: true, faults: 2, ..Default::default() };
+    assert_identical("exp_robustness", |pool| sweeps::robustness(&o, pool).json());
+}
+
+#[test]
+fn chaos_cells_reproduce_for_a_fixed_fault_seed() {
+    // Same (config, fault seed) must yield byte-identical results
+    // run-to-run, not just across worker counts.
+    let o = BenchOpts { quick: true, faults: 1, fault_seed: 0xfeed_f00d, ..Default::default() };
+    let pool = Pool::new(4);
+    let a = sweeps::robustness(&o, &pool).json();
+    let b = sweeps::robustness(&o, &pool).json();
+    assert_eq!(a, b, "chaos must be a pure function of the fault seed");
+}
+
+#[test]
+fn faults_off_leaves_the_machine_untouched() {
+    // An explicit FaultConfig::off() must be indistinguishable from a
+    // config that never mentions faults: no hook is installed, so the
+    // full statistics block — not just the cycle count — is identical.
+    use tlr_core::run::run_workload;
+    use tlr_sim::config::{MachineConfig, Scheme};
+    use tlr_sim::fault::FaultConfig;
+    use tlr_workloads::micro::single_counter;
+
+    for scheme in [Scheme::Base, Scheme::Sle, Scheme::Tlr] {
+        let w = single_counter(2, 128);
+        let default_cfg = MachineConfig::paper_default(scheme, 2);
+        let mut off_cfg = default_cfg.clone();
+        off_cfg.faults = FaultConfig::off();
+        let a = run_workload(&default_cfg, &w);
+        let b = run_workload(&off_cfg, &w);
+        assert_eq!(
+            format!("{:?}", a.stats),
+            format!("{:?}", b.stats),
+            "[{scheme}] FaultConfig::off() must be the identity"
+        );
+    }
 }
 
 #[test]

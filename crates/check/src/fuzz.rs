@@ -13,9 +13,12 @@
 
 use tlr_core::run::run_workload;
 use tlr_sim::config::{MachineConfig, RetentionPolicy, Scheme, UntimestampedPolicy};
+use tlr_sim::fault::FaultConfig;
 use tlr_sim::pool::{CellCoords, Job, Pool};
+use tlr_sim::SimRng;
 use tlr_workloads::micro;
 
+use crate::gen;
 use crate::oracle::OracleWorkload;
 use crate::prop;
 use crate::source::Source;
@@ -56,6 +59,9 @@ pub fn arbitrary_config(s: &mut Source) -> MachineConfig {
     // cycles) but small enough that a genuine livelock's timeout
     // replays stay affordable during shrinking.
     cfg.max_cycles = 8_000_000;
+    // Chaos last: a zero stream keeps faults off, so minimized
+    // counterexamples shed the fault layer before anything else.
+    cfg.faults = gen::fault_config(s);
     cfg
 }
 
@@ -117,6 +123,82 @@ pub fn fuzz_micro(name: &str, cases: u32) {
     prop::check_with_pool(name, cfg, &Pool::from_env(), micro_case);
 }
 
+/// Cycle budget for the fault-matrix progress bound: every generated
+/// workload quiesces well under this even at maximum chaos intensity,
+/// so exceeding it means a transaction was starved.
+pub const FAULT_MATRIX_BUDGET: u64 = 8_000_000;
+
+/// One fault-matrix cell: a random workload on the given scheme with
+/// all five fault kinds active at the given intensity level, checked
+/// against the serializability oracle *and* the progress bound (the
+/// oracle reports a timeout as "failed to quiesce", which here means
+/// some transaction did not commit within the cycle budget).
+///
+/// # Errors
+///
+/// Returns the oracle's violation or starvation report annotated with
+/// the config and workload.
+fn fault_matrix_cell(scheme: Scheme, fault_seed: u64, level: u32) -> Result<(), String> {
+    let mut src = Source::from_seed(fault_seed);
+    let procs = src.usize_in(2..=4);
+    let retention =
+        if fault_seed % 2 == 0 { RetentionPolicy::Deferral } else { RetentionPolicy::Nack };
+    let cfg = MachineConfig::builder()
+        .scheme(scheme)
+        .procs(procs)
+        .retention(retention)
+        .seed(src.next_raw())
+        .max_cycles(FAULT_MATRIX_BUDGET)
+        .faults(FaultConfig::intensity(fault_seed, level))
+        .build();
+    let w = OracleWorkload::arbitrary(&mut src, procs, 6);
+    w.check(&cfg).map_err(|e| {
+        format!(
+            "fault matrix violation (scheme {scheme}, fault seed {fault_seed:#x}, \
+             intensity {level}): {e}\n    config: {cfg:?}\n    workload: {w:?}"
+        )
+    })
+}
+
+/// Sweeps (workload × scheme × fault seed) through the serializability
+/// oracle with every fault kind active — network jitter, bus
+/// arbitration perturbation, capacity squeezes, deferral caps, and
+/// spurious aborts. Intensity cycles through `1..=MAX_INTENSITY`
+/// across seeds, the retention policy alternates by seed parity, and
+/// cells fan out across `pool` (deterministically; cell seeds are pure
+/// functions of `root_seed`).
+///
+/// # Panics
+///
+/// Panics on the first serializability violation or progress-bound
+/// (starvation) failure.
+pub fn fault_matrix(name: &str, root_seed: u64, seeds: u32, pool: &Pool) {
+    let schemes = [Scheme::Base, Scheme::Sle, Scheme::Tlr];
+    let jobs: Vec<Job<'_, Result<(), String>>> = (0..seeds)
+        .flat_map(|i| {
+            schemes.into_iter().map(move |scheme| {
+                let fault_seed = SimRng::nth(root_seed, u64::from(i));
+                let level = 1 + i % FaultConfig::MAX_INTENSITY;
+                let coords = CellCoords {
+                    workload: format!("fault-matrix-{i}"),
+                    scheme: scheme.label().to_string(),
+                    procs: level as usize,
+                    seed: fault_seed,
+                };
+                Job::new(coords, move |_| fault_matrix_cell(scheme, fault_seed, level))
+            })
+        })
+        .collect();
+    for cell in pool.scatter_indexed(jobs) {
+        match cell {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!("{name}: {e}"),
+            Err(e) if e.cancelled => continue,
+            Err(e) => panic!("{name}: fault-matrix cell failed: {e}"),
+        }
+    }
+}
+
 /// Runs a `cases`-sized schedule-fuzz batch rooted at `seed` through
 /// `pool` — without stopping at failures — and folds every case's
 /// (index, seed, choice count, verdict) into an FNV-1a 64 digest.
@@ -169,6 +251,32 @@ mod tests {
         assert_eq!(cfg.retention, RetentionPolicy::Deferral);
         assert_eq!(cfg.timestamp_bits, 32);
         assert_eq!(cfg.seed, 0);
+        assert_eq!(cfg.faults, FaultConfig::off(), "the simplest machine is fault-free");
+    }
+
+    #[test]
+    fn fuzz_configs_reach_chaos() {
+        let mut s = Source::from_seed(321);
+        let mut levels = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let cfg = arbitrary_config(&mut s);
+            levels.insert(cfg.faults.enabled);
+        }
+        assert_eq!(levels.len(), 2, "sweep must cover both faulty and fault-free machines");
+    }
+
+    #[test]
+    fn fault_matrix_smoke() {
+        // A tiny deterministic slice of the matrix; CI and the root
+        // tests run the full 50-seed sweep.
+        fault_matrix("fault_matrix_smoke", 0xc4a0_5eed, 2, &Pool::serial());
+    }
+
+    #[test]
+    fn fault_matrix_cells_are_deterministic() {
+        // Same (scheme, seed, level) => same verdict; and the cell
+        // actually runs a faulty machine.
+        assert_eq!(fault_matrix_cell(Scheme::Tlr, 7, 4), fault_matrix_cell(Scheme::Tlr, 7, 4));
     }
 
     #[test]

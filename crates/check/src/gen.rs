@@ -7,6 +7,8 @@
 //! provided (`vec`, tuples come free in Rust, `sample::select` is
 //! [`Source::pick`]).
 
+use tlr_sim::fault::FaultConfig;
+
 use crate::source::Source;
 
 /// A vector whose length is drawn from `len` and whose elements come
@@ -45,6 +47,19 @@ pub fn one_of<'a, T: Clone>(s: &mut Source, items: &'a [T]) -> T {
     s.pick(items).clone()
 }
 
+/// A fault configuration drawn from the choice stream: an intensity
+/// level in `0..=MAX_INTENSITY` and a fault seed. A zero stream maps
+/// to [`FaultConfig::off`], so the shrinker steers toward fault-free
+/// machines.
+pub fn fault_config(s: &mut Source) -> FaultConfig {
+    let level = s.u32_in(0..=FaultConfig::MAX_INTENSITY);
+    if level == 0 {
+        FaultConfig::off()
+    } else {
+        FaultConfig::intensity(s.next_raw(), level)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,6 +83,21 @@ mod tests {
             assert!(v.iter().all(|x| seen.insert(*x)));
             assert!(!v.is_empty());
         }
+    }
+
+    #[test]
+    fn fault_config_zero_stream_is_off() {
+        let mut s = Source::replay(&[]);
+        assert_eq!(fault_config(&mut s), FaultConfig::off());
+        let mut rand = Source::from_seed(5);
+        let mut saw_on = false;
+        let mut saw_off = false;
+        for _ in 0..50 {
+            let f = fault_config(&mut rand);
+            saw_on |= f.enabled;
+            saw_off |= !f.enabled;
+        }
+        assert!(saw_on && saw_off, "draws must cover both chaos and calm");
     }
 
     #[test]

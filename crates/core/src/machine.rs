@@ -29,6 +29,7 @@ use tlr_mem::protocol;
 use tlr_mem::timestamp::Timestamp;
 use tlr_mem::{Bus, MemorySystem, Network};
 use tlr_sim::config::{MachineConfig, UntimestampedPolicy};
+use tlr_sim::fault::FaultPlan;
 use tlr_sim::trace::{Trace, TraceKind};
 use tlr_sim::{Cycle, MachineStats, NodeId, SimRng};
 
@@ -69,6 +70,9 @@ struct Ctx<'a> {
     trace: &'a mut Trace,
     rng: &'a mut SimRng,
     lock_addrs: &'a HashSet<Addr>,
+    /// Spurious-abort stream, present only on chaos runs; its own RNG,
+    /// so the machine's `rng` sequences are untouched by fault draws.
+    fault: Option<&'a mut FaultPlan>,
 }
 
 impl Ctx<'_> {
@@ -78,6 +82,13 @@ impl Ctx<'_> {
 
     fn ts_bits(&self) -> u32 {
         self.cfg.timestamp_bits
+    }
+
+    /// Whether the chaos layer annuls the open transaction at this
+    /// node-cycle. `false` (without advancing anything) when faults
+    /// are off.
+    fn fault_fires_spurious_abort(&mut self) -> bool {
+        self.fault.as_mut().is_some_and(|f| f.spurious_abort_fires())
     }
 }
 
@@ -112,6 +123,8 @@ pub struct Machine {
     trace: Trace,
     rng: SimRng,
     lock_addrs: HashSet<Addr>,
+    /// Spurious-abort fault stream; `None` unless chaos is enabled.
+    fault: Option<FaultPlan>,
 }
 
 impl Machine {
@@ -134,10 +147,29 @@ impl Machine {
             .enumerate()
             .map(|(i, p)| Node::new(i, Core::new(p, rng.fork(i as u64)), &cfg))
             .collect::<Vec<_>>();
-        let stats = MachineStats::new(cfg.num_procs);
+        let mut stats = MachineStats::new(cfg.num_procs);
+        let mut bus = Bus::new(cfg.num_procs, cfg.latency.bus_occupancy);
+        let mut net = Network::new();
+        if cfg.faults.enabled {
+            bus.set_fault(cfg.faults.bus_fault());
+            net.set_fault(cfg.faults.net_fault());
+            // Capacity squeezes are static configuration; record what
+            // was withheld so degradation curves can report it.
+            for i in 0..cfg.num_procs {
+                stats.faults.victim_entries_withheld += (cfg.victim_entries
+                    - cfg.faults.effective_victim_entries(i, cfg.victim_entries))
+                    as u64;
+                stats.faults.write_buffer_lines_withheld += (cfg.write_buffer_lines
+                    - cfg.faults.effective_write_buffer_lines(i, cfg.write_buffer_lines))
+                    as u64;
+                stats.faults.deferral_entries_withheld += (cfg.deferred_queue_entries
+                    - cfg.faults.effective_deferred_queue_entries(i, cfg.deferred_queue_entries))
+                    as u64;
+            }
+        }
         Machine {
-            bus: Bus::new(cfg.num_procs, cfg.latency.bus_occupancy),
-            net: Network::new(),
+            bus,
+            net,
             memsys: MemorySystem::new(cfg.l2_sets, cfg.l2_ways, cfg.latency.l2, cfg.latency.memory),
             owner: HashMap::new(),
             stats,
@@ -146,6 +178,7 @@ impl Machine {
             lock_addrs,
             nodes,
             cycle: 0,
+            fault: cfg.faults.plan(),
             cfg,
         }
     }
@@ -253,6 +286,8 @@ impl Machine {
     pub fn finalize_stats(&mut self) {
         self.stats.parallel_cycles =
             self.nodes.iter().filter_map(|n| n.done_at).max().unwrap_or(self.cycle);
+        self.stats.faults.net_delays = self.net.fault_injections();
+        self.stats.faults.bus_reorders = self.bus.fault_injections();
         // Every started elision must have ended exactly one way; drift
         // here means a counter was forgotten somewhere in this file.
         #[cfg(debug_assertions)]
@@ -333,6 +368,7 @@ impl Machine {
             trace: &mut self.trace,
             rng: &mut self.rng,
             lock_addrs: &self.lock_addrs,
+            fault: self.fault.as_mut(),
         };
         f(&mut self.nodes, &mut ctx)
     }
@@ -340,6 +376,14 @@ impl Machine {
     /// Advances the machine by one cycle.
     pub fn step(&mut self) {
         self.cycle += 1;
+        // Fabric fault hooks count injections internally; traced chaos
+        // runs surface each cycle's delta as events at node 0.
+        let fault_traced = self.cfg.faults.enabled && self.trace.is_enabled();
+        let (net_before, bus_before) = if fault_traced {
+            (self.net.fault_injections(), self.bus.fault_injections())
+        } else {
+            (0, 0)
+        };
         // 1. Order at most one address-bus transaction.
         if let Some(req) = self.bus.tick(self.cycle) {
             self.order_request(req);
@@ -355,6 +399,24 @@ impl Machine {
         }
         for i in 0..self.nodes.len() {
             self.node_tick(i);
+        }
+        if fault_traced {
+            let bus_delta = self.bus.fault_injections() - bus_before;
+            if bus_delta > 0 {
+                self.trace.record(
+                    self.cycle,
+                    0,
+                    TraceKind::FaultInjected { kind: "bus_arbitration", payload: bus_delta },
+                );
+            }
+            let net_delta = self.net.fault_injections() - net_before;
+            if net_delta > 0 {
+                self.trace.record(
+                    self.cycle,
+                    0,
+                    TraceKind::FaultInjected { kind: "net_delay", payload: net_delta },
+                );
+            }
         }
     }
 
@@ -578,6 +640,7 @@ impl Machine {
     fn handle_net(&mut self, msg: NetMsg) {
         let to = msg.destination();
         self.with_ctx(|nodes, ctx| {
+            dbglog!("[{}] n{} NET {}", ctx.now, to, msg.label());
             let node = &mut nodes[to];
             match msg {
                 NetMsg::Data { line, data, grant, from_cache, .. } => {
@@ -605,6 +668,22 @@ impl Machine {
                 return;
             }
             if node.paused {
+                return;
+            }
+            // Chaos: annul an open (non-committing) transaction at a
+            // seed-chosen node-cycle. Guarded on transaction state, so
+            // the fault stream advances deterministically; skipping
+            // committing transactions mirrors the hardware, where a
+            // transaction past its commit point can no longer abort.
+            if node.txn.as_ref().is_some_and(|t| !t.committing) && ctx.fault_fires_spurious_abort()
+            {
+                ctx.stats.faults.spurious_aborts += 1;
+                ctx.trace.record(
+                    ctx.now,
+                    node.id,
+                    TraceKind::FaultInjected { kind: "spurious_abort", payload: 0 },
+                );
+                abort_txn(node, ctx, AbortKind::Injected, None);
                 return;
             }
             retry_nacked(node, ctx);
@@ -795,6 +874,7 @@ fn abort_txn(node: &mut Node, ctx: &mut Ctx, kind: AbortKind, line: Option<LineA
         AbortKind::Io => ns.fallbacks_io += 1,
         AbortKind::Nesting => ns.fallbacks_nesting += 1,
         AbortKind::Descheduled => ns.aborts_descheduled += 1,
+        AbortKind::Injected => ns.aborts_injected += 1,
     }
     // All speculative work since this attempt began is discarded.
     ns.wasted_cycles += ctx.now.saturating_sub(txn.started_at);

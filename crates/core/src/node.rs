@@ -176,12 +176,16 @@ impl Node {
             id,
             core,
             l1: Cache::new(cfg.l1_sets, cfg.l1_ways),
-            victim: VictimCache::new(cfg.victim_entries),
-            wb: WriteBuffer::new(cfg.write_buffer_lines),
+            victim: VictimCache::new(cfg.faults.effective_victim_entries(id, cfg.victim_entries)),
+            wb: WriteBuffer::new(
+                cfg.faults.effective_write_buffer_lines(id, cfg.write_buffer_lines),
+            ),
             sb: StoreBuffer::new(cfg.store_buffer_entries),
             mshrs: MshrFile::new(cfg.mshrs),
             deferred: VecDeque::new(),
-            deferred_cap: cfg.deferred_queue_entries,
+            deferred_cap: cfg
+                .faults
+                .effective_deferred_queue_entries(id, cfg.deferred_queue_entries),
             txn: None,
             clock: LogicalClock::new(id, cfg.timestamp_bits),
             sle_pred: StorePairPredictor::new(

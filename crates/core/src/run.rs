@@ -73,6 +73,13 @@ impl RunReport {
         self.stats.parallel_cycles
     }
 
+    /// Whether the workload's validation passed: the non-panicking
+    /// sibling of [`RunReport::assert_valid`], for drivers (chaos
+    /// sweeps, fuzzers) that collect failures instead of aborting.
+    pub fn is_valid(&self) -> bool {
+        self.validation.is_ok()
+    }
+
     /// Panics with a diagnostic if validation failed (used by tests
     /// and benches; a failed validation means the simulated hardware
     /// broke serializability).

@@ -36,6 +36,10 @@ pub enum AbortKind {
     Nesting,
     /// The thread was de-scheduled or killed (§4 stability).
     Descheduled,
+    /// Annulled by the fault-injection layer (chaos runs): behaves as
+    /// a conflict the node lost at an adversarially chosen cycle, so
+    /// the elision is retried, never abandoned.
+    Injected,
 }
 
 impl AbortKind {
@@ -300,6 +304,7 @@ mod tests {
         assert!(AbortKind::Resource.forces_fallback());
         assert!(AbortKind::Io.forces_fallback());
         assert!(AbortKind::Nesting.forces_fallback());
+        assert!(!AbortKind::Injected.forces_fallback(), "chaos aborts must retry, not fall back");
     }
 
     fn mk_lock(addr: u64, pc: u32) -> ElidedLock {

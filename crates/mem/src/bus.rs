@@ -10,18 +10,23 @@
 
 use std::collections::VecDeque;
 
+use tlr_sim::fault::BusFault;
 use tlr_sim::{Cycle, NodeId};
 
 use crate::msg::BusRequest;
 
 /// The address bus: per-node request queues, round-robin arbitration,
-/// fixed occupancy per ordered transaction.
+/// fixed occupancy per ordered transaction. An installed [`BusFault`]
+/// hook may start individual arbitration scans at a seed-chosen node
+/// instead of the round-robin successor — unfair grant order, but
+/// every queued request still drains eventually.
 #[derive(Debug, Clone)]
 pub struct Bus {
     queues: Vec<VecDeque<BusRequest>>,
     occupancy: u64,
     busy_until: Cycle,
     next_rr: usize,
+    fault: Option<BusFault>,
 }
 
 impl Bus {
@@ -33,25 +38,42 @@ impl Bus {
             occupancy,
             busy_until: 0,
             next_rr: 0,
+            fault: None,
         }
     }
 
-    /// Enqueues a request from `node` for arbitration.
-    pub fn enqueue(&mut self, node: NodeId, req: BusRequest) {
-        self.queues[node].push_back(req);
+    /// Installs an arbitration-perturbation fault hook (chaos runs
+    /// only).
+    pub fn set_fault(&mut self, fault: Option<BusFault>) {
+        self.fault = fault;
+    }
+
+    /// Number of arbitration rounds the fault hook has perturbed.
+    pub fn fault_injections(&self) -> u64 {
+        self.fault.as_ref().map_or(0, BusFault::injected)
     }
 
     /// Advances arbitration: if the bus is free and a request is
     /// waiting, orders it and returns it (the machine then performs
     /// the broadcast snoop). At most one request is ordered per call;
-    /// arbitration is round-robin across nodes for fairness.
+    /// arbitration is round-robin across nodes for fairness, unless a
+    /// fault hook perturbs this round's scan start.
     pub fn tick(&mut self, now: Cycle) -> Option<BusRequest> {
         if now < self.busy_until {
             return None;
         }
+        // The fault stream must only advance on rounds that actually
+        // arbitrate, so the draw count stays a function of bus state.
+        if self.pending() == 0 {
+            return None;
+        }
         let n = self.queues.len();
+        let start = match &mut self.fault {
+            Some(f) => f.pick_start(n, self.next_rr),
+            None => self.next_rr,
+        };
         for i in 0..n {
-            let node = (self.next_rr + i) % n;
+            let node = (start + i) % n;
             if let Some(req) = self.queues[node].pop_front() {
                 self.next_rr = (node + 1) % n;
                 self.busy_until = now + self.occupancy;
@@ -59,6 +81,11 @@ impl Bus {
             }
         }
         None
+    }
+
+    /// Enqueues a request from `node` for arbitration.
+    pub fn enqueue(&mut self, node: NodeId, req: BusRequest) {
+        self.queues[node].push_back(req);
     }
 
     /// Total queued requests (all nodes).
@@ -113,6 +140,36 @@ mod tests {
         // then node 0's second request.
         assert_eq!(order, vec![10, 20, 11]);
         assert_eq!(bus.pending(), 0);
+    }
+
+    #[test]
+    fn fault_hook_perturbs_grant_order_but_drains_everything() {
+        use tlr_sim::fault::FaultConfig;
+        let faulty = FaultConfig::intensity(0x5eed, 4).bus_fault();
+        let mut fair = Bus::new(4, 1);
+        let mut chaos = Bus::new(4, 1);
+        chaos.set_fault(faulty);
+        for node in 0..4 {
+            for l in 0..32u64 {
+                fair.enqueue(node, req(node, (node as u64) * 100 + l));
+                chaos.enqueue(node, req(node, (node as u64) * 100 + l));
+            }
+        }
+        let mut fair_order = Vec::new();
+        let mut chaos_order = Vec::new();
+        for t in 0..1000 {
+            if let Some(r) = fair.tick(t) {
+                fair_order.push(r.line.0);
+            }
+            if let Some(r) = chaos.tick(t) {
+                chaos_order.push(r.line.0);
+            }
+        }
+        assert_eq!(fair_order.len(), 128);
+        assert_eq!(chaos_order.len(), 128, "perturbation must not lose requests");
+        assert_ne!(fair_order, chaos_order, "grant order must actually change");
+        assert!(chaos.fault_injections() > 0);
+        assert_eq!(fair.fault_injections(), 0);
     }
 
     #[test]

@@ -2,10 +2,15 @@
 //!
 //! Messages are delivered exactly `latency` cycles after being sent,
 //! in sending order among messages delivered on the same cycle, which
-//! keeps the whole simulation deterministic.
+//! keeps the whole simulation deterministic. An installed
+//! [`NetFault`] hook may delay individual deliveries by a bounded,
+//! seed-derived amount — which reorders them relative to later sends
+//! within the jitter window — while the whole run stays a pure
+//! function of the configuration.
 
 use std::collections::BTreeMap;
 
+use tlr_sim::fault::NetFault;
 use tlr_sim::Cycle;
 
 /// A delayed delivery queue.
@@ -13,11 +18,12 @@ use tlr_sim::Cycle;
 pub struct Network<T> {
     inflight: BTreeMap<(Cycle, u64), T>,
     seq: u64,
+    fault: Option<NetFault>,
 }
 
 impl<T> Default for Network<T> {
     fn default() -> Self {
-        Network { inflight: BTreeMap::new(), seq: 0 }
+        Network { inflight: BTreeMap::new(), seq: 0, fault: None }
     }
 }
 
@@ -27,8 +33,23 @@ impl<T> Network<T> {
         Self::default()
     }
 
-    /// Schedules `msg` for delivery at cycle `deliver_at`.
+    /// Installs a delivery-jitter fault hook (chaos runs only).
+    pub fn set_fault(&mut self, fault: Option<NetFault>) {
+        self.fault = fault;
+    }
+
+    /// Number of deliveries the fault hook has delayed.
+    pub fn fault_injections(&self) -> u64 {
+        self.fault.as_ref().map_or(0, NetFault::injected)
+    }
+
+    /// Schedules `msg` for delivery at cycle `deliver_at` (or later,
+    /// when an installed fault hook delays it).
     pub fn send(&mut self, deliver_at: Cycle, msg: T) {
+        let deliver_at = match &mut self.fault {
+            Some(f) => f.perturb(deliver_at),
+            None => deliver_at,
+        };
         self.inflight.insert((deliver_at, self.seq), msg);
         self.seq += 1;
     }
@@ -89,5 +110,44 @@ mod tests {
         assert_eq!(n.len(), 2);
         n.drain_ready(1);
         assert_eq!(n.len(), 1);
+    }
+
+    #[test]
+    fn fault_hook_delays_but_never_drops() {
+        use tlr_sim::fault::FaultConfig;
+        let mut n = Network::new();
+        n.set_fault(FaultConfig::intensity(3, 4).net_fault());
+        let total = 500u64;
+        for i in 0..total {
+            n.send(i, i);
+        }
+        assert_eq!(n.len(), total as usize, "jitter must not lose messages");
+        assert!(n.fault_injections() > 0, "intensity 4 must delay some sends");
+        let window = FaultConfig::intensity(3, 4).net_delay_max + 1;
+        let mut delivered: Vec<u64> = Vec::new();
+        for now in 0..total + window {
+            delivered.extend(n.drain_ready(now));
+        }
+        assert_eq!(delivered.len(), total as usize);
+        let mut sorted = delivered.clone();
+        sorted.sort_unstable();
+        assert_ne!(delivered, sorted, "some deliveries must be reordered");
+        // Reordering is bounded by the jitter window.
+        for (pos, &msg) in delivered.iter().enumerate() {
+            assert!((pos as u64).abs_diff(msg) <= window + 1);
+        }
+    }
+
+    #[test]
+    fn no_fault_hook_is_the_identity() {
+        let mut a = Network::new();
+        let mut b = Network::new();
+        b.set_fault(None);
+        for i in 0..100u64 {
+            a.send(i, i);
+            b.send(i, i);
+        }
+        assert_eq!(a.drain_ready(200), b.drain_ready(200));
+        assert_eq!(a.fault_injections(), 0);
     }
 }

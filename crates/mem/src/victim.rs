@@ -85,6 +85,13 @@ impl VictimCache {
         self.entries.len() == self.capacity
     }
 
+    /// Configured capacity in lines. Under a chaos capacity squeeze
+    /// ([`tlr_sim::fault::FaultConfig::effective_victim_entries`])
+    /// this is smaller than the nominal `MachineConfig` value.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Clears all transactional access bits.
     pub fn clear_spec_bits(&mut self) {
         for e in &mut self.entries {
@@ -139,9 +146,22 @@ mod tests {
     #[test]
     fn fullness_tracking() {
         let mut v = VictimCache::new(2);
+        assert_eq!(v.capacity(), 2);
         assert!(!v.is_full());
         v.insert(mk(1));
         v.insert(mk(2));
         assert!(v.is_full());
+    }
+
+    #[test]
+    fn chaos_squeeze_keeps_a_usable_cache() {
+        use tlr_sim::fault::FaultConfig;
+        let f = FaultConfig::intensity(1, FaultConfig::MAX_INTENSITY);
+        for node in 0..8 {
+            let mut v = VictimCache::new(f.effective_victim_entries(node, 4));
+            assert!((1..=4).contains(&v.capacity()));
+            // Even a fully squeezed cache still admits a line.
+            assert!(v.insert(mk(1)).is_none());
+        }
     }
 }

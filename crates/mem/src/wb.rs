@@ -49,6 +49,12 @@ impl WriteBuffer {
         WriteBuffer { entries: Vec::new(), capacity }
     }
 
+    /// Configured capacity in unique lines. Under a chaos capacity
+    /// squeeze this is smaller than the nominal `MachineConfig` value.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Buffers a speculative word store, merging into an existing
     /// entry for the same line when possible.
     ///

@@ -3,7 +3,11 @@
 //! The paper's target system is a 16-way chip multiprocessor with
 //! snooping L1 caches over a Sun Gigaplane-like MOESI split-transaction
 //! broadcast protocol, a shared L2, and point-to-point data network.
-//! [`MachineConfig::paper_default`] reproduces those parameters.
+//! [`MachineConfig::paper_default`] reproduces those parameters;
+//! [`MachineConfig::builder`] offers a fluent surface for everything
+//! else, including the [`crate::fault`] chaos knobs.
+
+use crate::fault::FaultConfig;
 
 /// Which of the paper's four evaluated hardware/software configurations
 /// a run uses (§5: BASE, BASE+SLE, BASE+SLE+TLR, MCS), plus the
@@ -201,12 +205,16 @@ pub struct MachineConfig {
     pub seed: u64,
     /// Safety net: abort the simulation after this many cycles.
     pub max_cycles: u64,
+    /// Fault-injection knobs ([`crate::fault`]). Defaults to
+    /// [`FaultConfig::off`], which is bit-identical to a build without
+    /// the chaos layer.
+    pub faults: FaultConfig,
 }
 
 impl MachineConfig {
-    /// The paper's Table 2 configuration for `num_procs` processors
-    /// under `scheme`.
-    pub fn paper_default(scheme: Scheme, num_procs: usize) -> Self {
+    /// The paper's Table 2 parameter values, the base every builder
+    /// starts from.
+    fn table2(scheme: Scheme, num_procs: usize) -> Self {
         MachineConfig {
             num_procs,
             scheme,
@@ -231,21 +239,36 @@ impl MachineConfig {
             latency_jitter: 2,
             seed: 0x7a3d_5eed,
             max_cycles: 2_000_000_000,
+            faults: FaultConfig::off(),
         }
+    }
+
+    /// A fluent builder starting from the Table 2 defaults
+    /// (single-processor `Base`; set [`MachineConfigBuilder::scheme`]
+    /// and [`MachineConfigBuilder::procs`] as needed).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tlr_sim::config::{MachineConfig, Scheme};
+    ///
+    /// let cfg = MachineConfig::builder().scheme(Scheme::Tlr).procs(8).build();
+    /// assert_eq!(cfg, MachineConfig::paper_default(Scheme::Tlr, 8));
+    /// ```
+    pub fn builder() -> MachineConfigBuilder {
+        MachineConfigBuilder { cfg: Self::table2(Scheme::Base, 1) }
+    }
+
+    /// The paper's Table 2 configuration for `num_procs` processors
+    /// under `scheme`.
+    pub fn paper_default(scheme: Scheme, num_procs: usize) -> Self {
+        Self::builder().scheme(scheme).procs(num_procs).build()
     }
 
     /// A scaled-down configuration useful in unit tests: tiny caches
     /// so that capacity and victim-cache paths are easy to exercise.
     pub fn small(scheme: Scheme, num_procs: usize) -> Self {
-        let mut cfg = Self::paper_default(scheme, num_procs);
-        cfg.l1_sets = 16;
-        cfg.l1_ways = 2;
-        cfg.victim_entries = 4;
-        cfg.write_buffer_lines = 8;
-        cfg.l2_sets = 64;
-        cfg.l2_ways = 4;
-        cfg.latency_jitter = 0;
-        cfg
+        Self::builder().scheme(scheme).procs(num_procs).small_caches().build()
     }
 
     /// The architecturally guaranteed transaction footprint (§4): the
@@ -274,6 +297,108 @@ impl MachineConfig {
     /// Words (u64) per cache line.
     pub fn words_per_line(&self) -> usize {
         (self.line_bytes() / 8) as usize
+    }
+}
+
+/// Fluent builder for [`MachineConfig`], created by
+/// [`MachineConfig::builder`]. Starts from the Table 2 defaults so a
+/// builder chain only states what differs from the paper's machine —
+/// and fault knobs never become a fourth positional constructor
+/// argument.
+#[derive(Debug, Clone)]
+pub struct MachineConfigBuilder {
+    cfg: MachineConfig,
+}
+
+impl MachineConfigBuilder {
+    /// Sets the hardware scheme.
+    #[must_use]
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.cfg.scheme = scheme;
+        self
+    }
+
+    /// Sets the processor count.
+    #[must_use]
+    pub fn procs(mut self, num_procs: usize) -> Self {
+        self.cfg.num_procs = num_procs;
+        self
+    }
+
+    /// Replaces the memory-system latencies.
+    #[must_use]
+    pub fn latencies(mut self, latency: LatencyConfig) -> Self {
+        self.cfg.latency = latency;
+        self
+    }
+
+    /// Sets the conflict-winner retention policy.
+    #[must_use]
+    pub fn retention(mut self, retention: RetentionPolicy) -> Self {
+        self.cfg.retention = retention;
+        self
+    }
+
+    /// Sets the policy for conflicting un-timestamped requests.
+    #[must_use]
+    pub fn untimestamped(mut self, policy: UntimestampedPolicy) -> Self {
+        self.cfg.untimestamped_policy = policy;
+        self
+    }
+
+    /// Installs fault-injection knobs ([`crate::fault`]).
+    #[must_use]
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.cfg.faults = faults;
+        self
+    }
+
+    /// Sets the machine RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Sets the runaway-simulation safety net.
+    #[must_use]
+    pub fn max_cycles(mut self, max_cycles: u64) -> Self {
+        self.cfg.max_cycles = max_cycles;
+        self
+    }
+
+    /// Sets the timestamp logical-clock width in bits.
+    #[must_use]
+    pub fn timestamp_bits(mut self, bits: u32) -> Self {
+        self.cfg.timestamp_bits = bits;
+        self
+    }
+
+    /// Sets the maximum uniform latency perturbation in cycles.
+    #[must_use]
+    pub fn latency_jitter(mut self, jitter: u64) -> Self {
+        self.cfg.latency_jitter = jitter;
+        self
+    }
+
+    /// Shrinks caches and buffers to the unit-test geometry of
+    /// [`MachineConfig::small`] and disables latency jitter.
+    #[must_use]
+    pub fn small_caches(mut self) -> Self {
+        self.cfg.l1_sets = 16;
+        self.cfg.l1_ways = 2;
+        self.cfg.victim_entries = 4;
+        self.cfg.write_buffer_lines = 8;
+        self.cfg.l2_sets = 64;
+        self.cfg.l2_ways = 4;
+        self.cfg.latency_jitter = 0;
+        self
+    }
+
+    /// Finishes the chain.
+    #[must_use]
+    pub fn build(self) -> MachineConfig {
+        self.cfg
     }
 }
 
@@ -328,5 +453,52 @@ mod tests {
     fn scheme_labels_match_figures() {
         assert_eq!(Scheme::Tlr.to_string(), "BASE+SLE+TLR");
         assert_eq!(Scheme::TlrStrictTs.label(), "BASE+SLE+TLR-strict-ts");
+    }
+
+    #[test]
+    fn builder_reproduces_the_named_constructors() {
+        for scheme in Scheme::ALL {
+            for procs in [1, 4, 16] {
+                assert_eq!(
+                    MachineConfig::builder().scheme(scheme).procs(procs).build(),
+                    MachineConfig::paper_default(scheme, procs)
+                );
+                assert_eq!(
+                    MachineConfig::builder().scheme(scheme).procs(procs).small_caches().build(),
+                    MachineConfig::small(scheme, procs)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builder_setters_land_on_the_right_fields() {
+        let faults = FaultConfig::intensity(0xfa17, 2);
+        let cfg = MachineConfig::builder()
+            .scheme(Scheme::Tlr)
+            .procs(8)
+            .retention(RetentionPolicy::Nack)
+            .untimestamped(UntimestampedPolicy::Restart)
+            .timestamp_bits(16)
+            .latency_jitter(0)
+            .seed(42)
+            .max_cycles(1_000)
+            .faults(faults.clone())
+            .build();
+        assert_eq!(cfg.scheme, Scheme::Tlr);
+        assert_eq!(cfg.num_procs, 8);
+        assert_eq!(cfg.retention, RetentionPolicy::Nack);
+        assert_eq!(cfg.untimestamped_policy, UntimestampedPolicy::Restart);
+        assert_eq!(cfg.timestamp_bits, 16);
+        assert_eq!(cfg.latency_jitter, 0);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.max_cycles, 1_000);
+        assert_eq!(cfg.faults, faults);
+    }
+
+    #[test]
+    fn default_faults_are_off() {
+        assert_eq!(MachineConfig::paper_default(Scheme::Base, 1).faults, FaultConfig::off());
+        assert_eq!(MachineConfig::small(Scheme::Tlr, 2).faults, FaultConfig::off());
     }
 }

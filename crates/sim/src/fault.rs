@@ -1,0 +1,368 @@
+//! Deterministic fault injection ("chaos") for the memory fabric.
+//!
+//! TLR's headline claims are robustness claims: serializability and
+//! starvation freedom must survive arbitrary timing, conflict, and
+//! resource-exhaustion patterns (§3.1, §4 of the paper). The fabric's
+//! happy path — fixed latencies, FIFO bus arbitration, ample victim
+//! and deferral capacity — never exercises them. This module supplies
+//! seed-derived perturbations that do, while keeping every run exactly
+//! reproducible:
+//!
+//! * **Network delivery jitter** ([`NetFault`]): point-to-point data
+//!   messages are delayed by a bounded random amount at send time,
+//!   which reorders delivery within the jitter window.
+//! * **Bus arbitration perturbation** ([`BusFault`]): the round-robin
+//!   scan occasionally starts at a random node instead of the fair
+//!   successor, starving some requesters and favouring others.
+//! * **Capacity squeezes** ([`FaultConfig::effective_victim_entries`]
+//!   and siblings): per-node victim-cache, write-buffer, and
+//!   deferral-queue capacities are reduced by a seed-derived amount,
+//!   forcing the resource-fallback and NACK/restart paths.
+//! * **Spurious transaction aborts** ([`FaultPlan`]): open
+//!   transactions are annulled at seed-chosen cycle points, as if an
+//!   adversarial conflict had hit.
+//!
+//! Faults may violate *timing* — extra latency, unfair arbitration,
+//! wasted work — but never *safety*: every injected behaviour is one
+//! the protocol must already tolerate (a slow network, a full buffer,
+//! a lost conflict). The serializability oracle and the progress bound
+//! therefore remain hard invariants under any fault intensity, which
+//! is exactly what `check::fuzz::fault_matrix` asserts.
+//!
+//! All randomness derives from [`SimRng`] streams salted per injection
+//! site, never from wall-clock time; the machine's own RNG fork
+//! sequence is untouched, so [`FaultConfig::off`] (the default) is
+//! bit-identical to a build without this module.
+
+use crate::rng::SimRng;
+use crate::Cycle;
+
+/// Per-site stream salts: each injection point draws from its own
+/// SplitMix64 stream so enabling one fault kind never perturbs the
+/// sequence another sees.
+const SALT_NET: u64 = 0x6e65_745f;
+const SALT_BUS: u64 = 0x6275_735f;
+const SALT_ABORT: u64 = 0x6162_6f72;
+const SALT_VICTIM: u64 = 0x7663_5f73;
+const SALT_WB: u64 = 0x7762_5f73;
+const SALT_DEFER: u64 = 0x6471_5f73;
+
+/// Denominator for the per-message / per-arbitration fault chances.
+pub const CHANCE_DENOM: u64 = 1024;
+
+/// Denominator for the per-cycle spurious-abort chance (aborts are
+/// rare events; a finer grain keeps low intensities gentle).
+pub const ABORT_DENOM: u64 = 1 << 20;
+
+/// Fault-injection knobs, threaded through
+/// [`crate::config::MachineConfig`]. The default ([`FaultConfig::off`])
+/// disables every injection point and is guaranteed bit-identical to a
+/// fault-free build: no fault RNG is ever created or advanced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Master switch. When false all other knobs are ignored.
+    pub enabled: bool,
+    /// Root seed for every fault stream (salted per injection site).
+    pub seed: u64,
+    /// Chance per network send, in units of 1/[`CHANCE_DENOM`], that
+    /// the message's delivery is delayed.
+    pub net_delay_chance: u32,
+    /// Maximum extra delivery delay in cycles (the reorder window).
+    pub net_delay_max: u64,
+    /// Chance per bus arbitration, in units of 1/[`CHANCE_DENOM`],
+    /// that the round-robin scan starts at a random node.
+    pub bus_reorder_chance: u32,
+    /// Maximum victim-cache entries withheld per node.
+    pub victim_squeeze: usize,
+    /// Maximum write-buffer lines withheld per node.
+    pub write_buffer_squeeze: usize,
+    /// Maximum deferral-queue entries withheld per node.
+    pub deferral_squeeze: usize,
+    /// Chance per in-transaction node-cycle, in units of
+    /// 1/[`ABORT_DENOM`], that the open transaction is annulled.
+    pub spurious_abort_chance: u32,
+}
+
+impl FaultConfig {
+    /// The largest intensity level [`FaultConfig::intensity`] accepts.
+    pub const MAX_INTENSITY: u32 = 4;
+
+    /// No faults: the [`crate::config::MachineConfig`] default.
+    /// Guaranteed bit-identical behaviour to a fault-free build.
+    pub const fn off() -> Self {
+        FaultConfig {
+            enabled: false,
+            seed: 0,
+            net_delay_chance: 0,
+            net_delay_max: 0,
+            bus_reorder_chance: 0,
+            victim_squeeze: 0,
+            write_buffer_squeeze: 0,
+            deferral_squeeze: 0,
+            spurious_abort_chance: 0,
+        }
+    }
+
+    /// A graded preset: all five fault kinds active, scaled by
+    /// `level` in `1..=MAX_INTENSITY` (level 0 returns
+    /// [`FaultConfig::off`]). Levels are clamped to `MAX_INTENSITY`.
+    pub fn intensity(seed: u64, level: u32) -> Self {
+        if level == 0 {
+            return FaultConfig::off();
+        }
+        let level = level.min(Self::MAX_INTENSITY);
+        let l64 = u64::from(level);
+        FaultConfig {
+            enabled: true,
+            seed,
+            net_delay_chance: 64 * level,
+            net_delay_max: 4 * l64,
+            bus_reorder_chance: 128 * level,
+            victim_squeeze: 3 * level as usize,
+            write_buffer_squeeze: 12 * level as usize,
+            deferral_squeeze: 12 * level as usize,
+            spurious_abort_chance: 16 * level,
+        }
+    }
+
+    /// Builds the machine-held spurious-abort plan, or `None` when the
+    /// config is off (so the off path never constructs an RNG).
+    pub fn plan(&self) -> Option<FaultPlan> {
+        if !self.enabled {
+            return None;
+        }
+        Some(FaultPlan {
+            rng: SimRng::new(self.seed ^ SALT_ABORT),
+            chance: u64::from(self.spurious_abort_chance),
+        })
+    }
+
+    /// Builds the network-jitter hook, or `None` when off or inert.
+    pub fn net_fault(&self) -> Option<NetFault> {
+        if !self.enabled || self.net_delay_chance == 0 || self.net_delay_max == 0 {
+            return None;
+        }
+        Some(NetFault {
+            rng: SimRng::new(self.seed ^ SALT_NET),
+            chance: u64::from(self.net_delay_chance),
+            max_extra: self.net_delay_max,
+            injected: 0,
+        })
+    }
+
+    /// Builds the bus-arbitration hook, or `None` when off or inert.
+    pub fn bus_fault(&self) -> Option<BusFault> {
+        if !self.enabled || self.bus_reorder_chance == 0 {
+            return None;
+        }
+        Some(BusFault {
+            rng: SimRng::new(self.seed ^ SALT_BUS),
+            chance: u64::from(self.bus_reorder_chance),
+            injected: 0,
+        })
+    }
+
+    /// Victim-cache capacity for `node` after the squeeze. A pure
+    /// function of (fault seed, node), floored at one entry; identity
+    /// when the config is off or the squeeze is zero.
+    pub fn effective_victim_entries(&self, node: usize, base: usize) -> usize {
+        self.squeeze(SALT_VICTIM, node, base, self.victim_squeeze)
+    }
+
+    /// Write-buffer capacity for `node` after the squeeze.
+    pub fn effective_write_buffer_lines(&self, node: usize, base: usize) -> usize {
+        self.squeeze(SALT_WB, node, base, self.write_buffer_squeeze)
+    }
+
+    /// Deferral-queue capacity for `node` after the squeeze.
+    pub fn effective_deferred_queue_entries(&self, node: usize, base: usize) -> usize {
+        self.squeeze(SALT_DEFER, node, base, self.deferral_squeeze)
+    }
+
+    fn squeeze(&self, salt: u64, node: usize, base: usize, max_withheld: usize) -> usize {
+        if !self.enabled || max_withheld == 0 {
+            return base;
+        }
+        let withheld = (SimRng::nth(self.seed ^ salt, node as u64) % (max_withheld as u64 + 1)) as usize;
+        base.saturating_sub(withheld).max(1)
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::off()
+    }
+}
+
+/// The machine-held spurious-abort stream. One draw per in-transaction
+/// node-cycle; since transaction state is itself deterministic, the
+/// draw sequence — and therefore every injected abort — is a pure
+/// function of (config, fault seed).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rng: SimRng,
+    chance: u64,
+}
+
+impl FaultPlan {
+    /// Whether the fault stream annuls the open transaction at this
+    /// node-cycle. Advances the stream by exactly one draw.
+    pub fn spurious_abort_fires(&mut self) -> bool {
+        self.chance > 0 && self.rng.below(ABORT_DENOM) < self.chance
+    }
+}
+
+/// Network delivery-jitter hook, installed into `Network` when faults
+/// are on. Delaying a message at send time reorders it relative to
+/// messages sent up to `max_extra` cycles later — bounded reordering
+/// with no protocol-visible loss.
+#[derive(Debug, Clone)]
+pub struct NetFault {
+    rng: SimRng,
+    chance: u64,
+    max_extra: u64,
+    injected: u64,
+}
+
+impl NetFault {
+    /// Possibly delays a delivery cycle. Advances the stream by one
+    /// draw per send (plus one more when the fault fires).
+    pub fn perturb(&mut self, deliver_at: Cycle) -> Cycle {
+        if self.rng.below(CHANCE_DENOM) < self.chance {
+            self.injected += 1;
+            deliver_at + 1 + self.rng.below(self.max_extra)
+        } else {
+            deliver_at
+        }
+    }
+
+    /// Number of deliveries delayed so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+/// Bus arbitration-order hook, installed into `Bus` when faults are
+/// on. Occasionally starts the grant scan at a random node instead of
+/// the round-robin successor — unfair, but every request still drains,
+/// so liveness stays with the protocol where it belongs.
+#[derive(Debug, Clone)]
+pub struct BusFault {
+    rng: SimRng,
+    chance: u64,
+    injected: u64,
+}
+
+impl BusFault {
+    /// Picks the scan start for an arbitration round over `nodes`
+    /// queues. Advances the stream by one draw per round (plus one
+    /// more when the fault fires).
+    pub fn pick_start(&mut self, nodes: usize, default: usize) -> usize {
+        if nodes > 0 && self.rng.below(CHANCE_DENOM) < self.chance {
+            self.injected += 1;
+            self.rng.below(nodes as u64) as usize
+        } else {
+            default
+        }
+    }
+
+    /// Number of perturbed arbitration rounds so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_inert() {
+        let f = FaultConfig::off();
+        assert!(!f.enabled);
+        assert!(f.plan().is_none());
+        assert!(f.net_fault().is_none());
+        assert!(f.bus_fault().is_none());
+        assert_eq!(f.effective_victim_entries(3, 16), 16);
+        assert_eq!(f.effective_write_buffer_lines(3, 64), 64);
+        assert_eq!(f.effective_deferred_queue_entries(3, 64), 64);
+        assert_eq!(FaultConfig::default(), FaultConfig::off());
+    }
+
+    #[test]
+    fn intensity_zero_is_off_and_levels_scale() {
+        assert_eq!(FaultConfig::intensity(9, 0), FaultConfig::off());
+        let low = FaultConfig::intensity(9, 1);
+        let high = FaultConfig::intensity(9, FaultConfig::MAX_INTENSITY);
+        assert!(low.enabled && high.enabled);
+        assert!(low.net_delay_chance < high.net_delay_chance);
+        assert!(low.victim_squeeze < high.victim_squeeze);
+        assert!(low.spurious_abort_chance < high.spurious_abort_chance);
+        // Clamped above the maximum.
+        assert_eq!(FaultConfig::intensity(9, 99), high);
+    }
+
+    #[test]
+    fn squeezes_are_deterministic_bounded_and_floored() {
+        let f = FaultConfig::intensity(0x5eed, 4);
+        for node in 0..16 {
+            let v = f.effective_victim_entries(node, 16);
+            assert_eq!(v, f.effective_victim_entries(node, 16));
+            assert!(v >= 16 - f.victim_squeeze && v <= 16);
+            // A tiny base never squeezes to zero.
+            assert!(f.effective_write_buffer_lines(node, 1) >= 1);
+        }
+        // Different sites use different streams: the withheld pattern
+        // across nodes should not be identical for victim vs wb.
+        let vic: Vec<usize> = (0..16).map(|n| 16 - f.effective_victim_entries(n, 16)).collect();
+        let wb: Vec<usize> = (0..16).map(|n| 64 - f.effective_write_buffer_lines(n, 64)).collect();
+        assert_ne!(vic, wb);
+    }
+
+    #[test]
+    fn net_fault_delays_within_window_deterministically() {
+        let f = FaultConfig::intensity(7, 4);
+        let mut a = f.net_fault().unwrap();
+        let mut b = f.net_fault().unwrap();
+        let mut fired = false;
+        for i in 0..2000u64 {
+            let da = a.perturb(i);
+            assert_eq!(da, b.perturb(i), "same seed, same stream");
+            assert!(da >= i && da <= i + 1 + f.net_delay_max);
+            fired |= da != i;
+        }
+        assert!(fired, "intensity 4 must actually delay some messages");
+        assert_eq!(a.injected(), b.injected());
+        assert!(a.injected() > 0);
+    }
+
+    #[test]
+    fn bus_fault_picks_valid_starts() {
+        let f = FaultConfig::intensity(7, 4);
+        let mut bf = f.bus_fault().unwrap();
+        let mut perturbed = false;
+        for i in 0..2000usize {
+            let start = bf.pick_start(8, i % 8);
+            assert!(start < 8);
+            perturbed |= start != i % 8;
+        }
+        assert!(bf.injected() > 0);
+        assert!(perturbed);
+    }
+
+    #[test]
+    fn abort_plan_fires_rarely_and_reproducibly() {
+        let f = FaultConfig::intensity(11, 4);
+        let mut a = f.plan().unwrap();
+        let mut b = f.plan().unwrap();
+        let mut fires = 0u32;
+        for _ in 0..200_000 {
+            let fa = a.spurious_abort_fires();
+            assert_eq!(fa, b.spurious_abort_fires());
+            fires += u32::from(fa);
+        }
+        // chance = 64/2^20 => ~12 expected in 200k draws.
+        assert!(fires > 0, "abort stream must fire at max intensity");
+        assert!(fires < 1000, "abort stream must stay rare (got {fires})");
+    }
+}

@@ -6,10 +6,12 @@
 //! generator ([`rng::SimRng`]), cycle statistics and histogram
 //! aggregates ([`stats`]), a bounded event trace ([`trace`]), the
 //! span layer that folds it into transaction lifecycles ([`span`]),
-//! zero-dependency JSON export backends ([`export`], [`json`]), and
-//! the deterministic parallel execution engine that fans independent
+//! zero-dependency JSON export backends ([`export`], [`json`]), the
+//! deterministic parallel execution engine that fans independent
 //! simulation cells out to worker threads with submission-order
-//! result merging ([`pool`]).
+//! result merging ([`pool`]), and the seed-derived fault-injection
+//! layer that perturbs the memory fabric off its happy path
+//! ([`fault`]).
 //!
 //! The simulator is deterministic by construction: every source of
 //! "randomness" (fairness delays after lock releases, latency
@@ -28,6 +30,7 @@
 
 pub mod config;
 pub mod export;
+pub mod fault;
 pub mod json;
 pub mod pool;
 pub mod rng;
@@ -35,11 +38,12 @@ pub mod span;
 pub mod stats;
 pub mod trace;
 
-pub use config::{LatencyConfig, MachineConfig, Scheme, UntimestampedPolicy};
+pub use config::{LatencyConfig, MachineConfig, MachineConfigBuilder, Scheme, UntimestampedPolicy};
+pub use fault::{BusFault, FaultConfig, FaultPlan, NetFault};
 pub use pool::{CancelToken, CellCoords, CellError, CellResult, Job, Pool};
 pub use rng::SimRng;
 pub use span::{SpanLog, SpanOutcome, TxnSpan};
-pub use stats::{MachineStats, NodeStats};
+pub use stats::{FaultStats, MachineStats, NodeStats};
 
 /// A simulation cycle number. The whole machine advances in lockstep,
 /// one [`Cycle`] at a time.

@@ -104,6 +104,10 @@ pub struct NodeStats {
     /// the thread mid-elision (neither a restart nor a fallback — the
     /// critical section is re-run from scratch later).
     pub aborts_descheduled: u64,
+    /// Transactions annulled by the fault-injection layer
+    /// ([`crate::fault`]): spurious aborts that take the plain restart
+    /// path, never the fallback path.
+    pub aborts_injected: u64,
     /// Cycles of speculative work thrown away by restarts and
     /// conflict fallbacks: for each discarded episode, the cycles
     /// between transaction start and abort.
@@ -149,13 +153,15 @@ impl NodeStats {
             + self.fallbacks_resource
             + self.fallbacks_io
             + self.fallbacks_nesting
-            + self.aborts_descheduled;
+            + self.aborts_descheduled
+            + self.aborts_injected;
         if self.elisions_started == ended {
             Ok(())
         } else {
             Err(format!(
                 "node {node}: txn accounting drift: started {} != ended {} \
-                 (commits {} + restarts {} + fallbacks[res {} io {} nest {}] + desched {})",
+                 (commits {} + restarts {} + fallbacks[res {} io {} nest {}] + desched {} \
+                 + injected {})",
                 self.elisions_started,
                 ended,
                 self.commits,
@@ -164,6 +170,7 @@ impl NodeStats {
                 self.fallbacks_io,
                 self.fallbacks_nesting,
                 self.aborts_descheduled,
+                self.aborts_injected,
             ))
         }
     }
@@ -337,6 +344,34 @@ pub struct ObsStats {
     pub conflicts: ConflictMap,
 }
 
+/// Counts of injected faults ([`crate::fault`]), one counter per
+/// injection site. All zero when [`crate::fault::FaultConfig::off`]
+/// is in effect.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Network deliveries delayed (and thereby possibly reordered).
+    pub net_delays: u64,
+    /// Bus arbitration rounds whose scan start was perturbed.
+    pub bus_reorders: u64,
+    /// Transactions annulled by the spurious-abort stream (equals the
+    /// sum of per-node `aborts_injected`).
+    pub spurious_aborts: u64,
+    /// Victim-cache entries withheld, summed over nodes.
+    pub victim_entries_withheld: u64,
+    /// Write-buffer lines withheld, summed over nodes.
+    pub write_buffer_lines_withheld: u64,
+    /// Deferral-queue entries withheld, summed over nodes.
+    pub deferral_entries_withheld: u64,
+}
+
+impl FaultStats {
+    /// Total dynamic fault injections (capacity squeezes are static
+    /// configuration, not dynamic events, and are excluded).
+    pub fn total_injected(&self) -> u64 {
+        self.net_delays + self.bus_reorders + self.spurious_aborts
+    }
+}
+
 /// Counts of bus transactions by kind.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BusStats {
@@ -377,6 +412,8 @@ pub struct MachineStats {
     pub parallel_cycles: u64,
     /// Histogram/heatmap aggregates (ISSUE 2 observability layer).
     pub obs: ObsStats,
+    /// Fault-injection counters (all zero when faults are off).
+    pub faults: FaultStats,
 }
 
 impl MachineStats {
@@ -550,5 +587,31 @@ mod tests {
         };
         assert_eq!(n.fallbacks(), 10);
         assert_eq!(n.restarts(), 18);
+    }
+
+    #[test]
+    fn injected_aborts_balance_the_accounting() {
+        let n = NodeStats {
+            elisions_started: 4,
+            commits: 2,
+            restarts_conflict: 1,
+            aborts_injected: 1,
+            ..Default::default()
+        };
+        n.check_txn_accounting(0).unwrap();
+    }
+
+    #[test]
+    fn fault_stats_total_counts_dynamic_sites_only() {
+        let f = FaultStats {
+            net_delays: 3,
+            bus_reorders: 2,
+            spurious_aborts: 1,
+            victim_entries_withheld: 9,
+            write_buffer_lines_withheld: 9,
+            deferral_entries_withheld: 9,
+        };
+        assert_eq!(f.total_injected(), 6);
+        assert_eq!(FaultStats::default().total_injected(), 0);
     }
 }

@@ -66,6 +66,11 @@ pub enum TraceKind {
     LockAcquired { lock_addr: u64 },
     /// A lock was released by an actual store.
     LockReleased { lock_addr: u64 },
+    /// The chaos layer injected a fault ([`crate::fault`]). `kind` is
+    /// the injection-site label (`"spurious_abort"`, `"net_delay"`,
+    /// `"bus_arbitration"`); `payload` is site-specific (the injection
+    /// count for fabric sites, 0 for aborts).
+    FaultInjected { kind: &'static str, payload: u64 },
 }
 
 impl TraceKind {
@@ -84,6 +89,7 @@ impl TraceKind {
             TraceKind::NackSent { .. } => "nack",
             TraceKind::LockAcquired { .. } => "lock_acquired",
             TraceKind::LockReleased { .. } => "lock_released",
+            TraceKind::FaultInjected { .. } => "fault_injected",
         }
     }
 
@@ -244,5 +250,8 @@ mod tests {
         assert!(commit().ends_span());
         assert!(TraceKind::TxnFallback { reason: "io" }.ends_span());
         assert!(!TraceKind::Marker { line: 1, to: 0 }.ends_span());
+        let fault = TraceKind::FaultInjected { kind: "spurious_abort", payload: 0 };
+        assert_eq!(fault.label(), "fault_injected");
+        assert!(!fault.ends_span(), "an injected fault attaches to the open span");
     }
 }

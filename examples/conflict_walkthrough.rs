@@ -95,6 +95,7 @@ fn main() {
             TraceKind::LockAcquired { .. } => "acquire lock (predictor training pass)".into(),
             TraceKind::LockReleased { .. } => "release lock".into(),
             TraceKind::TxnFallback { reason } => format!("fallback to lock ({reason})"),
+            TraceKind::FaultInjected { kind, .. } => format!("injected fault ({kind})"),
         };
         println!("[{:>7}] P{} {}", e.cycle, e.node, what);
     }

@@ -12,8 +12,26 @@
 //!
 //! // Run the single-counter microbenchmark under TLR on 4 processors.
 //! let workload = single_counter(4, 256);
-//! let report = run_workload(&MachineConfig::paper_default(Scheme::Tlr, 4), &workload);
+//! let cfg = MachineConfig::builder().scheme(Scheme::Tlr).procs(4).build();
+//! let report = run_workload(&cfg, &workload);
+//! assert!(report.is_valid());
 //! println!("{} cycles", report.stats.parallel_cycles);
+//! ```
+//!
+//! The builder also threads the deterministic fault-injection layer
+//! through the machine (off by default — bit-identical to a build
+//! that never mentions it):
+//!
+//! ```no_run
+//! use tlr_repro::prelude::*;
+//!
+//! let cfg = MachineConfig::builder()
+//!     .scheme(Scheme::Tlr)
+//!     .procs(4)
+//!     .faults(FaultConfig::intensity(0xc4a0_5eed, 2))
+//!     .build();
+//! let report = run_workload(&cfg, &single_counter(4, 256));
+//! assert!(report.is_valid(), "faults perturb timing, never correctness");
 //! ```
 
 pub use tlr_core as core;
@@ -27,6 +45,7 @@ pub use tlr_workloads as workloads;
 pub mod prelude {
     pub use tlr_core::run::{run_workload, RunReport, WorkloadSpec};
     pub use tlr_core::Machine;
-    pub use tlr_sim::config::{MachineConfig, Scheme};
+    pub use tlr_sim::config::{MachineConfig, MachineConfigBuilder, Scheme};
+    pub use tlr_sim::fault::FaultConfig;
     pub use tlr_workloads::micro::{doubly_linked_list, multiple_counter, single_counter};
 }

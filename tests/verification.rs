@@ -75,3 +75,14 @@ fn fuzz_schedules_against_oracle() {
 fn fuzz_micro_workloads() {
     fuzz::fuzz_micro("root-schedule-fuzz-micro", 60);
 }
+
+/// Chaos matrix: 50 fault seeds x {BASE, SLE, TLR}, intensity cycling
+/// over every fault kind (network jitter, bus reordering, capacity
+/// squeezes, spurious aborts), each cell run through the
+/// serializability oracle with a hard cycle budget — so a fault that
+/// broke safety *or* starved a transaction out of its commit fails the
+/// sweep with its (seed, scheme, intensity) coordinates.
+#[test]
+fn fault_matrix_never_breaks_serializability() {
+    fuzz::fault_matrix("root-fault-matrix", 0xfa17_5eed, 50, &Pool::from_env());
+}
