@@ -9,6 +9,7 @@
 
 use std::path::PathBuf;
 
+use tlr_sim::config::Engine;
 use tlr_sim::fault::FaultConfig;
 use tlr_sim::pool::Pool;
 
@@ -46,6 +47,10 @@ pub struct Args {
     /// Root seed for the fault streams (`--fault-seed`, parsed only by
     /// [`Args::parse_chaos`]).
     pub fault_seed: u64,
+    /// Simulation engine (`--engine event|cycle`); the discrete-event
+    /// engine is the default, the cycle-stepped oracle is kept for
+    /// differential checks and benchmarking.
+    pub engine: Engine,
 }
 
 impl Default for Args {
@@ -61,6 +66,7 @@ impl Default for Args {
             jobs: None,
             faults: FaultConfig::MAX_INTENSITY,
             fault_seed: DEFAULT_FAULT_SEED,
+            engine: Engine::default(),
         }
     }
 }
@@ -115,7 +121,14 @@ impl Args {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse_with(extra: impl FnMut(&mut Args, Flag<'_>) -> bool) -> Self {
-        Self::parse_tokens(std::env::args().skip(1).collect(), extra)
+        let opts = Self::parse_tokens(std::env::args().skip(1).collect(), extra);
+        // Thread the engine choice to every MachineConfig the sweep
+        // helpers construct. Only real process arguments reach here —
+        // [`Args::parse_tokens`] leaves the global alone so tests
+        // (which share one process) pick engines via the config
+        // builder instead.
+        tlr_sim::config::set_default_engine(opts.engine);
+        opts
     }
 
     /// [`Args::parse_with`] over an explicit token list (tests).
@@ -157,10 +170,14 @@ impl Args {
                     assert!(n >= 1, "--jobs must be at least 1");
                     opts.jobs = Some(n);
                 }
+                "--engine" => {
+                    opts.engine = Engine::parse(&s.value("--engine")).unwrap_or_else(|e| panic!("{e}"));
+                }
                 other => {
                     panic!(
                         "unknown argument {other:?} (supported: --quick, --check, --procs, \
-                         --seeds, --csv, --json, --out, --jobs, plus any binary-specific flags)"
+                         --seeds, --csv, --json, --out, --jobs, --engine, plus any \
+                         binary-specific flags)"
                     )
                 }
             }
@@ -255,6 +272,24 @@ mod tests {
         assert_eq!(a.jobs, Some(2));
         assert_eq!(a.json.as_deref(), Some(std::path::Path::new("x.json")));
         assert_eq!(a.out.as_deref(), Some(std::path::Path::new("t.json")));
+    }
+
+    #[test]
+    fn engine_flag_parses_both_engines_and_defaults_to_event() {
+        assert_eq!(Args::parse_tokens(vec![], |_, _| false).engine, Engine::EventDriven);
+        let a = Args::parse_tokens(toks("--engine cycle"), |_, _| false);
+        assert_eq!(a.engine, Engine::CycleStepped);
+        let b = Args::parse_tokens(toks("--engine event-driven"), |_, _| false);
+        assert_eq!(b.engine, Engine::EventDriven);
+        let c = Args::parse_tokens(toks("--engine cycle-stepped --quick"), |_, _| false);
+        assert_eq!(c.engine, Engine::CycleStepped);
+        assert!(c.quick);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown engine")]
+    fn bad_engine_value_is_rejected() {
+        Args::parse_tokens(toks("--engine warp"), |_, _| false);
     }
 
     #[test]

@@ -29,8 +29,14 @@
 //!   (seed, config) pair via the shrinker;
 //! * [`timing`] — a small host-time benchmark harness (mean / median /
 //!   iteration counts, optional JSON output) replacing `criterion` for
-//!   the `cargo bench` targets.
+//!   the `cargo bench` targets;
+//! * [`diff`] — the differential engine-equivalence harness: runs a
+//!   machine under both the discrete-event engine and the
+//!   cycle-stepped oracle and demands byte-identical stats, traces,
+//!   and final cycles, with a lockstep replay that reports the first
+//!   divergent cycle.
 
+pub mod diff;
 pub mod fuzz;
 pub mod gen;
 pub mod oracle;

@@ -1,0 +1,114 @@
+//! The engine-equivalence wall: the discrete-event engine must be
+//! byte-identical to the cycle-stepped oracle — same `MachineStats`,
+//! same trace events, same final cycle — on fuzzed configurations
+//! (including chaos streams), on explicit fault-intensity sweeps, and
+//! on the workload families behind every figure/table binary.
+
+use tlr_check::diff::check_engines;
+use tlr_check::fuzz::arbitrary_config;
+use tlr_check::oracle::OracleWorkload;
+use tlr_check::{prop, Source};
+use tlr_core::run::{build_machine, WorkloadSpec};
+use tlr_sim::config::{MachineConfig, Scheme};
+use tlr_sim::fault::FaultConfig;
+use tlr_sim::pool::Pool;
+use tlr_workloads::{apps, micro};
+
+/// One differential case: a fuzzed configuration (geometry, latencies,
+/// retention, timestamp width, jitter, faults) and a fuzzed oracle
+/// workload, compared across both engines for each paper scheme.
+fn diff_case(s: &mut Source) -> Result<(), String> {
+    let cfg = arbitrary_config(s);
+    let w = OracleWorkload::arbitrary(s, cfg.num_procs, 4);
+    for scheme in [Scheme::Base, Scheme::Sle, Scheme::Tlr] {
+        let mut c = cfg.clone();
+        c.scheme = scheme;
+        check_engines(|engine| {
+            let mut c = c.clone();
+            c.engine = engine;
+            w.build_machine(&c)
+        })
+        .map_err(|e| format!("scheme {scheme}: {e}\n    config: {c:?}\n    workload: {w:?}"))?;
+    }
+    Ok(())
+}
+
+#[test]
+fn event_engine_matches_oracle_on_fuzzed_configs() {
+    // 35 fuzzed configs x BASE/SLE/TLR = 105 engine comparisons by
+    // default; `TLR_CHECK_CASES` scales the sweep. Roughly a third of
+    // the configs draw an active chaos stream (see
+    // `fuzz::arbitrary_config`), so spurious aborts, bus reorders and
+    // network delays are all exercised differentially.
+    let mut cfg = prop::Config::from_env(35);
+    cfg.max_shrink_checks = 48;
+    prop::check_with_pool("engine_equivalence", cfg, &Pool::from_env(), diff_case);
+}
+
+#[test]
+fn event_engine_matches_oracle_under_explicit_chaos() {
+    // Guaranteed-chaos cells (the fuzzed sweep only reaches faults
+    // probabilistically): every fault kind active, intensity cycling
+    // through the full range, across the three paper schemes.
+    for i in 0..4u32 {
+        let fault_seed = 0x0ddc_0ffe_u64.wrapping_add(u64::from(i) * 0x9e37_79b9);
+        let level = 1 + i % FaultConfig::MAX_INTENSITY;
+        for scheme in [Scheme::Base, Scheme::Sle, Scheme::Tlr] {
+            let mut src = Source::from_seed(fault_seed);
+            let procs = src.usize_in(2..=3);
+            let w = OracleWorkload::arbitrary(&mut src, procs, 3);
+            let cfg = MachineConfig::builder()
+                .scheme(scheme)
+                .procs(procs)
+                .seed(src.next_raw())
+                .max_cycles(8_000_000)
+                .faults(FaultConfig::intensity(fault_seed, level))
+                .build();
+            check_engines(|engine| {
+                let mut c = cfg.clone();
+                c.engine = engine;
+                w.build_machine(&c)
+            })
+            .unwrap_or_else(|e| {
+                panic!(
+                    "chaos divergence (scheme {scheme}, fault seed {fault_seed:#x}, \
+                     intensity {level}): {e}\n    workload: {w:?}"
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn event_engine_matches_oracle_on_binary_workloads() {
+    // Small-scale instances of the workload families behind the
+    // figure/table/experiment binaries; `run_cell` builds the same
+    // machines at full scale.
+    let workloads: Vec<(&str, Box<dyn WorkloadSpec>)> = vec![
+        ("multiple_counter", Box::new(micro::multiple_counter(3, 24))),
+        ("single_counter", Box::new(micro::single_counter(3, 24))),
+        ("doubly_linked_list", Box::new(micro::doubly_linked_list(3, 9))),
+        ("mp3d", Box::new(apps::mp3d(3, 6, 16))),
+        ("mp3d_coarse", Box::new(apps::mp3d_coarse(3, 6, 16))),
+        ("barnes", Box::new(apps::barnes(3, 4, 3))),
+        ("radiosity", Box::new(apps::radiosity(3, 4, 4))),
+        ("water_nsq", Box::new(apps::water_nsq(3, 4, 4))),
+        ("ocean_cont", Box::new(apps::ocean_cont(3, 2, 4))),
+        ("raytrace", Box::new(apps::raytrace(3, 6))),
+    ];
+    for scheme in [Scheme::Base, Scheme::Sle, Scheme::Tlr] {
+        for (name, w) in &workloads {
+            let mut cfg = MachineConfig::paper_default(scheme, 3);
+            cfg.max_cycles = 60_000_000;
+            cfg.seed = 0xe4e2_5eed;
+            check_engines(|engine| {
+                let mut c = cfg.clone();
+                c.engine = engine;
+                let mut m = build_machine(&c, w.as_ref());
+                m.enable_trace_with_capacity(1 << 14);
+                m
+            })
+            .unwrap_or_else(|e| panic!("{name}/{scheme}: {e}"));
+        }
+    }
+}

@@ -14,13 +14,18 @@
 //! * resource-exhaustion fallback to actual lock acquisition (§3.3),
 //! * restartable critical sections and de-scheduling (§4).
 //!
-//! The machine is cycle-stepped and fully deterministic for a given
-//! configuration and seed.
+//! The machine runs under one of two engines (selected by
+//! [`tlr_sim::config::Engine`]): the legacy cycle-stepped loop, which
+//! ticks every component every cycle, and the default discrete-event
+//! engine, which jumps the clock straight to the next scheduled wake
+//! and lazily charges idle-cycle statistics. Both are fully
+//! deterministic for a given configuration and seed and produce
+//! byte-identical statistics and traces (see `DESIGN.md` §12).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
-use tlr_cpu::{AccessKind, Core, CoreStep, MemAccess, Program};
+use tlr_cpu::{AccessKind, Core, CoreStep, MemAccess, Op, Program};
 use tlr_mem::addr::{Addr, LineAddr};
 use tlr_mem::line::{CacheLine, Moesi};
 use tlr_mem::mshr::{Intervention, MshrEntry};
@@ -28,7 +33,7 @@ use tlr_mem::msg::{BusReqKind, BusRequest, DataGrant, NetMsg};
 use tlr_mem::protocol;
 use tlr_mem::timestamp::Timestamp;
 use tlr_mem::{Bus, MemorySystem, Network};
-use tlr_sim::config::{MachineConfig, UntimestampedPolicy};
+use tlr_sim::config::{Engine, MachineConfig, UntimestampedPolicy};
 use tlr_sim::fault::FaultPlan;
 use tlr_sim::trace::{Trace, TraceKind};
 use tlr_sim::{Cycle, MachineStats, NodeId, SimRng};
@@ -104,6 +109,107 @@ macro_rules! dbglog {
     };
 }
 
+/// What one cycle of an idle node would have charged to its stats had
+/// the cycle-stepped engine ticked it. The event engine caches this at
+/// classification time and settles `charge x window` on wake, so the
+/// per-node cycle breakdown stays byte-identical to the stepped run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IdleCharge {
+    /// No counter moves (paused nodes).
+    Nothing,
+    /// `done_cycles` (finished thread waiting for the others).
+    Done,
+    /// `data_stall_cycles`.
+    DataStall,
+    /// `lock_stall_cycles`.
+    LockStall,
+    /// `store_buffer_full_cycles`.
+    SbFull,
+    /// `commit_wait_cycles` (committing, write set not yet writable).
+    CommitWait,
+}
+
+/// The event engine's per-node schedule state.
+///
+/// A node is `Active` when its next tick can make progress (execute an
+/// instruction, drain a buffer, issue or retry a request, draw fault
+/// randomness) and must therefore run every cycle, exactly as under
+/// the cycle-stepped engine. It is `Idle` when its tick is provably a
+/// pure stall-accounting no-op until some external event (a fill, a
+/// snoop, a timer) arrives; such cycles are skipped and their charge
+/// settled lazily. Misclassifying toward `Active` is always safe — a
+/// live tick replicates the stepped engine bit for bit — so every
+/// uncertain case classifies as `Active`.
+#[derive(Debug, Clone, Copy)]
+enum NodeSched {
+    /// Ticks every cycle.
+    Active,
+    /// Skipped until woken; `since` is the last cycle this node ran.
+    Idle {
+        /// Idle charges are settled through this cycle already.
+        since: Cycle,
+        /// Per-cycle stat charge for the skipped window.
+        charge: IdleCharge,
+        /// Self-wake deadline (restart penalty, I/O completion), if
+        /// any; external events may wake the node sooner.
+        timer: Option<Cycle>,
+    },
+    /// Fast-forwarded spin loop (`load` from a resident line whose
+    /// value keeps a backward branch taken): the node is executing,
+    /// but every iteration's effect is a fixed counter delta, so the
+    /// skipped ticks are replayed arithmetically on wake. The loop can
+    /// only exit when the spun-on line changes, and any such change
+    /// arrives as a snoop or delivery — a wake.
+    Spin {
+        /// Charges are settled through this cycle already.
+        since: Cycle,
+        /// The per-iteration deltas proven at detection time.
+        info: SpinInfo,
+    },
+}
+
+/// Per-iteration facts about a detected spin loop, captured when the
+/// node enters [`NodeSched::Spin`]. See [`Machine::detect_spin`] for
+/// the proof obligations.
+#[derive(Debug, Clone, Copy)]
+struct SpinInfo {
+    /// Whether the virtual tick at `since + 1` executes the load
+    /// (`true`) or the backward branch (`false`); subsequent ticks
+    /// alternate.
+    next_is_load: bool,
+    /// The spun-on address is a lock variable: the load tick charges
+    /// `lock_busy_cycles` instead of `busy_cycles`.
+    is_lock: bool,
+    /// The line is resident in the victim cache, so each load also
+    /// counts a `victim_hits`.
+    victim_hit: bool,
+    /// The spun-on line, for replaying the predictor's load history.
+    line: LineAddr,
+    /// Program counter of the load instruction (the branch is at
+    /// `load_pc + 1`).
+    load_pc: u32,
+}
+
+/// Whether draining the store buffer is provably a no-op: nothing
+/// buffered, or the head store's fill is already in flight (the drain
+/// returns without touching the bus, caches, or RNG until that fill
+/// lands — a wake event).
+fn sb_drain_idle(node: &Node) -> bool {
+    let Some((addr, _)) = node.sb.head() else { return true };
+    let line = addr.line();
+    let writable = node.line(line).is_some_and(|l| l.state.writable());
+    !writable && node.mshrs.get(line).is_some()
+}
+
+/// Whether retrying pending transactional exclusive upgrades is
+/// provably a no-op: every pending line is still unwritable with its
+/// fill in flight, so the retry requeues them unchanged.
+fn pending_x_idle(node: &Node) -> bool {
+    node.txn_pending_x.iter().all(|&line| {
+        !node.line(line).is_some_and(|l| l.state.writable()) && node.mshrs.get(line).is_some()
+    })
+}
+
 /// The simulated multiprocessor.
 #[derive(Debug)]
 pub struct Machine {
@@ -125,6 +231,28 @@ pub struct Machine {
     lock_addrs: HashSet<Addr>,
     /// Spurious-abort fault stream; `None` unless chaos is enabled.
     fault: Option<FaultPlan>,
+    /// Snooped bus transactions awaiting their due cycle. One global
+    /// queue: snoops are broadcast, so every node observes the same
+    /// events at the same cycles; the per-node `supplier` designation
+    /// lives in the event itself.
+    snoops: VecDeque<SnoopEvent>,
+    /// Event-engine schedule state per node. Stays all-`Active` under
+    /// the cycle-stepped engine (and for externally stepped machines),
+    /// which makes the lazy settling a no-op there.
+    sched: Vec<NodeSched>,
+    /// Scratch: which nodes run in the current event step.
+    woken: Vec<bool>,
+    /// Scratch: this cycle's network deliveries (capacity reuse).
+    net_scratch: Vec<NetMsg>,
+    /// Scratch: burst mode's active-node set (capacity reuse).
+    burst_scratch: Vec<usize>,
+    /// Scratch: per-node involvement flags for the snoop being
+    /// processed (capacity reuse).
+    snoop_touch: Vec<bool>,
+    /// Event-engine work counters (steps taken, node ticks run) for
+    /// performance diagnostics. Not part of [`MachineStats`].
+    engine_steps: u64,
+    engine_live_ticks: u64,
 }
 
 impl Machine {
@@ -179,6 +307,14 @@ impl Machine {
             nodes,
             cycle: 0,
             fault: cfg.faults.plan(),
+            sched: vec![NodeSched::Active; cfg.num_procs],
+            snoops: VecDeque::new(),
+            woken: vec![false; cfg.num_procs],
+            net_scratch: Vec::new(),
+            burst_scratch: Vec::new(),
+            snoop_touch: Vec::new(),
+            engine_steps: 0,
+            engine_live_ticks: 0,
             cfg,
         }
     }
@@ -255,11 +391,11 @@ impl Machine {
                 && n.mshrs.is_empty()
                 && n.pending_wb.is_empty()
                 && n.deferred.is_empty()
-                && n.snoops.is_empty()
                 && n.nack_retries.is_empty()
                 && n.txn.is_none()
         }) && self.bus.pending() == 0
             && self.net.is_empty()
+            && self.snoops.is_empty()
     }
 
     /// Runs until quiescence.
@@ -270,6 +406,16 @@ impl Machine {
     /// exhausted first (livelock would show up here; TLR's guarantees
     /// make that a bug, and the integration tests rely on it).
     pub fn run(&mut self) -> Result<(), SimTimeout> {
+        match self.cfg.engine {
+            Engine::CycleStepped => self.run_cycle_stepped(),
+            Engine::EventDriven => self.run_event_driven(),
+        }
+    }
+
+    /// The legacy engine: every component ticks every cycle. Kept as
+    /// the in-repo oracle the event engine is differentially tested
+    /// against.
+    fn run_cycle_stepped(&mut self) -> Result<(), SimTimeout> {
         while !self.is_quiesced() {
             if self.cycle >= self.cfg.max_cycles {
                 return Err(SimTimeout { cycle: self.cycle });
@@ -278,6 +424,645 @@ impl Machine {
         }
         self.finalize_stats();
         Ok(())
+    }
+
+    /// The discrete-event engine: the clock jumps straight to the next
+    /// scheduled wake; skipped idle cycles are charged lazily.
+    fn run_event_driven(&mut self) -> Result<(), SimTimeout> {
+        while !self.is_quiesced() {
+            if self.cycle >= self.cfg.max_cycles {
+                // The stepped engine charged idle nodes through the
+                // final cycle before giving up; settle to match.
+                self.settle_idle_charges();
+                return Err(SimTimeout { cycle: self.cycle });
+            }
+            self.advance_within(self.cfg.max_cycles);
+        }
+        self.settle_idle_charges();
+        self.finalize_stats();
+        if std::env::var_os("TLR_ENGINE_DEBUG").is_some() {
+            let n = self.nodes.len() as u64;
+            eprintln!(
+                "[engine] cycles={} steps={} live_ticks={} (full-tick equivalent {}; \
+                 step ratio {:.3}, tick ratio {:.3})",
+                self.cycle,
+                self.engine_steps,
+                self.engine_live_ticks,
+                self.cycle * n,
+                self.engine_steps as f64 / self.cycle.max(1) as f64,
+                self.engine_live_ticks as f64 / (self.cycle * n).max(1) as f64,
+            );
+        }
+        Ok(())
+    }
+
+    /// One event-engine advance: jumps to the earliest scheduled wake,
+    /// clamped to `bound` (external driver loops — preemption, cycle
+    /// budgets — pass the next cycle at which *they* must intervene).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `bound` is not in the future.
+    pub fn advance_within(&mut self, bound: Cycle) {
+        debug_assert!(bound > self.cycle, "advance bound must be in the future");
+        let target = self.next_event_cycle().map_or(bound, |t| t.min(bound)).max(self.cycle + 1);
+        self.step_event(target);
+        self.burst_within(bound);
+    }
+
+    /// Burst mode: after a full step, as long as the only runnable
+    /// components are `Active` nodes — no due snoop, idle timer, NACK
+    /// retry, bus arbitration, or delivery anywhere before a horizon —
+    /// tick just those nodes cycle by cycle without the per-step
+    /// machinery (wake bookkeeping, bus/network polls, snoop scans).
+    /// This is where the event engine wins on compute phases: a lone
+    /// lock holder grinding through its critical section costs one
+    /// core tick per cycle instead of a full machine sweep.
+    ///
+    /// Soundness: snoops and deliveries are only created at the bus
+    /// ordering point and on the data network, and both are quiet
+    /// below the horizon — so sleeping nodes cannot gain new wake
+    /// sources and their cached classes stay valid. Active nodes may
+    /// enqueue bus requests or send messages, which is why the bus and
+    /// network horizons are re-polled every burst cycle. Nodes that
+    /// classify out of `Active` fold their fresh timers into the
+    /// horizon and drop from the set; nodes can only *join* the active
+    /// set through a wake, which ends the burst.
+    fn burst_within(&mut self, bound: Cycle) {
+        // Cheap bail-outs first: this runs after every step, and in
+        // bus- or network-saturated phases the next cycle always has
+        // machine-level work, so the scan below would be wasted.
+        if self.cycle + 1 >= bound
+            || self.bus.pending() > 0
+            || self.net.next_ready().is_some_and(|c| c <= self.cycle + 2)
+        {
+            return;
+        }
+        // Fault-injection tracing records per-cycle injection deltas in
+        // `step_event`'s epilogue; burst cycles would misplace them.
+        if self.cfg.faults.enabled && self.trace.is_enabled() {
+            return;
+        }
+        let mut active = std::mem::take(&mut self.burst_scratch);
+        active.clear();
+        active.extend(
+            (0..self.nodes.len()).filter(|&i| matches!(self.sched[i], NodeSched::Active)),
+        );
+        if active.is_empty() {
+            self.burst_scratch = active;
+            return;
+        }
+        // The passive horizon: the snoop queue is FIFO in due cycle
+        // and cannot grow during the burst, and sleeping nodes' timers
+        // cannot move, so this part is computed once.
+        let mut horizon = bound;
+        if let Some(ev) = self.snoops.front() {
+            horizon = horizon.min(ev.due);
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let NodeSched::Idle { timer, .. } = self.sched[i] {
+                if let Some(t) = timer {
+                    horizon = horizon.min(t);
+                }
+                if !n.core.is_done() && !n.paused {
+                    if let Some(t) = n.nack_retries.next_due() {
+                        horizon = horizon.min(t);
+                    }
+                }
+            }
+        }
+        loop {
+            let mut h = horizon;
+            if let Some(c) = self.bus.next_order_cycle(self.cycle) {
+                h = h.min(c);
+            }
+            if let Some(c) = self.net.next_ready() {
+                h = h.min(c.max(self.cycle + 1));
+            }
+            let next = self.cycle + 1;
+            if next >= h {
+                break;
+            }
+            self.cycle = next;
+            self.engine_steps += 1;
+            // A core finishing may complete quiescence; the driver
+            // loop checks that between advances, so the burst must
+            // yield before running any further cycle.
+            self.engine_live_ticks += active.len() as u64;
+            let finished = self.with_ctx(|nodes, ctx| {
+                let mut finished = false;
+                for &i in &active {
+                    tick_node(&mut nodes[i], ctx);
+                    let n = &nodes[i];
+                    finished |= n.core.is_done() && n.done_at.is_none();
+                }
+                finished
+            });
+            let mut w = 0;
+            for k in 0..active.len() {
+                let i = active[k];
+                match self.classify(i, self.cycle) {
+                    NodeSched::Active => {
+                        active[w] = i;
+                        w += 1;
+                    }
+                    s => {
+                        if let NodeSched::Idle { timer: Some(t), .. } = s {
+                            horizon = horizon.min(t);
+                        }
+                        let n = &self.nodes[i];
+                        if !n.core.is_done() && !n.paused {
+                            if let Some(t) = n.nack_retries.next_due() {
+                                horizon = horizon.min(t);
+                            }
+                        }
+                        self.sched[i] = s;
+                    }
+                }
+            }
+            active.truncate(w);
+            if active.is_empty() || finished {
+                break;
+            }
+        }
+        self.burst_scratch = active;
+    }
+
+    /// Settles cached idle charges through the current cycle for every
+    /// idle node. Event-engine exit paths (quiescence, timeout, and
+    /// external driver loops such as [`crate::os::run_preemptive`])
+    /// must call this before reading [`Machine::stats`]; under the
+    /// cycle-stepped engine it is a no-op.
+    pub fn settle_idle_charges(&mut self) {
+        for i in 0..self.nodes.len() {
+            self.settle_through(i, self.cycle);
+        }
+    }
+
+    /// The earliest cycle at which anything in the machine can make
+    /// progress, or `None` when no wake is scheduled (then the run is
+    /// either quiesced or timed out).
+    fn next_event_cycle(&self) -> Option<Cycle> {
+        let floor = self.cycle + 1;
+        // Any active node forces a step at the very next cycle; no
+        // other source can schedule anything earlier.
+        if self.sched.iter().any(|s| matches!(s, NodeSched::Active)) {
+            return Some(floor);
+        }
+        let mut next: Option<Cycle> = None;
+        let mut consider = |c: Cycle| {
+            let c = c.max(floor);
+            next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+        };
+        if let Some(c) = self.bus.next_order_cycle(self.cycle) {
+            consider(c);
+        }
+        if let Some(c) = self.net.next_ready() {
+            consider(c);
+        }
+        // Snoops process unconditionally (phase 3 runs even for done
+        // and paused nodes), and wake a spinner's only exit path.
+        if let Some(ev) = self.snoops.front() {
+            consider(ev.due);
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            match self.sched[i] {
+                NodeSched::Active => consider(floor),
+                NodeSched::Idle { timer, .. } => {
+                    if let Some(t) = timer {
+                        consider(t);
+                    }
+                    // NACK retries only fire inside a live node tick,
+                    // which done and paused nodes never reach — waking
+                    // them for a retry would spin to no effect.
+                    if !n.core.is_done() && !n.paused {
+                        if let Some(t) = n.nack_retries.next_due() {
+                            consider(t);
+                        }
+                    }
+                }
+                // A spinner advances by pure arithmetic; only the
+                // change that ends the spin — always a snoop or a
+                // delivery — needs a scheduled step.
+                NodeSched::Spin { .. } => {}
+            }
+        }
+        next
+    }
+
+    /// Whether node `i` must run a full tick at the current cycle
+    /// independent of cross-node wake events. Due snoops alone do
+    /// *not* make a node due: they are processed lazily in phase 3
+    /// and only promote the node if the snoop changed its class.
+    fn node_due(&self, i: usize) -> bool {
+        match self.sched[i] {
+            NodeSched::Active => true,
+            NodeSched::Idle { timer, .. } => {
+                let n = &self.nodes[i];
+                timer.is_some_and(|t| t <= self.cycle)
+                    || (!n.core.is_done()
+                        && !n.paused
+                        && n.nack_retries.next_due().is_some_and(|t| t <= self.cycle))
+            }
+            // A spin loop only exits when the spun-on line changes,
+            // which always arrives as a snoop or delivery.
+            NodeSched::Spin { .. } => false,
+        }
+    }
+
+    /// Settles node `i`'s cached idle charge (or fast-forwards its
+    /// spin loop) for the skipped window up to and including
+    /// `through`. No-op for active nodes.
+    fn settle_through(&mut self, i: usize, through: Cycle) {
+        match self.sched[i] {
+            NodeSched::Active => {}
+            NodeSched::Idle { since, charge, .. } => {
+                if through <= since {
+                    return;
+                }
+                let dt = through - since;
+                let ns = self.stats.node_mut(i);
+                match charge {
+                    IdleCharge::Nothing => {}
+                    IdleCharge::Done => ns.done_cycles += dt,
+                    IdleCharge::DataStall => ns.data_stall_cycles += dt,
+                    IdleCharge::LockStall => ns.lock_stall_cycles += dt,
+                    IdleCharge::SbFull => ns.store_buffer_full_cycles += dt,
+                    IdleCharge::CommitWait => ns.commit_wait_cycles += dt,
+                }
+                if let NodeSched::Idle { since, .. } = &mut self.sched[i] {
+                    *since = through;
+                }
+            }
+            NodeSched::Spin { since, info } => {
+                if through <= since {
+                    return;
+                }
+                let w = through - since;
+                // Ticks alternate load/branch starting with
+                // `info.next_is_load` at `since + 1`.
+                let first = u64::from(info.next_is_load);
+                let loads = (w + first) / 2;
+                let branches = w - loads;
+                // Parity of the tick at `through` decides where the
+                // core resumes: after a load the branch is next
+                // (pc = load_pc + 1), after a branch the load is
+                // (pc = load_pc).
+                let ends_on_load = if info.next_is_load { w % 2 == 1 } else { w % 2 == 0 };
+                let pc = if ends_on_load { info.load_pc + 1 } else { info.load_pc };
+                let node = &mut self.nodes[i];
+                node.core.fast_forward(w, pc);
+                node.rmw_pred.replay_spin_loads(info.load_pc, info.line, loads);
+                let instructions = node.core.instructions;
+                let ns = self.stats.node_mut(i);
+                ns.loads += loads;
+                ns.l1_hits += loads;
+                if info.victim_hit {
+                    ns.victim_hits += loads;
+                }
+                if info.is_lock {
+                    ns.lock_busy_cycles += loads;
+                } else {
+                    ns.busy_cycles += loads;
+                }
+                ns.busy_cycles += branches;
+                // Each skipped tick would have refreshed the committed
+                // instruction count.
+                ns.instructions = instructions;
+                if let NodeSched::Spin { since, info } = &mut self.sched[i] {
+                    *since = through;
+                    info.next_is_load = !ends_on_load;
+                }
+            }
+        }
+    }
+
+    /// Promotes node `i` to live for the current cycle: the skipped
+    /// window ends at `cycle - 1` (this cycle's tick charges itself).
+    fn make_live(&mut self, i: usize) {
+        self.settle_through(i, self.cycle - 1);
+        self.sched[i] = NodeSched::Active;
+    }
+
+    /// An external driver mutated node `i` at the current cycle
+    /// *between* steps (deschedule, kill, reschedule): settle the idle
+    /// window through now and force the node live so the next step
+    /// observes the change.
+    fn external_touch(&mut self, i: usize) {
+        self.settle_through(i, self.cycle);
+        self.sched[i] = NodeSched::Active;
+    }
+
+    /// Classifies node `i`, mirroring `node_tick`'s branch order
+    /// exactly: each arm either proves the next tick is a pure
+    /// stall-accounting no-op (idle, with the charge that tick would
+    /// have made) or keeps the node live. See the [`NodeSched`] safety
+    /// note: every uncertain case stays `Active`.
+    ///
+    /// `anchor` is the cycle through which the node's charges are
+    /// already settled: the current cycle when classifying after a
+    /// live tick, the previous cycle when re-classifying a sleeping
+    /// node after lazily processing its due snoops (its tick at the
+    /// current cycle was skipped and will be charged by settling).
+    fn classify(&self, i: usize, anchor: Cycle) -> NodeSched {
+        let node = &self.nodes[i];
+        let now = self.cycle;
+        let idle = |charge, timer| NodeSched::Idle { since: anchor, charge, timer };
+        let stall = |is_lock: bool| if is_lock { IdleCharge::LockStall } else { IdleCharge::DataStall };
+        if node.core.is_done() {
+            // First done tick records `done_at`; afterwards the tick
+            // charges `done_cycles` and drains the store buffer.
+            if node.done_at.is_none() || !sb_drain_idle(node) {
+                return NodeSched::Active;
+            }
+            return idle(IdleCharge::Done, None);
+        }
+        if node.paused {
+            return idle(IdleCharge::Nothing, None);
+        }
+        // Chaos runs draw one spurious-abort value per tick of a node
+        // with an open non-committing transaction; skipping any such
+        // tick would shift the fault stream.
+        if self.fault.is_some() && node.txn.as_ref().is_some_and(|t| !t.committing) {
+            return NodeSched::Active;
+        }
+        if !pending_x_idle(node) || !sb_drain_idle(node) {
+            return NodeSched::Active;
+        }
+        if node.txn.as_ref().is_some_and(|t| t.committing) {
+            let ready = node.txn_pending_x.is_empty()
+                && node
+                    .wb
+                    .entries()
+                    .iter()
+                    .all(|e| node.line(e.line).is_some_and(|l| l.state.writable()));
+            if ready {
+            }
+            return if ready { NodeSched::Active } else { idle(IdleCharge::CommitWait, None) };
+        }
+        if now < node.stall_until {
+            return idle(IdleCharge::DataStall, Some(node.stall_until));
+        }
+        match node.wait {
+            None => match self.detect_spin(i) {
+                Some(info) => NodeSched::Spin { since: anchor, info },
+                None => {
+                    NodeSched::Active
+                }
+            },
+            Some(Wait::Fill { is_lock, .. }) => idle(stall(is_lock), None),
+            Some(Wait::StoreBufFull) => {
+                // `sb_drain_idle` held above, so the buffer cannot
+                // shrink until the head's fill lands (a wake).
+                if node.sb.is_full() {
+                    idle(IdleCharge::SbFull, None)
+                } else {
+                    NodeSched::Active
+                }
+            }
+            Some(Wait::MshrFull { is_lock }) => {
+                if node.mshrs.is_full() {
+                    idle(stall(is_lock), None)
+                } else {
+                    NodeSched::Active
+                }
+            }
+            Some(Wait::Drain { is_lock }) => {
+                if node.sb.is_empty() {
+                    NodeSched::Active
+                } else {
+                    idle(stall(is_lock), None)
+                }
+            }
+            Some(Wait::Commit) => NodeSched::Active,
+            Some(Wait::Io { until }) => {
+                if now >= until {
+                    NodeSched::Active
+                } else {
+                    idle(IdleCharge::DataStall, Some(until))
+                }
+            }
+        }
+    }
+
+    /// Tries to prove node `i` sits in a stable two-instruction wait
+    /// loop — a plain `load` from a resident line followed by a
+    /// conditional branch back to the load, taken as long as the
+    /// loaded value holds (the test&test&set and MCS spin idioms).
+    ///
+    /// Such ticks execute real instructions, so they cannot be idled —
+    /// but their effect is a fixed per-iteration counter delta, which
+    /// [`Machine::settle_through`] replays arithmetically. The proof
+    /// obligations, each checked here:
+    ///
+    /// * the node is otherwise quiescent: no transaction (so no chaos
+    ///   draw), no wait record, empty store buffer / MSHRs / NACK
+    ///   timers / pending upgrades — the pre-dispatch phases of
+    ///   `node_tick` are no-ops and the loop draws no randomness and
+    ///   records no trace events;
+    /// * the loaded value equals the destination register already (a
+    ///   register fixed point, so the branch outcome never changes);
+    /// * the load is not load-linked (those arm the link register and
+    ///   order against the store buffer);
+    /// * skipped hits leave cache state unchanged: an L1 hit only
+    ///   re-touches an already-MRU line and a victim hit never
+    ///   reorders. (The RMW predictor's load history *does* change,
+    ///   but identically-repeated loads saturate it, so settling
+    ///   replays them exactly via `replay_spin_loads`.)
+    ///
+    /// The loop can then only exit when the spun-on line changes, and
+    /// in an invalidation protocol every such change arrives as a
+    /// snoop or delivery — a wake.
+    fn detect_spin(&self, i: usize) -> Option<SpinInfo> {
+        let node = &self.nodes[i];
+        if node.txn.is_some()
+            || node.wait.is_some()
+            || !node.sb.is_empty()
+            || !node.mshrs.is_empty()
+            || !node.nack_retries.is_empty()
+            || !node.txn_pending_x.is_empty()
+            || !node.core.is_ready()
+        {
+            return None;
+        }
+        let prog = node.core.program();
+        let pc = node.core.pc();
+        // Anchor on the load: the core is either about to execute it
+        // (post-branch) or about to execute the branch (post-load).
+        let (load_pc, next_is_load) = match prog.op(pc) {
+            Some(Op::Load(..)) => (pc, true),
+            Some(Op::Beq(..) | Op::Bne(..) | Op::Blt(..) | Op::Bge(..)) if pc > 0 => {
+                (pc - 1, false)
+            }
+            _ => {
+                return None;
+            }
+        };
+        let Some(Op::Load(rd, ra, off)) = prog.op(load_pc) else {
+            return None;
+        };
+        let reg = |r| node.core.reg(r);
+        let taken_target = match prog.op(load_pc + 1) {
+            Some(Op::Beq(a, b, t)) if reg(a) == reg(b) => t,
+            Some(Op::Bne(a, b, t)) if reg(a) != reg(b) => t,
+            Some(Op::Blt(a, b, t)) if reg(a) < reg(b) => t,
+            Some(Op::Bge(a, b, t)) if reg(a) >= reg(b) => t,
+            _ => {
+                return None;
+            }
+        };
+        if taken_target != load_pc {
+            return None;
+        }
+        let addr = Addr(reg(ra).wrapping_add(off as u64));
+        let line = addr.line();
+        let Some(l) = node.line(line) else {
+            return None;
+        };
+        if reg(rd) != l.data.word(addr) {
+            return None;
+        }
+        let victim_hit = !node.l1.contains(line);
+        if !victim_hit && !node.l1.is_mru(line) {
+            return None;
+        }
+        Some(SpinInfo {
+            next_is_load,
+            is_lock: self.lock_addrs.contains(&addr),
+            victim_hit,
+            line,
+            load_pc,
+        })
+    }
+
+    /// Advances the machine to cycle `target`, running the same four
+    /// phases as [`Machine::step`] but only for live components. Nodes
+    /// not woken were classified idle and draw no randomness, record
+    /// no events, and change no state — their skipped cycles are
+    /// settled from the cached charge when they next wake.
+    fn step_event(&mut self, target: Cycle) {
+        debug_assert!(target > self.cycle);
+        self.cycle = target;
+        self.engine_steps += 1;
+        let fault_traced = self.cfg.faults.enabled && self.trace.is_enabled();
+        let (net_before, bus_before) = if fault_traced {
+            (self.net.fault_injections(), self.bus.fault_injections())
+        } else {
+            (0, 0)
+        };
+        for w in self.woken.iter_mut() {
+            *w = false;
+        }
+        // 1. Order at most one address-bus transaction; the ordering
+        //    point mutates the requester (and the NACKing owner), so
+        //    `order_request` marks them woken.
+        if let Some(req) = self.bus.tick(self.cycle) {
+            self.order_request(req);
+        }
+        // 2. Deliver data-network messages; each delivery mutates its
+        //    destination. Drained through a reused scratch buffer —
+        //    snapshot semantics (messages sent while handling these
+        //    deliveries wait for the next cycle) without a per-step
+        //    allocation.
+        let mut msgs = std::mem::take(&mut self.net_scratch);
+        while let Some(msg) = self.net.pop_ready(self.cycle) {
+            msgs.push(msg);
+        }
+        for msg in msgs.drain(..) {
+            self.woken[msg.destination()] = true;
+            self.handle_net(msg);
+        }
+        self.net_scratch = msgs;
+        // Promote everything that must run this cycle.
+        for i in 0..self.nodes.len() {
+            if self.woken[i] || self.node_due(i) {
+                self.make_live(i);
+                self.woken[i] = true;
+            }
+        }
+        // 3. Due snoops, processed at each involved node in node
+        //    order (snoop handlers may record trace events and send
+        //    network messages, so the stepped engine's order must be
+        //    preserved; bus dues are strictly increasing, so at most
+        //    one event is due per step and the per-event node loop
+        //    matches the per-node event loop exactly). A sleeping
+        //    involved node settles its skipped window first (the snoop
+        //    may change the very state its cached class was proved
+        //    against), then re-classifies: if the snoop made it
+        //    runnable it joins this cycle's tick phase, otherwise it
+        //    stays asleep anchored at `cycle - 1` so the tick it skips
+        //    this cycle is charged on the next settle. Uninvolved
+        //    nodes are untouched by the event (see [`node_involved`]),
+        //    so their cached class — and their settle anchor — stay
+        //    valid as-is.
+        while self.snoops.front().is_some_and(|ev| ev.due <= self.cycle) {
+            let ev = self.snoops.pop_front().unwrap();
+            let mut touch = std::mem::take(&mut self.snoop_touch);
+            touch.clear();
+            touch.extend(self.nodes.iter().map(|n| node_involved(n, &ev)));
+            // Settling first is order-safe: it touches only own-node
+            // counters and draws no randomness, records no events.
+            for i in 0..self.nodes.len() {
+                if touch[i] && !self.woken[i] {
+                    self.settle_through(i, self.cycle - 1);
+                }
+            }
+            self.with_ctx(|nodes, ctx| {
+                for (node, &t) in nodes.iter_mut().zip(touch.iter()) {
+                    if t {
+                        snoop_one(node, ctx, &ev);
+                    }
+                }
+            });
+            for i in 0..self.nodes.len() {
+                if touch[i] && !self.woken[i] {
+                    match self.classify(i, self.cycle - 1) {
+                        NodeSched::Active => {
+                            self.sched[i] = NodeSched::Active;
+                            self.woken[i] = true;
+                        }
+                        other => self.sched[i] = other,
+                    }
+                }
+            }
+            self.snoop_touch = touch;
+        }
+        let woken = std::mem::take(&mut self.woken);
+        let live = self.with_ctx(|nodes, ctx| {
+            let mut live = 0u64;
+            for (node, &w) in nodes.iter_mut().zip(woken.iter()) {
+                if w {
+                    live += 1;
+                    tick_node(node, ctx);
+                }
+            }
+            live
+        });
+        self.engine_live_ticks += live;
+        self.woken = woken;
+        for i in 0..self.nodes.len() {
+            if self.woken[i] {
+                self.sched[i] = self.classify(i, self.cycle);
+            }
+        }
+        if fault_traced {
+            let bus_delta = self.bus.fault_injections() - bus_before;
+            if bus_delta > 0 {
+                self.trace.record(
+                    self.cycle,
+                    0,
+                    TraceKind::FaultInjected { kind: "bus_arbitration", payload: bus_delta },
+                );
+            }
+            let net_delta = self.net.fault_injections() - net_before;
+            if net_delta > 0 {
+                self.trace.record(
+                    self.cycle,
+                    0,
+                    TraceKind::FaultInjected { kind: "net_delay", payload: net_delta },
+                );
+            }
+        }
     }
 
     /// Fills in end-of-run aggregates (the parallel cycle count).
@@ -327,6 +1112,7 @@ impl Machine {
     /// discarded (the lock stays free), then the core stops ticking
     /// until [`Machine::reschedule`].
     pub fn deschedule(&mut self, id: NodeId) {
+        self.external_touch(id);
         self.with_ctx(|nodes, ctx| {
             let node = &mut nodes[id];
             if node.txn.is_some() {
@@ -338,6 +1124,7 @@ impl Machine {
 
     /// Resumes a de-scheduled thread.
     pub fn reschedule(&mut self, id: NodeId) {
+        self.external_touch(id);
         self.nodes[id].paused = false;
     }
 
@@ -345,6 +1132,7 @@ impl Machine {
     /// updates are discarded, deferred requests are serviced, and the
     /// core halts. Shared state is left consistent.
     pub fn kill(&mut self, id: NodeId) {
+        self.external_touch(id);
         self.with_ctx(|nodes, ctx| {
             let node = &mut nodes[id];
             if node.txn.is_some() {
@@ -393,13 +1181,24 @@ impl Machine {
         for msg in msgs {
             self.handle_net(msg);
         }
-        // 3. Process due snoops, then tick each node.
-        for i in 0..self.nodes.len() {
-            self.process_snoops(i);
+        // 3. Process due snoops at each involved node, then tick each
+        //    node. One context serves a whole phase — rebuilding it
+        //    per node dominated the profile at full scale.
+        while self.snoops.front().is_some_and(|ev| ev.due <= self.cycle) {
+            let ev = self.snoops.pop_front().unwrap();
+            self.with_ctx(|nodes, ctx| {
+                for node in nodes.iter_mut() {
+                    if node_involved(node, &ev) {
+                        snoop_one(node, ctx, &ev);
+                    }
+                }
+            });
         }
-        for i in 0..self.nodes.len() {
-            self.node_tick(i);
-        }
+        self.with_ctx(|nodes, ctx| {
+            for node in nodes.iter_mut() {
+                tick_node(node, ctx);
+            }
+        });
         if fault_traced {
             let bus_delta = self.bus.fault_injections() - bus_before;
             if bus_delta > 0 {
@@ -423,6 +1222,10 @@ impl Machine {
     /// Handles an address-bus transaction at its ordering point.
     fn order_request(&mut self, req: BusRequest) {
         let now = self.cycle;
+        // The ordering point mutates the requester's state (writeback
+        // retirement, self-supply cancellation, the owner ledger): the
+        // event engine must run it this cycle.
+        self.woken[req.requester] = true;
         self.stats.bus.arbitration_wait_cycles += now.saturating_sub(req.enqueued_at);
         match req.kind {
             BusReqKind::WriteBack => {
@@ -463,6 +1266,9 @@ impl Machine {
                 // no ownership transfers, every snooper ignores it.
                 if self.cfg.retention == tlr_sim::config::RetentionPolicy::Nack {
                     if let Some(o) = supplier {
+                        // The refusal check advances the owner's
+                        // logical clock either way.
+                        self.woken[o] = true;
                         if self.nack_at_order(o, &req) {
                             let deliver = now + self.cfg.latency.snoop;
                             self.net.send(
@@ -496,15 +1302,13 @@ impl Machine {
                             },
                         );
                         let due = now + self.cfg.latency.snoop;
-                        for node in self.nodes.iter_mut() {
-                            node.snoops.push_back(SnoopEvent {
-                                due,
-                                order_cycle: now,
-                                req: req.clone(),
-                                supplier: false,
-                                other_sharers,
-                            });
-                        }
+                        self.snoops.push_back(SnoopEvent {
+                            due,
+                            order_cycle: now,
+                            req,
+                            supplier: None,
+                            other_sharers,
+                        });
                         return;
                     }
                     // A requester that is itself the ledger owner holds
@@ -552,15 +1356,13 @@ impl Machine {
                     }
                 }
                 let due = now + self.cfg.latency.snoop;
-                for (j, node) in self.nodes.iter_mut().enumerate() {
-                    node.snoops.push_back(SnoopEvent {
-                        due,
-                        order_cycle: now,
-                        req: req.clone(),
-                        supplier: supplier == Some(j),
-                        other_sharers,
-                    });
-                }
+                self.snoops.push_back(SnoopEvent {
+                    due,
+                    order_cycle: now,
+                    req,
+                    supplier,
+                    other_sharers,
+                });
             }
             BusReqKind::Upgrade => {
                 unreachable!("upgrades are modeled as GetX (see node documentation)")
@@ -623,114 +1425,116 @@ impl Machine {
         wins
     }
 
-    /// Processes node `i`'s due snoop events in order.
-    fn process_snoops(&mut self, i: usize) {
-        let now = self.cycle;
-        loop {
-            let due = matches!(self.nodes[i].snoops.front(), Some(ev) if ev.due <= now);
-            if !due {
-                return;
-            }
-            let ev = self.nodes[i].snoops.pop_front().unwrap();
-            self.with_ctx(|nodes, ctx| snoop_one(&mut nodes[i], ctx, ev));
-        }
-    }
-
     /// Delivers one data-network message.
     fn handle_net(&mut self, msg: NetMsg) {
-        let to = msg.destination();
-        self.with_ctx(|nodes, ctx| {
-            dbglog!("[{}] n{} NET {}", ctx.now, to, msg.label());
-            let node = &mut nodes[to];
-            match msg {
-                NetMsg::Data { line, data, grant, from_cache, .. } => {
-                    handle_fill(node, ctx, line, data, grant, from_cache)
-                }
-                NetMsg::Marker { from, line, .. } => handle_marker(node, ctx, line, from),
-                NetMsg::Nack { line, .. } => handle_nack(node, ctx, line),
-                NetMsg::Probe { line, ts, .. } => handle_probe(node, ctx, line, ts),
-            }
-        });
+        self.with_ctx(|nodes, ctx| deliver_one(nodes, ctx, msg));
     }
+}
 
-    /// One cycle of node `i`: buffer drains, commit progress, core
-    /// execution.
-    fn node_tick(&mut self, i: usize) {
-        self.with_ctx(|nodes, ctx| {
-            let node = &mut nodes[i];
-            if node.core.is_done() {
-                if node.done_at.is_none() {
-                    node.done_at = Some(ctx.now);
-                } else {
-                    ctx.stats.node_mut(node.id).done_cycles += 1;
-                }
-                drain_store_buffer(node, ctx);
-                return;
-            }
-            if node.paused {
-                return;
-            }
-            // Chaos: annul an open (non-committing) transaction at a
-            // seed-chosen node-cycle. Guarded on transaction state, so
-            // the fault stream advances deterministically; skipping
-            // committing transactions mirrors the hardware, where a
-            // transaction past its commit point can no longer abort.
-            if node.txn.as_ref().is_some_and(|t| !t.committing) && ctx.fault_fires_spurious_abort()
-            {
-                ctx.stats.faults.spurious_aborts += 1;
-                ctx.trace.record(
-                    ctx.now,
-                    node.id,
-                    TraceKind::FaultInjected { kind: "spurious_abort", payload: 0 },
-                );
-                abort_txn(node, ctx, AbortKind::Injected, None);
-                return;
-            }
-            retry_nacked(node, ctx);
-            retry_txn_pending_x(node, ctx);
-            drain_store_buffer(node, ctx);
-            if node.txn.as_ref().is_some_and(|t| t.committing) {
-                try_commit(node, ctx);
-                if node.txn.is_some() {
-                    ctx.stats.node_mut(node.id).commit_wait_cycles += 1;
-                }
-                return;
-            }
-            if ctx.now < node.stall_until {
-                ctx.stats.node_mut(node.id).data_stall_cycles += 1;
-                return;
-            }
-            if node.wait.is_some() {
-                retry_wait(node, ctx);
-                return;
-            }
-            node.instr_snapshot();
-            match node.core.tick() {
-                CoreStep::Busy => ctx.stats.node_mut(node.id).busy_cycles += 1,
-                CoreStep::Waiting => {
-                    // Core blocked without a wait record: only possible
-                    // transiently; charge as a data stall.
-                    ctx.stats.node_mut(node.id).data_stall_cycles += 1;
-                }
-                CoreStep::Access(acc) => handle_access(node, ctx, acc),
-                CoreStep::Io => {
-                    if node.txn.is_some() {
-                        abort_txn(node, ctx, AbortKind::Io, None);
-                    } else {
-                        node.wait = Some(Wait::Io { until: ctx.now + IO_LATENCY });
-                    }
-                }
-                CoreStep::Done => {
-                    assert!(
-                        node.txn.is_none(),
-                        "thread {} finished inside a critical section",
-                        node.id
-                    );
-                }
-            }
-            node.commit_instructions(ctx.stats);
-        });
+/// Delivers one data-network message to its destination node.
+fn deliver_one(nodes: &mut [Node], ctx: &mut Ctx, msg: NetMsg) {
+    let to = msg.destination();
+    dbglog!("[{}] n{} NET {}", ctx.now, to, msg.label());
+    let node = &mut nodes[to];
+    match msg {
+        NetMsg::Data { line, data, grant, from_cache, .. } => {
+            handle_fill(node, ctx, line, data, grant, from_cache)
+        }
+        NetMsg::Marker { from, line, .. } => handle_marker(node, ctx, line, from),
+        NetMsg::Nack { line, .. } => handle_nack(node, ctx, line),
+        NetMsg::Probe { line, ts, .. } => handle_probe(node, ctx, line, ts),
     }
+}
+
+/// Whether a snooped transaction can touch this node at all.
+///
+/// An uninvolved node — not the requester, not the designated
+/// supplier, no MSHRs, no parked writebacks, no copy of the line —
+/// provably no-ops through every branch of [`snoop_one`] (no state
+/// change, no stats, no trace, no randomness), so skipping the call
+/// is exact.
+fn node_involved(node: &Node, ev: &SnoopEvent) -> bool {
+    ev.req.requester == node.id
+        || ev.supplier == Some(node.id)
+        || !node.mshrs.is_empty()
+        || !node.pending_wb.is_empty()
+        || node.line(ev.req.line).is_some()
+}
+
+/// One cycle of a node: buffer drains, commit progress, core
+/// execution.
+fn tick_node(node: &mut Node, ctx: &mut Ctx) {
+    if node.core.is_done() {
+        if node.done_at.is_none() {
+            node.done_at = Some(ctx.now);
+        } else {
+            ctx.stats.node_mut(node.id).done_cycles += 1;
+        }
+        drain_store_buffer(node, ctx);
+        return;
+    }
+    if node.paused {
+        return;
+    }
+    // Chaos: annul an open (non-committing) transaction at a
+    // seed-chosen node-cycle. Guarded on transaction state, so
+    // the fault stream advances deterministically; skipping
+    // committing transactions mirrors the hardware, where a
+    // transaction past its commit point can no longer abort.
+    if node.txn.as_ref().is_some_and(|t| !t.committing) && ctx.fault_fires_spurious_abort()
+    {
+        ctx.stats.faults.spurious_aborts += 1;
+        ctx.trace.record(
+            ctx.now,
+            node.id,
+            TraceKind::FaultInjected { kind: "spurious_abort", payload: 0 },
+        );
+        abort_txn(node, ctx, AbortKind::Injected, None);
+        return;
+    }
+    retry_nacked(node, ctx);
+    retry_txn_pending_x(node, ctx);
+    drain_store_buffer(node, ctx);
+    if node.txn.as_ref().is_some_and(|t| t.committing) {
+        try_commit(node, ctx);
+        if node.txn.is_some() {
+            ctx.stats.node_mut(node.id).commit_wait_cycles += 1;
+        }
+        return;
+    }
+    if ctx.now < node.stall_until {
+        ctx.stats.node_mut(node.id).data_stall_cycles += 1;
+        return;
+    }
+    if node.wait.is_some() {
+        retry_wait(node, ctx);
+        return;
+    }
+    node.instr_snapshot();
+    match node.core.tick() {
+        CoreStep::Busy => ctx.stats.node_mut(node.id).busy_cycles += 1,
+        CoreStep::Waiting => {
+            // Core blocked without a wait record: only possible
+            // transiently; charge as a data stall.
+            ctx.stats.node_mut(node.id).data_stall_cycles += 1;
+        }
+        CoreStep::Access(acc) => handle_access(node, ctx, acc),
+        CoreStep::Io => {
+            if node.txn.is_some() {
+                abort_txn(node, ctx, AbortKind::Io, None);
+            } else {
+                node.wait = Some(Wait::Io { until: ctx.now + IO_LATENCY });
+            }
+        }
+        CoreStep::Done => {
+            assert!(
+                node.txn.is_none(),
+                "thread {} finished inside a critical section",
+                node.id
+            );
+        }
+    }
+    node.commit_instructions(ctx.stats);
 }
 
 impl Node {
@@ -1154,10 +1958,11 @@ fn owner_conflict(node: &mut Node, ctx: &mut Ctx, req: &BusRequest) {
 }
 
 /// Processes one snooped bus transaction at this node.
-fn snoop_one(node: &mut Node, ctx: &mut Ctx, ev: SnoopEvent) {
+fn snoop_one(node: &mut Node, ctx: &mut Ctx, ev: &SnoopEvent) {
     let req = &ev.req;
     let line = req.line;
     let exclusive = req.kind.is_exclusive();
+    let supplier = ev.supplier == Some(node.id);
     if req.requester == node.id {
         if let Some(m) = node.mshrs.get_mut(line) {
             m.ordered = true;
@@ -1168,7 +1973,7 @@ fn snoop_one(node: &mut Node, ctx: &mut Ctx, ev: SnoopEvent) {
     // 1a. We have an ordered shared miss outstanding and a later
     //     exclusive request is passing by (routed to someone else):
     //     our fill will be stale the moment it arrives.
-    if !ev.supplier && exclusive {
+    if !supplier && exclusive {
         if let Some(m) = node.mshrs.get_mut(line) {
             if m.ordered && !m.exclusive {
                 m.invalidate_after_fill = true;
@@ -1177,7 +1982,7 @@ fn snoop_one(node: &mut Node, ctx: &mut Ctx, ev: SnoopEvent) {
     }
     // 1b. Our own ordered request precedes this one and the ledger
     //     routed it to us: it chains at our MSHR.
-    if ev.supplier && node.mshrs.get(line).is_some_and(|m| m.ordered) {
+    if supplier && node.mshrs.get(line).is_some_and(|m| m.ordered) {
         let our_exclusive;
         let our_ts;
         {
@@ -1225,12 +2030,12 @@ fn snoop_one(node: &mut Node, ctx: &mut Ctx, ev: SnoopEvent) {
         // *after* the snooped one, which was therefore satisfied by
         // the chain upstream of us. It cannot touch this copy.
         if acquired_at > ev.order_cycle {
-            if ev.supplier {
+            if supplier {
                 redirect_to_memory(ctx, req, ev.other_sharers);
             }
             return;
         }
-        if ev.supplier && state.supplies() {
+        if supplier && state.supplies() {
             if conflicts && state.retainable() {
                 owner_conflict(node, ctx, req);
             } else {
@@ -1277,14 +2082,14 @@ fn snoop_one(node: &mut Node, ctx: &mut Ctx, ev: SnoopEvent) {
         } else if let Some(l) = node.line_mut(line) {
             l.state = outcome.next;
         }
-        if ev.supplier {
+        if supplier {
             redirect_to_memory(ctx, req, ev.other_sharers);
         }
         return;
     }
     // 3. Parked in the writeback buffer?
     if node.pending_wb_mut(line).is_some() {
-        if ev.supplier {
+        if supplier {
             let p = node.pending_wb_mut(line).unwrap();
             let data = p.data;
             if exclusive {
@@ -1299,7 +2104,7 @@ fn snoop_one(node: &mut Node, ctx: &mut Ctx, ev: SnoopEvent) {
     }
     // 4. Nothing here; if the ledger pointed at us it is stale (a
     //    silently evicted clean line): memory supplies.
-    if ev.supplier {
+    if supplier {
         redirect_to_memory(ctx, req, ev.other_sharers);
     }
 }
@@ -1705,23 +2510,13 @@ fn handle_nack(node: &mut Node, ctx: &mut Ctx, line: LineAddr) {
     ctx.stats.node_mut(node.id).nacks_received += 1;
     if node.mshrs.get(line).is_some() {
         let backoff = ctx.cfg.latency.data_network + ctx.rng.below(32);
-        node.nack_retries.push((ctx.now + backoff, line));
+        node.nack_retries.schedule(ctx.now + backoff, line);
     }
 }
 
 /// Re-issues NACKed requests whose backoff has expired.
 fn retry_nacked(node: &mut Node, ctx: &mut Ctx) {
-    if node.nack_retries.is_empty() {
-        return;
-    }
-    let due: Vec<LineAddr> = {
-        let now = ctx.now;
-        let (ready, later): (Vec<_>, Vec<_>) =
-            node.nack_retries.drain(..).partition(|&(t, _)| t <= now);
-        node.nack_retries = later;
-        ready.into_iter().map(|(_, l)| l).collect()
-    };
-    for line in due {
+    for line in node.nack_retries.take_due(ctx.now) {
         if let Some(m) = node.mshrs.get(line) {
             ctx.bus.enqueue(
                 node.id,

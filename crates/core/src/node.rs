@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use tlr_cpu::{Core, MemAccess};
 use tlr_mem::addr::LineAddr;
 use tlr_mem::line::{CacheLine, LineData, Moesi};
-use tlr_mem::mshr::MshrFile;
+use tlr_mem::mshr::{MshrFile, RetryTimers};
 use tlr_mem::storebuf::StoreBuffer;
 use tlr_mem::timestamp::{LogicalClock, Timestamp};
 use tlr_mem::victim::VictimCache;
@@ -97,8 +97,8 @@ pub struct SnoopEvent {
     pub order_cycle: Cycle,
     /// The ordered request.
     pub req: BusRequest,
-    /// Whether the owner ledger designated this node the supplier.
-    pub supplier: bool,
+    /// The node the owner ledger designated as supplier, if any.
+    pub supplier: Option<NodeId>,
     /// Whether other caches held valid copies at order time (grant
     /// computation).
     pub other_sharers: bool,
@@ -147,14 +147,12 @@ pub struct Node {
     pub paused: bool,
     /// Dirty victim-cache evictions awaiting WriteBack order.
     pub pending_wb: Vec<PendingWriteback>,
-    /// Snooped transactions awaiting their due cycle.
-    pub snoops: VecDeque<SnoopEvent>,
     /// Transactional stores whose exclusive request could not be
     /// issued yet (MSHR pressure / pending shared fill); retried each
     /// cycle and required before commit.
     pub txn_pending_x: Vec<LineAddr>,
-    /// NACKed requests awaiting retry: (retry cycle, line).
-    pub nack_retries: Vec<(Cycle, LineAddr)>,
+    /// NACKed requests awaiting retry after a randomized backoff.
+    pub nack_retries: RetryTimers,
     /// Consecutive restarts caused by undeferrable invalidations of
     /// shared-state blocks. After repeated violations the node
     /// escalates: transactional reads fetch exclusive ownership so
@@ -199,9 +197,8 @@ impl Node {
             stall_until: 0,
             paused: false,
             pending_wb: Vec::new(),
-            snoops: VecDeque::new(),
             txn_pending_x: Vec::new(),
-            nack_retries: Vec::new(),
+            nack_retries: RetryTimers::new(),
             sharer_inval_streak: 0,
             restart_streak: 0,
             done_at: None,

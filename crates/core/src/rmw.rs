@@ -75,6 +75,17 @@ impl RmwPredictor {
         self.recent_loads.push((pc, line));
     }
 
+    /// Replays `count` identical spin-loop loads in one call — exactly
+    /// equivalent to `count` [`RmwPredictor::record_load`]`(pc, line)`
+    /// calls, because after [`HISTORY`] identical pushes the history
+    /// holds only `(pc, line)` and further pushes change nothing. The
+    /// event engine uses this to settle a fast-forwarded spin window.
+    pub fn replay_spin_loads(&mut self, pc: u32, line: LineAddr, count: u64) {
+        for _ in 0..count.min(HISTORY as u64) {
+            self.record_load(pc, line);
+        }
+    }
+
     /// Records a store-conditional target: the line is a lock word,
     /// excluded from training so spin loads never fetch exclusive.
     pub fn record_atomic(&mut self, line: LineAddr) {

@@ -153,6 +153,12 @@ impl Core {
         self.pc
     }
 
+    /// The program this core executes (the event engine inspects it
+    /// for fast-forwardable wait loops).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
     /// Whether the program has finished.
     pub fn is_done(&self) -> bool {
         self.state == State::Done
@@ -161,6 +167,29 @@ impl Core {
     /// Whether the core is blocked on an access.
     pub fn is_blocked(&self) -> bool {
         self.state == State::Blocked
+    }
+
+    /// Whether the core will fetch a new instruction next tick (not
+    /// blocked, delaying, or done).
+    pub fn is_ready(&self) -> bool {
+        self.state == State::Ready
+    }
+
+    /// Applies the net effect of `instructions` already-simulated
+    /// instructions ending at `pc`, without executing them. The
+    /// event engine's spin fast-forward uses this to replay a stable
+    /// `load; branch` wait loop arithmetically; the caller must have
+    /// proven the skipped instructions change no architectural state
+    /// other than the instruction count and the program counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is not ready (a blocked, delaying, or done
+    /// core cannot have been executing a loop).
+    pub fn fast_forward(&mut self, instructions: u64, pc: u32) {
+        assert!(self.is_ready(), "fast-forward on a non-ready core");
+        self.instructions += instructions;
+        self.pc = pc;
     }
 
     /// The line the link register currently monitors.

@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 
+use tlr_sim::events::Schedulable;
 use tlr_sim::fault::BusFault;
 use tlr_sim::{Cycle, NodeId};
 
@@ -26,6 +27,8 @@ pub struct Bus {
     occupancy: u64,
     busy_until: Cycle,
     next_rr: usize,
+    /// Running total of queued requests across all per-node queues.
+    queued: usize,
     fault: Option<BusFault>,
 }
 
@@ -38,6 +41,7 @@ impl Bus {
             occupancy,
             busy_until: 0,
             next_rr: 0,
+            queued: 0,
             fault: None,
         }
     }
@@ -77,6 +81,7 @@ impl Bus {
             if let Some(req) = self.queues[node].pop_front() {
                 self.next_rr = (node + 1) % n;
                 self.busy_until = now + self.occupancy;
+                self.queued -= 1;
                 return Some(req);
             }
         }
@@ -86,16 +91,32 @@ impl Bus {
     /// Enqueues a request from `node` for arbitration.
     pub fn enqueue(&mut self, node: NodeId, req: BusRequest) {
         self.queues[node].push_back(req);
+        self.queued += 1;
     }
 
-    /// Total queued requests (all nodes).
+    /// Total queued requests (all nodes). Kept as a running count —
+    /// the event engine polls this every cycle it advances.
     pub fn pending(&self) -> usize {
-        self.queues.iter().map(VecDeque::len).sum()
+        self.queued
     }
 
     /// Whether node `node` has queued requests.
     pub fn node_pending(&self, node: NodeId) -> bool {
         !self.queues[node].is_empty()
+    }
+
+    /// The next cycle at which [`Bus::tick`] can order a request:
+    /// the occupancy window's end, clamped to the future. `None` when
+    /// nothing is queued (then `tick` is a guaranteed no-op that draws
+    /// no fault randomness, so skipping it is safe).
+    pub fn next_order_cycle(&self, now: Cycle) -> Option<Cycle> {
+        (self.pending() > 0).then(|| self.busy_until.max(now + 1))
+    }
+}
+
+impl Schedulable for Bus {
+    fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        self.next_order_cycle(now)
     }
 }
 
@@ -170,6 +191,21 @@ mod tests {
         assert_ne!(fair_order, chaos_order, "grant order must actually change");
         assert!(chaos.fault_injections() > 0);
         assert_eq!(fair.fault_injections(), 0);
+    }
+
+    #[test]
+    fn next_order_cycle_tracks_occupancy() {
+        let mut bus = Bus::new(2, 4);
+        assert_eq!(bus.next_order_cycle(0), None, "empty bus never wakes");
+        bus.enqueue(0, req(0, 1));
+        bus.enqueue(0, req(0, 2));
+        assert_eq!(bus.next_order_cycle(0), Some(1), "free bus orders next cycle");
+        assert!(bus.tick(1).is_some());
+        // Busy until cycle 5; the queued second request waits it out.
+        assert_eq!(bus.next_order_cycle(1), Some(5));
+        assert_eq!(bus.next_wake(4), Some(5));
+        assert!(bus.tick(5).is_some());
+        assert_eq!(bus.next_order_cycle(5), None);
     }
 
     #[test]

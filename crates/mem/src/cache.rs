@@ -60,6 +60,14 @@ impl Cache {
         self.peek(line).is_some()
     }
 
+    /// Whether the line is the most recently used entry of its set —
+    /// then a repeated [`Cache::get_mut`] leaves the LRU order
+    /// unchanged (the event engine's spin fast-forward relies on
+    /// this to skip re-touching hits).
+    pub fn is_mru(&self, line: LineAddr) -> bool {
+        self.sets[self.set_index(line)].first().is_some_and(|l| l.line == line)
+    }
+
     /// Inserts a line, evicting the LRU entry if the set is full.
     /// Among eviction candidates, lines *without* transactional access
     /// bits are preferred; if every way is transactional the true LRU

@@ -45,7 +45,7 @@ pub use bus::Bus;
 pub use cache::Cache;
 pub use line::{CacheLine, LineData, Moesi};
 pub use memsys::MemorySystem;
-pub use mshr::{Intervention, MshrEntry, MshrFile};
+pub use mshr::{Intervention, MshrEntry, MshrFile, RetryTimers};
 pub use msg::{BusReqKind, BusRequest, DataGrant, NetMsg};
 pub use network::Network;
 pub use storebuf::StoreBuffer;

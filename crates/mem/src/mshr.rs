@@ -14,7 +14,8 @@
 
 use std::collections::VecDeque;
 
-use tlr_sim::NodeId;
+use tlr_sim::events::Schedulable;
+use tlr_sim::{Cycle, NodeId};
 
 use crate::addr::LineAddr;
 use crate::timestamp::Timestamp;
@@ -161,6 +162,73 @@ impl MshrFile {
     }
 }
 
+/// Per-node retry timers for NACKed outstanding misses (NACK
+/// retention, §3): each entry is a line whose bus request was annulled
+/// at the ordering point and must be re-issued once its randomized
+/// backoff expires.
+///
+/// Due entries are released in insertion order among themselves and
+/// the not-yet-due tail keeps its insertion order — the exact
+/// semantics of the `Vec` partition this replaces, so the engine swap
+/// moves the timer without reordering a single retry.
+#[derive(Debug, Clone, Default)]
+pub struct RetryTimers {
+    timers: Vec<(Cycle, LineAddr)>,
+}
+
+impl RetryTimers {
+    /// Creates an empty timer file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a retry of `line` at cycle `due`.
+    pub fn schedule(&mut self, due: Cycle, line: LineAddr) {
+        self.timers.push((due, line));
+    }
+
+    /// Releases every retry due at or before `now`, in insertion
+    /// order; later timers stay queued. Allocation-free unless
+    /// something is actually due (this runs on every node tick).
+    pub fn take_due(&mut self, now: Cycle) -> Vec<LineAddr> {
+        if !self.timers.iter().any(|&(t, _)| t <= now) {
+            return Vec::new();
+        }
+        let mut ready = Vec::new();
+        self.timers.retain(|&(t, l)| {
+            if t <= now {
+                ready.push(l);
+                false
+            } else {
+                true
+            }
+        });
+        ready
+    }
+
+    /// The earliest scheduled due cycle, unclamped (may be in the
+    /// past if a retry is overdue).
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.timers.iter().map(|&(t, _)| t).min()
+    }
+
+    /// Whether no retries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.timers.is_empty()
+    }
+
+    /// Number of pending retries.
+    pub fn len(&self) -> usize {
+        self.timers.len()
+    }
+}
+
+impl Schedulable for RetryTimers {
+    fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        self.next_due().map(|t| t.max(now + 1))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +260,26 @@ mod tests {
         let e = f.remove(LineAddr(1)).unwrap();
         let froms: Vec<_> = e.interventions.iter().map(|i| i.from).collect();
         assert_eq!(froms, vec![2, 3]);
+    }
+
+    #[test]
+    fn retry_timers_release_in_insertion_order_and_report_wakes() {
+        let mut t = RetryTimers::new();
+        assert!(t.is_empty());
+        assert_eq!(t.next_wake(0), None);
+        t.schedule(10, LineAddr(1));
+        t.schedule(5, LineAddr(2));
+        t.schedule(10, LineAddr(3));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.next_wake(0), Some(5));
+        assert_eq!(t.next_wake(7), Some(8), "past-due clamps to now + 1");
+        assert!(t.take_due(4).is_empty());
+        assert_eq!(t.take_due(10), vec![LineAddr(1), LineAddr(2), LineAddr(3)], "insertion order, not due order");
+        assert!(t.is_empty());
+        t.schedule(9, LineAddr(4));
+        t.schedule(3, LineAddr(5));
+        assert_eq!(t.take_due(3), vec![LineAddr(5)]);
+        assert_eq!(t.next_wake(3), Some(9), "tail keeps its timer");
     }
 
     #[test]

@@ -8,22 +8,22 @@
 //! within the jitter window — while the whole run stays a pure
 //! function of the configuration.
 
-use std::collections::BTreeMap;
-
+use tlr_sim::events::{EventQueue, Schedulable};
 use tlr_sim::fault::NetFault;
 use tlr_sim::Cycle;
 
-/// A delayed delivery queue.
+/// A delayed delivery queue over the [`EventQueue`] calendar: the
+/// queue's monotone tie-break id *is* the send order, so same-cycle
+/// deliveries drain in sending order by construction.
 #[derive(Debug, Clone)]
 pub struct Network<T> {
-    inflight: BTreeMap<(Cycle, u64), T>,
-    seq: u64,
+    inflight: EventQueue<T>,
     fault: Option<NetFault>,
 }
 
 impl<T> Default for Network<T> {
     fn default() -> Self {
-        Network { inflight: BTreeMap::new(), seq: 0, fault: None }
+        Network { inflight: EventQueue::new(), fault: None }
     }
 }
 
@@ -50,21 +50,30 @@ impl<T> Network<T> {
             Some(f) => f.perturb(deliver_at),
             None => deliver_at,
         };
-        self.inflight.insert((deliver_at, self.seq), msg);
-        self.seq += 1;
+        self.inflight.push(deliver_at, msg);
     }
 
     /// Removes and returns every message due at or before `now`,
     /// ordered by (delivery cycle, send order).
     pub fn drain_ready(&mut self, now: Cycle) -> Vec<T> {
         let mut ready = Vec::new();
-        while let Some((&key, _)) = self.inflight.iter().next() {
-            if key.0 > now {
-                break;
-            }
-            ready.push(self.inflight.remove(&key).unwrap());
+        while let Some(msg) = self.inflight.pop_due(now) {
+            ready.push(msg);
         }
         ready
+    }
+
+    /// Removes and returns the earliest message due at or before
+    /// `now`, if any — the allocation-free form of
+    /// [`Network::drain_ready`] for per-cycle delivery loops.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        self.inflight.pop_due(now)
+    }
+
+    /// The delivery cycle of the earliest in-flight message, if any
+    /// (the event engine's wake source for the data network).
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.inflight.next_cycle()
     }
 
     /// Number of undelivered messages.
@@ -75,6 +84,15 @@ impl<T> Network<T> {
     /// Whether no messages are in flight.
     pub fn is_empty(&self) -> bool {
         self.inflight.is_empty()
+    }
+}
+
+impl<T> Schedulable for Network<T> {
+    fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        // A message sent with zero latency during cycle `now` is
+        // delivered on the next cycle's drain phase, exactly as the
+        // cycle-stepped loop would deliver it: clamp to now + 1.
+        self.next_ready().map(|c| c.max(now + 1))
     }
 }
 
@@ -100,6 +118,20 @@ mod tests {
         n.send(3, 2);
         n.send(3, 3);
         assert_eq!(n.drain_ready(3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn next_ready_reports_the_earliest_delivery() {
+        let mut n = Network::new();
+        assert_eq!(n.next_ready(), None);
+        assert_eq!(n.next_wake(0), None);
+        n.send(10, "a");
+        n.send(5, "b");
+        assert_eq!(n.next_ready(), Some(5));
+        assert_eq!(n.next_wake(0), Some(5));
+        assert_eq!(n.next_wake(7), Some(8), "past-due clamps to now + 1");
+        n.drain_ready(5);
+        assert_eq!(n.next_ready(), Some(10));
     }
 
     #[test]

@@ -7,7 +7,76 @@
 //! [`MachineConfig::builder`] offers a fluent surface for everything
 //! else, including the [`crate::fault`] chaos knobs.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
 use crate::fault::FaultConfig;
+
+/// Which main-loop implementation drives the machine.
+///
+/// Both engines are bit-for-bit equivalent — same statistics, same
+/// trace, same serialized output — for every configuration; the
+/// differential harness in `crates/check` enforces this. The
+/// cycle-stepped loop is kept as the in-repo oracle and for
+/// micro-debugging (one call per cycle is easier to breakpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Jump the clock straight to the next scheduled event (data
+    /// delivery, bus grant, per-node timer); idle stretches are
+    /// charged to the stall counters in bulk. The default.
+    #[default]
+    EventDriven,
+    /// Advance every node, bus, and network queue one cycle at a time
+    /// (the original loop; `--engine cycle` from the binaries).
+    CycleStepped,
+}
+
+impl Engine {
+    /// Parses a `--engine` flag value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized token.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "event" | "event-driven" => Ok(Engine::EventDriven),
+            "cycle" | "cycle-stepped" => Ok(Engine::CycleStepped),
+            other => Err(format!("unknown engine {other:?} (expected \"event\" or \"cycle\")")),
+        }
+    }
+
+    /// Short label for logs and benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::EventDriven => "event",
+            Engine::CycleStepped => "cycle",
+        }
+    }
+}
+
+/// Process-wide default engine, consulted when a configuration is
+/// built. `0` = event-driven, `1` = cycle-stepped.
+///
+/// This exists so the shared `--engine` flag (tlr-bench's CLI) can
+/// switch every configuration a binary constructs without threading a
+/// parameter through all nine sweep entry points. Binaries set it once
+/// in `main`, before any sweep runs; library code and tests must never
+/// write it (tests run concurrently in one process) and instead use
+/// [`MachineConfigBuilder::engine`].
+static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default engine. Call once, from a binary's
+/// `main`, before building any configuration.
+pub fn set_default_engine(engine: Engine) {
+    DEFAULT_ENGINE.store(engine as u8, Ordering::Relaxed);
+}
+
+/// The process-wide default engine new configurations start from.
+pub fn default_engine() -> Engine {
+    match DEFAULT_ENGINE.load(Ordering::Relaxed) {
+        0 => Engine::EventDriven,
+        _ => Engine::CycleStepped,
+    }
+}
 
 /// Which of the paper's four evaluated hardware/software configurations
 /// a run uses (§5: BASE, BASE+SLE, BASE+SLE+TLR, MCS), plus the
@@ -209,6 +278,9 @@ pub struct MachineConfig {
     /// [`FaultConfig::off`], which is bit-identical to a build without
     /// the chaos layer.
     pub faults: FaultConfig,
+    /// Which main loop drives the run. Both produce byte-identical
+    /// results; see [`Engine`].
+    pub engine: Engine,
 }
 
 impl MachineConfig {
@@ -240,6 +312,7 @@ impl MachineConfig {
             seed: 0x7a3d_5eed,
             max_cycles: 2_000_000_000,
             faults: FaultConfig::off(),
+            engine: default_engine(),
         }
     }
 
@@ -381,6 +454,14 @@ impl MachineConfigBuilder {
         self
     }
 
+    /// Selects the main-loop engine (the event-driven default or the
+    /// cycle-stepped oracle).
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.cfg.engine = engine;
+        self
+    }
+
     /// Shrinks caches and buffers to the unit-test geometry of
     /// [`MachineConfig::small`] and disables latency jitter.
     #[must_use]
@@ -494,6 +575,17 @@ mod tests {
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.max_cycles, 1_000);
         assert_eq!(cfg.faults, faults);
+    }
+
+    #[test]
+    fn engine_defaults_to_event_driven_and_builder_overrides() {
+        assert_eq!(MachineConfig::paper_default(Scheme::Tlr, 4).engine, Engine::EventDriven);
+        let cfg = MachineConfig::builder().engine(Engine::CycleStepped).build();
+        assert_eq!(cfg.engine, Engine::CycleStepped);
+        assert_eq!(Engine::parse("event"), Ok(Engine::EventDriven));
+        assert_eq!(Engine::parse("cycle-stepped"), Ok(Engine::CycleStepped));
+        assert!(Engine::parse("warp").is_err());
+        assert_eq!(Engine::EventDriven.label(), "event");
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! ```
 
 pub mod config;
+pub mod events;
 pub mod export;
 pub mod fault;
 pub mod json;
@@ -38,7 +39,10 @@ pub mod span;
 pub mod stats;
 pub mod trace;
 
-pub use config::{LatencyConfig, MachineConfig, MachineConfigBuilder, Scheme, UntimestampedPolicy};
+pub use config::{
+    Engine, LatencyConfig, MachineConfig, MachineConfigBuilder, Scheme, UntimestampedPolicy,
+};
+pub use events::{EventQueue, Schedulable};
 pub use fault::{BusFault, FaultConfig, FaultPlan, NetFault};
 pub use pool::{CancelToken, CellCoords, CellError, CellResult, Job, Pool};
 pub use rng::SimRng;
