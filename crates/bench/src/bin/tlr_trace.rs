@@ -22,7 +22,8 @@
 //! `--expect-defer` (exit non-zero unless the trace holds at least
 //! one deferral — CI uses this to pin the protocol path down), and
 //! `--jobs N` (accepted for sweep-script uniformity; a trace runs one
-//! machine, so anything above 1 is noted and runs serially anyway).
+//! machine, so anything above 1 warns on stderr and runs serially
+//! anyway — `--help` documents the restriction).
 
 use tlr_bench::cli::Args;
 use tlr_core::run::{build_machine, WorkloadSpec};
@@ -62,9 +63,34 @@ fn parse_args() -> TraceOpts {
     };
     // Trace-specific flags layer on the shared core surface; the hook
     // claims `--procs` too, because a trace follows ONE machine (a
-    // single count, not the sweep's comma list).
+    // single count, not the sweep's comma list), and `--help` so the
+    // trace-specific surface (and the --jobs restriction) is shown
+    // ahead of the shared flags.
     let shared = Args::parse_with(|_, mut flag| {
         match flag.name {
+            "--help" | "-h" => {
+                println!(
+                    "tlr-trace: run one workload with transaction tracing and export\n\
+                     a Chrome/Perfetto trace.json plus aggregate metrics\n\
+                     \n\
+                     trace flags:\n\
+                     \x20 --workload W    single_counter|multiple_counter|linked_list|mp3d|mp3d_coarse\n\
+                     \x20 --scheme S      base|mcs|sle|tlr|tlr_strict_ts\n\
+                     \x20 --procs N       processor count (single value: a trace follows ONE machine)\n\
+                     \x20 --total N       total work items\n\
+                     \x20 --capacity N    trace ring-buffer capacity\n\
+                     \x20 --top-n N       contended-line table size\n\
+                     \x20 --metrics PATH  write aggregate metrics JSON\n\
+                     \x20 --dump-spans    print the span log\n\
+                     \x20 --expect-defer  exit non-zero unless the trace holds a deferral\n\
+                     \n\
+                     note: --jobs is accepted for sweep-script uniformity only; a trace\n\
+                     runs one machine, so --jobs above 1 warns on stderr and runs serially.\n\
+                     \n{}",
+                    tlr_bench::cli::CORE_USAGE
+                );
+                std::process::exit(0);
+            }
             "--workload" => o.workload = flag.value(),
             "--scheme" => {
                 o.scheme = match flag.value().as_str() {
@@ -117,7 +143,7 @@ fn write_validated(path: &std::path::Path, contents: &str, what: &str) {
 fn main() {
     let o = parse_args();
     if o.jobs > 1 {
-        println!("(note: a trace follows one machine; --jobs {} runs it serially)", o.jobs);
+        eprintln!("warning: a trace follows one machine; --jobs {} runs it serially", o.jobs);
     }
     let w = workload(&o.workload, o.procs, o.total);
     let mut cfg = MachineConfig::paper_default(o.scheme, o.procs);

@@ -283,6 +283,74 @@ pub fn exp_robustness(pool: &Pool) -> Result<(), String> {
     )
 }
 
+/// Profiling smoke (`tlr-profile --check`): a profiled cell must
+/// carry a timeline that tiles the run exactly, satisfy the
+/// cycle-accounting identity, and leave the simulated run itself
+/// untouched — its statistics equal the unprofiled cell's bit for
+/// bit. Runs on whichever engine the process selected (`--engine`),
+/// so CI exercises both.
+pub fn profile(pool: &Pool) -> Result<(), String> {
+    use tlr_sim::prof::ProfConfig;
+    let procs = 4;
+    let w = single_counter(procs, 256);
+    let jobs = [true, false]
+        .iter()
+        .map(|&on| {
+            let w = &w;
+            Job::new(cell_coords(w.name(), Scheme::Tlr, procs), move |_| {
+                let mut cfg = MachineConfig::paper_default(Scheme::Tlr, procs);
+                cfg.max_cycles = 60_000_000_000;
+                cfg.profile = if on { ProfConfig::on() } else { ProfConfig::off() };
+                let r = run_workload(&cfg, w);
+                r.assert_valid();
+                r
+            })
+        })
+        .collect();
+    let reports = pooled(pool, jobs)?;
+    let (on, off) = (&reports[0], &reports[1]);
+    ensure(off.profile.is_none(), "unprofiled cell must carry no profile".into())?;
+    let p = on.profile.as_deref().ok_or("profiled cell must carry a profile")?;
+    ensure(
+        on.stats == off.stats,
+        format!(
+            "profiling must not change the run: {} vs {} cycles",
+            on.stats.parallel_cycles, off.stats.parallel_cycles
+        ),
+    )?;
+    on.stats.check_cycle_accounting()?;
+    let covered: u64 = p.samples().iter().map(|s| s.cycles).sum();
+    ensure(
+        covered == on.stats.elapsed_cycles,
+        format!("timeline must tile the run: {covered} vs {} cycles", on.stats.elapsed_cycles),
+    )?;
+    let util = p.utilization();
+    ensure((0.0..=1.0).contains(&util), format!("bus utilization out of range: {util}"))?;
+    let e = &p.engine;
+    ensure(
+        e.steps + e.skipped_cycles == on.stats.elapsed_cycles,
+        format!(
+            "steps ({}) + skipped ({}) must tile the {} elapsed cycles",
+            e.steps,
+            e.skipped_cycles,
+            on.stats.elapsed_cycles
+        ),
+    )?;
+    // The wake histogram counts event-engine scheduling decisions
+    // (one per outer advance; burst-mode continuations are accounted
+    // separately), so it is bounded by the step count and must be
+    // populated whenever the engine actually skipped cycles. The
+    // cycle engine records no wakes.
+    ensure(
+        e.total_wakes() <= e.steps,
+        format!("wake decisions ({}) cannot exceed steps ({})", e.total_wakes(), e.steps),
+    )?;
+    ensure(
+        e.skipped_cycles == 0 || e.total_wakes() > 0,
+        format!("an engine that skipped {} cycles must record wake sources", e.skipped_cycles),
+    )
+}
+
 /// §6.3 granularity experiment: the coarse lock cripples BASE but TLR
 /// still extracts the cell-level parallelism it hides.
 pub fn exp_coarse_fine(pool: &Pool) -> Result<(), String> {

@@ -17,6 +17,22 @@ use tlr_sim::pool::Pool;
 /// fixed so `exp_robustness` output is reproducible out of the box).
 pub const DEFAULT_FAULT_SEED: u64 = 0xc4a0_5eed;
 
+/// The shared flag surface, printed by `--help`. Binaries with extra
+/// flags print their own section first and append this one.
+pub const CORE_USAGE: &str = "\
+shared flags:
+  --quick         smaller work totals (CI-sized, ~seconds per series)
+  --check         run the golden-shape check instead of the sweep
+  --procs A,B,..  processor counts to sweep
+  --seeds N       seeds to average over
+  --csv PATH      also write the results as CSV
+  --json PATH     also write the results as JSON
+  --out PATH      generic output path
+  --jobs N        worker threads (default: TLR_JOBS or host parallelism)
+  --engine E      simulation engine: event (default) | cycle
+  --profile       collect utilization timelines, engine self-profiling,
+                  and saturation columns (off: byte-identical output)";
+
 /// Command-line options shared by the figure binaries.
 #[derive(Debug, Clone)]
 pub struct Args {
@@ -51,6 +67,12 @@ pub struct Args {
     /// engine is the default, the cycle-stepped oracle is kept for
     /// differential checks and benchmarking.
     pub engine: Engine,
+    /// Enable the profiling layer (`--profile`): every machine the
+    /// binary builds collects the utilization timeline and engine
+    /// self-profile, and sweep outputs grow saturation columns.
+    /// Off by default — unprofiled output is byte-identical to a
+    /// build without the profiler.
+    pub profile: bool,
 }
 
 impl Default for Args {
@@ -67,6 +89,7 @@ impl Default for Args {
             faults: FaultConfig::MAX_INTENSITY,
             fault_seed: DEFAULT_FAULT_SEED,
             engine: Engine::default(),
+            profile: false,
         }
     }
 }
@@ -128,6 +151,7 @@ impl Args {
         // (which share one process) pick engines via the config
         // builder instead.
         tlr_sim::config::set_default_engine(opts.engine);
+        tlr_sim::config::set_default_profile(opts.profile);
         opts
     }
 
@@ -173,10 +197,15 @@ impl Args {
                 "--engine" => {
                     opts.engine = Engine::parse(&s.value("--engine")).unwrap_or_else(|e| panic!("{e}"));
                 }
+                "--profile" => opts.profile = true,
+                "--help" | "-h" => {
+                    println!("{CORE_USAGE}");
+                    std::process::exit(0);
+                }
                 other => {
                     panic!(
                         "unknown argument {other:?} (supported: --quick, --check, --procs, \
-                         --seeds, --csv, --json, --out, --jobs, --engine, plus any \
+                         --seeds, --csv, --json, --out, --jobs, --engine, --profile, plus any \
                          binary-specific flags)"
                     )
                 }
@@ -290,6 +319,13 @@ mod tests {
     #[should_panic(expected = "unknown engine")]
     fn bad_engine_value_is_rejected() {
         Args::parse_tokens(toks("--engine warp"), |_, _| false);
+    }
+
+    #[test]
+    fn profile_flag_parses_and_defaults_off() {
+        assert!(!Args::parse_tokens(vec![], |_, _| false).profile);
+        let a = Args::parse_tokens(toks("--profile --quick"), |_, _| false);
+        assert!(a.profile && a.quick);
     }
 
     #[test]

@@ -196,6 +196,8 @@ pub fn write_series_csv(
 
 /// Writes the per-scheme fields of one report cell into an open JSON
 /// object (shared by the series/app writers and the exp binaries).
+/// Profiled cells (`--profile`) grow saturation columns; unprofiled
+/// documents are byte-identical to pre-profiler output.
 pub fn report_fields(j: &mut tlr_sim::json::JsonBuf, r: &RunReport) {
     j.str_field("scheme", r.scheme.label());
     j.u64_field("parallel_cycles", r.stats.parallel_cycles);
@@ -205,6 +207,28 @@ pub fn report_fields(j: &mut tlr_sim::json::JsonBuf, r: &RunReport) {
     j.u64_field("deferrals", r.stats.sum(|n| n.requests_deferred));
     j.u64_field("lock_cycles", r.stats.total_lock_cycles());
     j.u64_field("wasted_cycles", r.stats.total_wasted_cycles());
+    if let Some(p) = &r.profile {
+        j.f64_field("bus_utilization", p.utilization());
+        j.u64_field("peak_spin_nodes", p.peak(|s| s.spin_nodes) as u64);
+        j.str_field("saturation", &p.verdict(r.procs));
+    }
+}
+
+/// Prints per-cell saturation verdicts for profiled sweep rows (one
+/// line per processor count). Callers gate on profile presence, so
+/// unprofiled runs print exactly what they always did.
+pub fn print_saturation(rows: &[(usize, Vec<RunReport>)]) {
+    println!("   saturation (--profile):");
+    for (procs, reports) in rows {
+        let cells: Vec<String> = reports
+            .iter()
+            .map(|r| match &r.profile {
+                Some(p) => format!("{} {}", r.scheme.label(), p.verdict(r.procs)),
+                None => format!("{} (unprofiled)", r.scheme.label()),
+            })
+            .collect();
+        println!("{procs:>6}  {}", cells.join(" | "));
+    }
 }
 
 /// Serializes a sweep (the same rows [`print_series`] prints) as a

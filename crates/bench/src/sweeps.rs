@@ -46,11 +46,15 @@ impl SeriesSweep {
     }
 
     /// Prints the figure-style table plus the last row's event
-    /// diagnostics.
+    /// diagnostics, and — on profiled sweeps — per-cell saturation
+    /// verdicts.
     pub fn print(&self) {
         print_series(&self.display_title, &self.schemes, &self.rows);
         if let Some((_, last)) = self.rows.last() {
             print_events(&self.schemes, last);
+        }
+        if self.rows.iter().any(|(_, rs)| rs.iter().any(|r| r.profile.is_some())) {
+            crate::print_saturation(&self.rows);
         }
     }
 }
@@ -660,6 +664,19 @@ impl Robustness {
                 j.u64_field("spurious_aborts", r.stats.faults.spurious_aborts);
                 j.u64_field("injected_aborts", r.stats.sum(|n| n.aborts_injected));
                 j.u64_field("faults_injected", r.stats.faults.total_injected());
+                // Profiled runs also report the shape of the
+                // critical-section-length distribution, not just its
+                // mean — fault injection moves the tail first.
+                if r.profile.is_some() {
+                    let h = &r.stats.obs.cs_length;
+                    for (key, p) in
+                        [("cs_length_p50", 50.0), ("cs_length_p95", 95.0), ("cs_length_p99", 99.0)]
+                    {
+                        if let Some(v) = h.percentile(p) {
+                            j.u64_field(key, v);
+                        }
+                    }
+                }
                 j.end_obj();
             }
             j.end_arr();
@@ -691,6 +708,22 @@ impl Robustness {
         print!("{:>9}", "");
         if let Some((_, last)) = self.rows.last() {
             print_events(&ROBUSTNESS_SCHEMES, last);
+            if last.iter().any(|r| r.profile.is_some()) {
+                println!("   critical-section length percentiles (--profile, cycles, last row):");
+                for (s, r) in ROBUSTNESS_SCHEMES.iter().zip(last) {
+                    let h = &r.stats.obs.cs_length;
+                    let fmt = |p: f64| {
+                        h.percentile(p).map_or_else(|| "-".to_string(), |v| v.to_string())
+                    };
+                    println!(
+                        "{:>9}  p50 {} / p95 {} / p99 {}",
+                        s.label(),
+                        fmt(50.0),
+                        fmt(95.0),
+                        fmt(99.0)
+                    );
+                }
+            }
         }
     }
 }

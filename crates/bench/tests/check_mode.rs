@@ -67,3 +67,8 @@ fn exp_ablations_never_break_correctness() {
 fn exp_robustness_chaos_never_breaks_correctness() {
     checks::exp_robustness(&pool()).unwrap();
 }
+
+#[test]
+fn profile_smoke_holds() {
+    checks::profile(&pool()).unwrap();
+}

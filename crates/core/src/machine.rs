@@ -35,6 +35,7 @@ use tlr_mem::timestamp::Timestamp;
 use tlr_mem::{Bus, MemorySystem, Network};
 use tlr_sim::config::{Engine, MachineConfig, UntimestampedPolicy};
 use tlr_sim::fault::FaultPlan;
+use tlr_sim::prof::{Gauges, Profiler, WakeSource};
 use tlr_sim::trace::{Trace, TraceKind};
 use tlr_sim::{Cycle, MachineStats, NodeId, SimRng};
 
@@ -253,6 +254,19 @@ pub struct Machine {
     /// performance diagnostics. Not part of [`MachineStats`].
     engine_steps: u64,
     engine_live_ticks: u64,
+    /// Engine self-profiling counters (closed-form settle and burst
+    /// usage), copied into the profiler at finalize. Plain u64 adds on
+    /// paths that already do bookkeeping, so they stay unconditional.
+    idle_settles: u64,
+    idle_settle_cycles: u64,
+    spin_settles: u64,
+    spin_settle_cycles: u64,
+    burst_entries: u64,
+    burst_cycles: u64,
+    burst_ticks: u64,
+    /// The profiler, present only when [`tlr_sim::prof::ProfConfig`]
+    /// enables it; `None` costs one pointer test per step.
+    prof: Option<Box<Profiler>>,
 }
 
 impl Machine {
@@ -315,6 +329,17 @@ impl Machine {
             snoop_touch: Vec::new(),
             engine_steps: 0,
             engine_live_ticks: 0,
+            idle_settles: 0,
+            idle_settle_cycles: 0,
+            spin_settles: 0,
+            spin_settle_cycles: 0,
+            burst_entries: 0,
+            burst_cycles: 0,
+            burst_ticks: 0,
+            prof: cfg.profile.profiler().map(|mut p| {
+                p.bus_occupancy = cfg.latency.bus_occupancy;
+                p
+            }),
             cfg,
         }
     }
@@ -465,9 +490,17 @@ impl Machine {
     /// Panics (debug) if `bound` is not in the future.
     pub fn advance_within(&mut self, bound: Cycle) {
         debug_assert!(bound > self.cycle, "advance bound must be in the future");
-        let target = self.next_event_cycle().map_or(bound, |t| t.min(bound)).max(self.cycle + 1);
+        let next = self.next_event_cycle();
+        let target = next.map_or(bound, |(t, _)| t.min(bound)).max(self.cycle + 1);
+        if let Some(p) = self.prof.as_deref_mut() {
+            p.engine.record_wake(match next {
+                Some((t, src)) if t <= bound => src,
+                _ => WakeSource::Bound,
+            });
+        }
         self.step_event(target);
         self.burst_within(bound);
+        self.maybe_sample();
     }
 
     /// Burst mode: after a full step, as long as the only runnable
@@ -512,6 +545,7 @@ impl Machine {
             self.burst_scratch = active;
             return;
         }
+        let (burst_from, ticks_before) = (self.cycle, self.engine_live_ticks);
         // The passive horizon: the snoop queue is FIFO in due cycle
         // and cannot grow during the burst, and sleeping nodes' timers
         // cannot move, so this part is computed once.
@@ -585,6 +619,11 @@ impl Machine {
                 break;
             }
         }
+        if self.cycle > burst_from {
+            self.burst_entries += 1;
+            self.burst_cycles += self.cycle - burst_from;
+            self.burst_ticks += self.engine_live_ticks - ticks_before;
+        }
         self.burst_scratch = active;
     }
 
@@ -600,44 +639,48 @@ impl Machine {
     }
 
     /// The earliest cycle at which anything in the machine can make
-    /// progress, or `None` when no wake is scheduled (then the run is
-    /// either quiesced or timed out).
-    fn next_event_cycle(&self) -> Option<Cycle> {
+    /// progress — tagged with the wake source that pins it, for the
+    /// profiler's wake histogram — or `None` when no wake is scheduled
+    /// (then the run is either quiesced or timed out). Ties keep the
+    /// first source considered, so the attribution is deterministic.
+    fn next_event_cycle(&self) -> Option<(Cycle, WakeSource)> {
         let floor = self.cycle + 1;
         // Any active node forces a step at the very next cycle; no
         // other source can schedule anything earlier.
         if self.sched.iter().any(|s| matches!(s, NodeSched::Active)) {
-            return Some(floor);
+            return Some((floor, WakeSource::ActiveFloor));
         }
-        let mut next: Option<Cycle> = None;
-        let mut consider = |c: Cycle| {
+        let mut next: Option<(Cycle, WakeSource)> = None;
+        let mut consider = |c: Cycle, src: WakeSource| {
             let c = c.max(floor);
-            next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+            if next.map_or(true, |(n, _)| c < n) {
+                next = Some((c, src));
+            }
         };
         if let Some(c) = self.bus.next_order_cycle(self.cycle) {
-            consider(c);
+            consider(c, WakeSource::Bus);
         }
         if let Some(c) = self.net.next_ready() {
-            consider(c);
+            consider(c, WakeSource::Network);
         }
         // Snoops process unconditionally (phase 3 runs even for done
         // and paused nodes), and wake a spinner's only exit path.
         if let Some(ev) = self.snoops.front() {
-            consider(ev.due);
+            consider(ev.due, WakeSource::SnoopFront);
         }
         for (i, n) in self.nodes.iter().enumerate() {
             match self.sched[i] {
-                NodeSched::Active => consider(floor),
+                NodeSched::Active => consider(floor, WakeSource::ActiveFloor),
                 NodeSched::Idle { timer, .. } => {
                     if let Some(t) = timer {
-                        consider(t);
+                        consider(t, WakeSource::IdleTimer);
                     }
                     // NACK retries only fire inside a live node tick,
                     // which done and paused nodes never reach — waking
                     // them for a retry would spin to no effect.
                     if !n.core.is_done() && !n.paused {
                         if let Some(t) = n.nack_retries.next_due() {
-                            consider(t);
+                            consider(t, WakeSource::RetryTimer);
                         }
                     }
                 }
@@ -681,9 +724,14 @@ impl Machine {
                     return;
                 }
                 let dt = through - since;
+                self.idle_settles += 1;
+                self.idle_settle_cycles += dt;
                 let ns = self.stats.node_mut(i);
                 match charge {
-                    IdleCharge::Nothing => {}
+                    // A paused node's tick is a pure return; the
+                    // skipped window is still elapsed time and the
+                    // cycle-accounting identity needs it charged.
+                    IdleCharge::Nothing => ns.paused_cycles += dt,
                     IdleCharge::Done => ns.done_cycles += dt,
                     IdleCharge::DataStall => ns.data_stall_cycles += dt,
                     IdleCharge::LockStall => ns.lock_stall_cycles += dt,
@@ -699,6 +747,8 @@ impl Machine {
                     return;
                 }
                 let w = through - since;
+                self.spin_settles += 1;
+                self.spin_settle_cycles += w;
                 // Ticks alternate load/branch starting with
                 // `info.next_is_load` at `since + 1`.
                 let first = u64::from(info.next_is_load);
@@ -1065,12 +1115,80 @@ impl Machine {
         }
     }
 
+    /// Takes one instantaneous reading of the shared structures for
+    /// the profiler. The scheduling mix comes from [`Machine::classify`]
+    /// (pure), so both engines report the same mix at the same cycle
+    /// regardless of the cached `sched` state.
+    fn prof_gauges(&self) -> Gauges {
+        let (mut active, mut idle, mut spin) = (0usize, 0usize, 0usize);
+        for i in 0..self.nodes.len() {
+            match self.classify(i, self.cycle) {
+                NodeSched::Active => active += 1,
+                NodeSched::Idle { .. } => idle += 1,
+                NodeSched::Spin { .. } => spin += 1,
+            }
+        }
+        Gauges {
+            bus_ordered: self.bus.ordered_count(),
+            net_sent: self.net.sent_count(),
+            net_depth: self.net.len(),
+            snoop_depth: self.snoops.len(),
+            mshrs: self.nodes.iter().map(|n| n.mshrs.len()).sum(),
+            deferred: self.nodes.iter().map(|n| n.deferred.len()).sum(),
+            active_nodes: active,
+            idle_nodes: idle,
+            spin_nodes: spin,
+        }
+    }
+
+    /// Closes a timeline epoch if the clock has crossed the next
+    /// boundary. One pointer test when profiling is off.
+    fn maybe_sample(&mut self) {
+        if self.prof.as_deref().is_some_and(|p| self.cycle >= p.next_boundary()) {
+            let g = self.prof_gauges();
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.sample(self.cycle, g);
+            }
+        }
+    }
+
+    /// Detaches the profiler (with its engine counters filled in) for
+    /// reporting. `None` unless the configuration enabled profiling.
+    /// Call after the run; the remaining machine keeps no profile.
+    pub fn take_profile(&mut self) -> Option<Box<Profiler>> {
+        if self.prof.is_some() {
+            let g = self.prof_gauges();
+            let elapsed = self.cycle;
+            let (steps, live) = match self.cfg.engine {
+                Engine::EventDriven => (self.engine_steps, self.engine_live_ticks),
+                // The stepped loop has no steps to skip: every cycle is
+                // a step and every node ticks.
+                Engine::CycleStepped => (self.cycle, self.cycle * self.nodes.len() as u64),
+            };
+            if let Some(p) = self.prof.as_deref_mut() {
+                p.finish(elapsed, g);
+                p.engine.steps = steps;
+                p.engine.live_ticks = live;
+                p.engine.skipped_cycles = elapsed.saturating_sub(steps);
+                p.engine.burst_entries = self.burst_entries;
+                p.engine.burst_cycles = self.burst_cycles;
+                p.engine.burst_ticks = self.burst_ticks;
+                p.engine.spin_settles = self.spin_settles;
+                p.engine.spin_settle_cycles = self.spin_settle_cycles;
+                p.engine.idle_settles = self.idle_settles;
+                p.engine.idle_settle_cycles = self.idle_settle_cycles;
+            }
+        }
+        self.prof.take()
+    }
+
     /// Fills in end-of-run aggregates (the parallel cycle count).
     /// Called automatically by [`Machine::run`]; external driver loops
     /// (e.g. [`crate::os::run_preemptive`]) call it after quiescence.
     pub fn finalize_stats(&mut self) {
         self.stats.parallel_cycles =
             self.nodes.iter().filter_map(|n| n.done_at).max().unwrap_or(self.cycle);
+        self.stats.elapsed_cycles = self.cycle;
         self.stats.faults.net_delays = self.net.fault_injections();
         self.stats.faults.bus_reorders = self.bus.fault_injections();
         // Every started elision must have ended exactly one way; drift
@@ -1078,6 +1196,15 @@ impl Machine {
         #[cfg(debug_assertions)]
         if self.nodes.iter().all(|n| n.txn.is_none()) {
             if let Err(e) = self.stats.check_txn_accounting() {
+                panic!("{e}");
+            }
+        }
+        // Every elapsed node-cycle must be charged to exactly one
+        // category. Only checkable once all idle charges are settled,
+        // which quiescence-path callers guarantee.
+        #[cfg(debug_assertions)]
+        if self.is_quiesced() {
+            if let Err(e) = self.stats.check_cycle_accounting() {
                 panic!("{e}");
             }
         }
@@ -1217,6 +1344,7 @@ impl Machine {
                 );
             }
         }
+        self.maybe_sample();
     }
 
     /// Handles an address-bus transaction at its ordering point.
@@ -1462,8 +1590,31 @@ fn node_involved(node: &Node, ev: &SnoopEvent) -> bool {
 }
 
 /// One cycle of a node: buffer drains, commit progress, core
-/// execution.
+/// execution, with the cycle-accounting backstop. The dispatch below
+/// charges at most one stall/busy category per tick; the transition
+/// ticks it leaves uncharged (recording `done_at`, completing a
+/// commit, an injected abort, issuing a miss, dispatching I/O) are
+/// one-offs that belong to no ongoing activity, so they are swept
+/// into `other_cycles` — and a paused node's skipped tick into
+/// `paused_cycles` — keeping every category's historical value intact
+/// while the per-node sum lands exactly on the run's elapsed cycles
+/// ([`tlr_sim::stats::NodeStats::check_cycle_accounting`]).
 fn tick_node(node: &mut Node, ctx: &mut Ctx) {
+    let before = ctx.stats.node_mut(node.id).attributed_cycles();
+    tick_node_inner(node, ctx);
+    let ns = ctx.stats.node_mut(node.id);
+    let delta = ns.attributed_cycles() - before;
+    debug_assert!(delta <= 1, "node {} tick charged {delta} cycle categories", node.id);
+    if delta == 0 {
+        if node.paused && !node.core.is_done() {
+            ns.paused_cycles += 1;
+        } else {
+            ns.other_cycles += 1;
+        }
+    }
+}
+
+fn tick_node_inner(node: &mut Node, ctx: &mut Ctx) {
     if node.core.is_done() {
         if node.done_at.is_none() {
             node.done_at = Some(ctx.now);

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use tlr_cpu::Program;
 use tlr_mem::addr::Addr;
 use tlr_sim::config::{MachineConfig, Scheme};
+use tlr_sim::prof::Profiler;
 use tlr_sim::MachineStats;
 
 use crate::machine::Machine;
@@ -65,6 +66,10 @@ pub struct RunReport {
     pub stats: MachineStats,
     /// Outcome of the workload's serializability validation.
     pub validation: Result<(), String>,
+    /// The run profile, when [`MachineConfig::profile`] enabled one
+    /// (utilization timeline, wake-source histogram, engine
+    /// self-profiling counters). `None` on unprofiled runs.
+    pub profile: Option<Box<Profiler>>,
 }
 
 impl RunReport {
@@ -120,5 +125,6 @@ pub fn run_workload(cfg: &MachineConfig, workload: &dyn WorkloadSpec) -> RunRepo
         procs: cfg.num_procs,
         stats: machine.stats().clone(),
         validation,
+        profile: machine.take_profile(),
     }
 }

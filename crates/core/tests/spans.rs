@@ -17,6 +17,7 @@ use tlr_core::Machine;
 use tlr_cpu::{Asm, Program};
 use tlr_mem::Addr;
 use tlr_sim::config::{MachineConfig, Scheme};
+use tlr_sim::fault::FaultConfig;
 use tlr_sim::trace::TraceKind;
 use tlr_sim::{SpanLog, SpanOutcome};
 use tlr_sync::tatas::{self, TatasRegs};
@@ -165,6 +166,92 @@ fn figure4_deferral_nests_under_winners_span() {
     assert!(
         log.spans.iter().any(|s| s.attempt > 0),
         "restarts must surface as attempt > 0 retries"
+    );
+}
+
+#[test]
+fn injected_aborts_surface_as_restarted_spans_that_chain() {
+    const A: u64 = 0x2000;
+    const ITERS: u64 = 48;
+    // Chaos with ONLY the spurious-abort knob: ~0.5% per in-transaction
+    // node-cycle, so a run this long is all but guaranteed to fire, and
+    // no other fault reshapes the trace.
+    let mut faults = FaultConfig::off();
+    faults.enabled = true;
+    faults.seed = 0xc4a05;
+    faults.spurious_abort_chance = 5000;
+
+    let programs = vec![writer(&[A], ITERS, 8), writer(&[A], ITERS, 8)];
+    let mut cfg = MachineConfig::paper_default(Scheme::Tlr, programs.len());
+    cfg.max_cycles = 20_000_000;
+    cfg.faults = faults;
+    let mut m = Machine::new(cfg, programs, HashSet::from([Addr(LOCK)]));
+    m.enable_trace();
+    m.run().expect("TLR guarantees forward progress even under chaos aborts");
+    assert_eq!(m.final_word(Addr(A)), 2 * ITERS, "chaos must not lose increments");
+
+    let stats = m.stats();
+    let injected = stats.sum(|n| n.aborts_injected);
+    assert!(injected > 0, "0.5%/cycle chaos on a contended counter must inject aborts");
+    assert_eq!(
+        stats.faults.spurious_aborts, injected,
+        "the fault layer's tally and the per-node abort counters agree"
+    );
+
+    let log = m.span_log();
+    assert_eq!(log.dropped_events, 0, "ring buffer must not wrap at this scale");
+    // Injected aborts end spans as Restarted (never a fallback —
+    // sle.rs pins `!AbortKind::Injected.forces_fallback()`), so the
+    // span tally is conflict restarts plus the injected ones.
+    assert_eq!(
+        log.restarts() as u64,
+        stats.total_restarts() + injected,
+        "injected aborts surface as Restarted spans alongside conflict restarts"
+    );
+
+    // Each injection site is visible in-span: the FaultInjected
+    // instant lands inside the span it annuls, and that span restarts.
+    let chaos_spans: Vec<_> = log
+        .spans
+        .iter()
+        .filter(|s| {
+            s.events.iter().any(
+                |e| matches!(e.kind, TraceKind::FaultInjected { kind: "spurious_abort", .. }),
+            )
+        })
+        .collect();
+    assert!(
+        !chaos_spans.is_empty(),
+        "every injected abort is recorded inside the span it annuls:\n{}",
+        log.dump()
+    );
+    for s in &chaos_spans {
+        assert!(
+            matches!(s.outcome, SpanOutcome::Restarted { .. }),
+            "a chaos-annulled span restarts (never falls back): {:?}",
+            s.outcome
+        );
+    }
+
+    // And the restart chains into a retry: within one processor's span
+    // list a Restarted span is followed by attempt + 1, so the chaos
+    // abort re-enters the same attempt chain as a genuine conflict.
+    for node in 0..2 {
+        let spans: Vec<_> = log.spans_for(node).collect();
+        for pair in spans.windows(2) {
+            match pair[0].outcome {
+                SpanOutcome::Restarted { .. } => assert_eq!(
+                    pair[1].attempt,
+                    pair[0].attempt + 1,
+                    "retry after an injected restart increments the attempt"
+                ),
+                _ => assert_eq!(pair[1].attempt, 0, "a fresh critical section starts at attempt 0"),
+            }
+        }
+    }
+    assert!(
+        log.spans.iter().any(|s| s.attempt > 0),
+        "injected restarts must surface as attempt > 0 retries"
     );
 }
 

@@ -29,6 +29,12 @@ pub struct Bus {
     next_rr: usize,
     /// Running total of queued requests across all per-node queues.
     queued: usize,
+    /// Total requests ordered over the bus's lifetime. Each ordered
+    /// transaction occupies the address bus for exactly `occupancy`
+    /// cycles and windows never overlap, so
+    /// `ordered * occupancy / elapsed` *is* the bus utilization — the
+    /// profiler's saturation metric.
+    ordered: u64,
     fault: Option<BusFault>,
 }
 
@@ -42,6 +48,7 @@ impl Bus {
             busy_until: 0,
             next_rr: 0,
             queued: 0,
+            ordered: 0,
             fault: None,
         }
     }
@@ -82,6 +89,7 @@ impl Bus {
                 self.next_rr = (node + 1) % n;
                 self.busy_until = now + self.occupancy;
                 self.queued -= 1;
+                self.ordered += 1;
                 return Some(req);
             }
         }
@@ -103,6 +111,17 @@ impl Bus {
     /// Whether node `node` has queued requests.
     pub fn node_pending(&self, node: NodeId) -> bool {
         !self.queues[node].is_empty()
+    }
+
+    /// Total requests ordered so far (see the `ordered` field note on
+    /// deriving bus utilization from this count).
+    pub fn ordered_count(&self) -> u64 {
+        self.ordered
+    }
+
+    /// The configured per-transaction occupancy in cycles.
+    pub fn occupancy(&self) -> u64 {
+        self.occupancy
     }
 
     /// The next cycle at which [`Bus::tick`] can order a request:
@@ -216,5 +235,20 @@ mod tests {
         assert!(bus.node_pending(1));
         assert!(!bus.node_pending(0));
         assert_eq!(bus.pending(), 1);
+    }
+
+    #[test]
+    fn ordered_count_tracks_grants() {
+        let mut bus = Bus::new(2, 4);
+        assert_eq!(bus.ordered_count(), 0);
+        assert_eq!(bus.occupancy(), 4);
+        bus.enqueue(0, req(0, 1));
+        bus.enqueue(1, req(1, 2));
+        assert!(bus.tick(0).is_some());
+        assert_eq!(bus.ordered_count(), 1, "one grant per occupancy window");
+        assert!(bus.tick(1).is_none());
+        assert_eq!(bus.ordered_count(), 1, "busy rounds order nothing");
+        assert!(bus.tick(4).is_some());
+        assert_eq!(bus.ordered_count(), 2);
     }
 }

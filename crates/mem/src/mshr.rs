@@ -94,12 +94,14 @@ impl MshrEntry {
 pub struct MshrFile {
     entries: Vec<MshrEntry>,
     capacity: usize,
+    /// High-water mark of simultaneously outstanding misses.
+    peak: usize,
 }
 
 impl MshrFile {
     /// Creates a file with `capacity` registers.
     pub fn new(capacity: usize) -> Self {
-        MshrFile { entries: Vec::new(), capacity }
+        MshrFile { entries: Vec::new(), capacity, peak: 0 }
     }
 
     /// The entry tracking `line`, if any.
@@ -119,6 +121,7 @@ impl MshrFile {
             return None;
         }
         self.entries.push(entry);
+        self.peak = self.peak.max(self.entries.len());
         self.entries.last_mut()
     }
 
@@ -151,6 +154,12 @@ impl MshrFile {
     /// Whether the file is at capacity (further misses stall).
     pub fn is_full(&self) -> bool {
         self.entries.len() == self.capacity
+    }
+
+    /// High-water mark of simultaneously outstanding misses over the
+    /// file's lifetime (the profiler's MSHR-pressure gauge).
+    pub fn peak_outstanding(&self) -> usize {
+        self.peak
     }
 
     /// Whether any outstanding transactional (timestamped) miss
@@ -240,6 +249,9 @@ mod tests {
         assert!(f.get(LineAddr(1)).is_some());
         assert!(f.get(LineAddr(2)).is_none());
         assert_eq!(f.len(), 1);
+        assert_eq!(f.peak_outstanding(), 1);
+        f.remove(LineAddr(1));
+        assert_eq!(f.peak_outstanding(), 1, "peak is a high-water mark");
     }
 
     #[test]

@@ -18,12 +18,14 @@ use tlr_sim::Cycle;
 #[derive(Debug, Clone)]
 pub struct Network<T> {
     inflight: EventQueue<T>,
+    /// Total messages ever sent (the profiler's traffic counter).
+    sent: u64,
     fault: Option<NetFault>,
 }
 
 impl<T> Default for Network<T> {
     fn default() -> Self {
-        Network { inflight: EventQueue::new(), fault: None }
+        Network { inflight: EventQueue::new(), sent: 0, fault: None }
     }
 }
 
@@ -50,7 +52,13 @@ impl<T> Network<T> {
             Some(f) => f.perturb(deliver_at),
             None => deliver_at,
         };
+        self.sent += 1;
         self.inflight.push(deliver_at, msg);
+    }
+
+    /// Total messages ever sent over this network's lifetime.
+    pub fn sent_count(&self) -> u64 {
+        self.sent
     }
 
     /// Removes and returns every message due at or before `now`,
@@ -140,8 +148,10 @@ mod tests {
         n.send(1, ());
         n.send(2, ());
         assert_eq!(n.len(), 2);
+        assert_eq!(n.sent_count(), 2);
         n.drain_ready(1);
         assert_eq!(n.len(), 1);
+        assert_eq!(n.sent_count(), 2, "sent_count never decreases");
     }
 
     #[test]

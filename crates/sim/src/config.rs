@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 
 use crate::fault::FaultConfig;
+use crate::prof::ProfConfig;
 
 /// Which main-loop implementation drives the machine.
 ///
@@ -75,6 +76,30 @@ pub fn default_engine() -> Engine {
     match DEFAULT_ENGINE.load(Ordering::Relaxed) {
         0 => Engine::EventDriven,
         _ => Engine::CycleStepped,
+    }
+}
+
+/// Process-wide default profiling switch, consulted when a
+/// configuration is built — the `--profile` analogue of
+/// [`DEFAULT_ENGINE`], with the same rules: binaries set it once in
+/// `main`, library code and tests never write it (they use
+/// [`MachineConfigBuilder::profile`]).
+static DEFAULT_PROFILE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Sets the process-wide default profiling switch. Call once, from a
+/// binary's `main`, before building any configuration.
+pub fn set_default_profile(on: bool) {
+    DEFAULT_PROFILE.store(on, Ordering::Relaxed);
+}
+
+/// The process-wide default profiling knobs new configurations start
+/// from: [`ProfConfig::on`] after `set_default_profile(true)`, else
+/// [`ProfConfig::off`].
+pub fn default_profile() -> ProfConfig {
+    if DEFAULT_PROFILE.load(Ordering::Relaxed) {
+        ProfConfig::on()
+    } else {
+        ProfConfig::off()
     }
 }
 
@@ -278,6 +303,10 @@ pub struct MachineConfig {
     /// [`FaultConfig::off`], which is bit-identical to a build without
     /// the chaos layer.
     pub faults: FaultConfig,
+    /// Profiling knobs ([`crate::prof`]). Defaults to
+    /// [`ProfConfig::off`], which is byte-identical to a build without
+    /// the profiling layer.
+    pub profile: ProfConfig,
     /// Which main loop drives the run. Both produce byte-identical
     /// results; see [`Engine`].
     pub engine: Engine,
@@ -312,6 +341,7 @@ impl MachineConfig {
             seed: 0x7a3d_5eed,
             max_cycles: 2_000_000_000,
             faults: FaultConfig::off(),
+            profile: default_profile(),
             engine: default_engine(),
         }
     }
@@ -423,6 +453,13 @@ impl MachineConfigBuilder {
     #[must_use]
     pub fn faults(mut self, faults: FaultConfig) -> Self {
         self.cfg.faults = faults;
+        self
+    }
+
+    /// Installs profiling knobs ([`crate::prof`]).
+    #[must_use]
+    pub fn profile(mut self, profile: ProfConfig) -> Self {
+        self.cfg.profile = profile;
         self
     }
 
@@ -592,5 +629,12 @@ mod tests {
     fn default_faults_are_off() {
         assert_eq!(MachineConfig::paper_default(Scheme::Base, 1).faults, FaultConfig::off());
         assert_eq!(MachineConfig::small(Scheme::Tlr, 2).faults, FaultConfig::off());
+    }
+
+    #[test]
+    fn default_profiling_is_off_and_builder_installs_it() {
+        assert_eq!(MachineConfig::paper_default(Scheme::Base, 1).profile, ProfConfig::off());
+        let cfg = MachineConfig::builder().profile(ProfConfig::on()).build();
+        assert_eq!(cfg.profile, ProfConfig::on());
     }
 }

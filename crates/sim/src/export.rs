@@ -13,8 +13,18 @@
 //!   whole-machine totals, log2 histograms (critical-section length,
 //!   commit latency, deferral depth, restarts per transaction), the
 //!   top-N contended-line table, and per-node counters.
+//! * [`profile_json`] — the flat profiling document behind
+//!   `tlr-profile`: the epoch-sampled utilization timeline, the
+//!   event-engine wake-source histogram, and the saturation verdict.
+//!
+//! [`chrome_trace_with_profile`] extends the Chrome trace with
+//! Perfetto `ph:"C"` counter tracks (bus utilization %, queue depths,
+//! scheduling mix) when a [`Profiler`] is supplied;
+//! [`chrome_trace_json`] is the `None` case of the same writer, so an
+//! unprofiled trace is byte-identical to what it always was.
 
 use crate::json::JsonBuf;
+use crate::prof::Profiler;
 use crate::span::{SpanLog, SpanOutcome, TxnSpan};
 use crate::stats::{Hist, MachineStats};
 use crate::trace::TraceKind;
@@ -91,8 +101,60 @@ fn span_events(j: &mut JsonBuf, s: &TxnSpan) {
         .end_obj();
 }
 
+fn counter(j: &mut JsonBuf, ts: u64, name: &str, value: f64) {
+    j.obj()
+        .str_field("ph", "C")
+        .u64_field("pid", 0)
+        .u64_field("ts", ts)
+        .str_field("name", name)
+        .obj_key("args")
+        .f64_field("value", value)
+        .end_obj()
+        .end_obj();
+}
+
+/// Appends one Perfetto counter track per profiled gauge: a `ph:"C"`
+/// event at each sample's start cycle, plus a closing event at the end
+/// of the timeline so the last epoch renders with its full width.
+fn counter_tracks(j: &mut JsonBuf, p: &Profiler, bus_occupancy: u64) {
+    let samples = p.samples();
+    let series: [(&str, &dyn Fn(&crate::prof::Sample) -> f64); 8] = [
+        ("bus utilization %", &|s| s.bus_utilization(bus_occupancy) * 100.0),
+        ("net queue depth", &|s| s.net_depth as f64),
+        ("snoop queue depth", &|s| s.snoop_depth as f64),
+        ("outstanding MSHRs", &|s| s.mshrs as f64),
+        ("deferred depth", &|s| s.deferred as f64),
+        ("active nodes", &|s| s.active_nodes as f64),
+        ("idle nodes", &|s| s.idle_nodes as f64),
+        ("spin nodes", &|s| s.spin_nodes as f64),
+    ];
+    for (name, value) in series {
+        for s in samples {
+            counter(j, s.start, name, value(s));
+        }
+        if let Some(last) = samples.last() {
+            counter(j, last.start + last.cycles, name, value(last));
+        }
+    }
+}
+
 /// Renders a span log as a Chrome/Perfetto `trace.json` document.
+/// Identical to [`chrome_trace_with_profile`] with no profiler.
 pub fn chrome_trace_json(log: &SpanLog, num_nodes: usize) -> String {
+    chrome_trace_with_profile(log, num_nodes, None, 0)
+}
+
+/// Renders a span log as a Chrome/Perfetto `trace.json` document,
+/// appending counter tracks from `profile` when one is supplied
+/// (`bus_occupancy` converts ordered-transaction counts to busy-cycle
+/// percentages). With `profile: None` the output is byte-for-byte
+/// [`chrome_trace_json`].
+pub fn chrome_trace_with_profile(
+    log: &SpanLog,
+    num_nodes: usize,
+    profile: Option<&Profiler>,
+    bus_occupancy: u64,
+) -> String {
     let mut j = JsonBuf::new();
     j.obj().str_field("displayTimeUnit", "ms").arr_key("traceEvents");
     for node in 0..num_nodes {
@@ -122,6 +184,9 @@ pub fn chrome_trace_json(log: &SpanLog, num_nodes: usize) -> String {
             _ => continue,
         };
         instant(&mut j, e.cycle, e.node, name, line, peer);
+    }
+    if let Some(p) = profile {
+        counter_tracks(&mut j, p, bus_occupancy);
     }
     j.end_arr();
     j.obj_key("otherData")
@@ -222,6 +287,61 @@ pub fn metrics_json(
     j.finish()
 }
 
+/// Renders a run profile as a flat JSON document: identification,
+/// whole-run utilization and verdict, engine self-profiling counters
+/// with the wake-source histogram, and the sampled timeline.
+pub fn profile_json(
+    workload: &str,
+    scheme: &str,
+    procs: usize,
+    p: &Profiler,
+    bus_occupancy: u64,
+) -> String {
+    let mut j = JsonBuf::new();
+    j.obj()
+        .str_field("workload", workload)
+        .str_field("scheme", scheme)
+        .u64_field("procs", procs as u64)
+        .u64_field("epoch_cycles", p.epoch())
+        .f64_field("bus_utilization", p.bus_utilization(bus_occupancy))
+        .str_field("verdict", &p.saturation_verdict(bus_occupancy, procs));
+    let e = &p.engine;
+    j.obj_key("engine")
+        .u64_field("steps", e.steps)
+        .u64_field("live_ticks", e.live_ticks)
+        .u64_field("skipped_cycles", e.skipped_cycles)
+        .u64_field("burst_entries", e.burst_entries)
+        .u64_field("burst_cycles", e.burst_cycles)
+        .u64_field("burst_ticks", e.burst_ticks)
+        .u64_field("spin_settles", e.spin_settles)
+        .u64_field("spin_settle_cycles", e.spin_settle_cycles)
+        .u64_field("idle_settles", e.idle_settles)
+        .u64_field("idle_settle_cycles", e.idle_settle_cycles)
+        .arr_key("wake_sources");
+    for (label, count) in e.wake_breakdown() {
+        j.obj().str_field("source", label).u64_field("steps", count).end_obj();
+    }
+    j.end_arr().end_obj();
+    j.arr_key("samples");
+    for s in p.samples() {
+        j.obj()
+            .u64_field("start", s.start)
+            .u64_field("cycles", s.cycles)
+            .u64_field("bus_ordered", s.bus_ordered)
+            .u64_field("net_sent", s.net_sent)
+            .u64_field("net_depth", s.net_depth as u64)
+            .u64_field("snoop_depth", s.snoop_depth as u64)
+            .u64_field("mshrs", s.mshrs as u64)
+            .u64_field("deferred", s.deferred as u64)
+            .u64_field("active_nodes", s.active_nodes as u64)
+            .u64_field("idle_nodes", s.idle_nodes as u64)
+            .u64_field("spin_nodes", s.spin_nodes as u64)
+            .end_obj();
+    }
+    j.end_arr().end_obj();
+    j.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,5 +395,48 @@ mod tests {
         let a = s.find("\"0x80\"").unwrap();
         let b = s.find("\"0xc0\"").unwrap();
         assert!(a < b);
+    }
+
+    fn sample_profiler() -> Profiler {
+        use crate::prof::{Gauges, ProfConfig, WakeSource};
+        let mut p = Profiler::new(ProfConfig { enabled: true, epoch_log2: 4, max_samples: 512 });
+        p.sample(16, Gauges { bus_ordered: 2, spin_nodes: 1, ..Default::default() });
+        p.sample(32, Gauges { bus_ordered: 5, mshrs: 3, ..Default::default() });
+        p.engine.record_wake(WakeSource::Bus);
+        p.engine.steps = 10;
+        p
+    }
+
+    #[test]
+    fn unprofiled_trace_is_byte_identical_to_the_plain_writer() {
+        let log = sample_log();
+        assert_eq!(chrome_trace_json(&log, 2), chrome_trace_with_profile(&log, 2, None, 4));
+    }
+
+    #[test]
+    fn profiled_trace_adds_counter_tracks() {
+        let log = sample_log();
+        let p = sample_profiler();
+        let s = chrome_trace_with_profile(&log, 2, Some(&p), 4);
+        validate(&s).unwrap_or_else(|e| panic!("{e}\n{s}"));
+        // Two samples + one closing event per series.
+        assert_eq!(s.matches("\"ph\":\"C\"").count(), 8 * 3);
+        assert!(s.contains("\"name\":\"bus utilization %\""));
+        assert!(s.contains("\"name\":\"spin nodes\""));
+        // 2 ordered x occupancy 4 over 16 cycles = 50%.
+        assert!(s.contains("\"value\":50"));
+    }
+
+    #[test]
+    fn profile_json_is_valid_and_carries_the_timeline() {
+        let p = sample_profiler();
+        let s = profile_json("single_counter", "TLR", 2, &p, 4);
+        validate(&s).unwrap_or_else(|e| panic!("{e}\n{s}"));
+        assert!(s.contains("\"verdict\""));
+        assert!(s.contains("\"wake_sources\""));
+        assert!(s.contains("\"source\":\"bus grant\""));
+        assert!(s.contains("\"epoch_cycles\":16"));
+        // Second sample's delta: 5 - 2 = 3 ordered.
+        assert!(s.contains("\"bus_ordered\":3"));
     }
 }

@@ -34,6 +34,7 @@ pub mod export;
 pub mod fault;
 pub mod json;
 pub mod pool;
+pub mod prof;
 pub mod rng;
 pub mod span;
 pub mod stats;
@@ -45,6 +46,7 @@ pub use config::{
 pub use events::{EventQueue, Schedulable};
 pub use fault::{BusFault, FaultConfig, FaultPlan, NetFault};
 pub use pool::{CancelToken, CellCoords, CellError, CellResult, Job, Pool};
+pub use prof::{ProfConfig, Profiler, WakeSource};
 pub use rng::SimRng;
 pub use span::{SpanLog, SpanOutcome, TxnSpan};
 pub use stats::{FaultStats, MachineStats, NodeStats};

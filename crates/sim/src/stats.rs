@@ -56,6 +56,18 @@ pub struct NodeStats {
     pub commit_wait_cycles: u64,
     /// Cycles after this thread finished while others still ran.
     pub done_cycles: u64,
+    /// Cycles the thread was descheduled by an external driver (§4):
+    /// the core did not tick at all.
+    pub paused_cycles: u64,
+    /// Cycles spent on one-off transitions none of the categories
+    /// above claim: the tick that records the thread's finish time,
+    /// the tick a commit completes on, the tick an injected abort
+    /// annuls a transaction, and the I/O dispatch tick. Kept separate
+    /// so the eight categories above keep their historical meanings
+    /// while the per-node attribution still sums exactly to the run's
+    /// elapsed cycles (the [`NodeStats::check_cycle_accounting`]
+    /// identity).
+    pub other_cycles: u64,
 
     /// Transactions started (lock elisions).
     pub elisions_started: u64,
@@ -119,6 +131,66 @@ impl NodeStats {
     /// lock contribution).
     pub fn lock_cycles(&self) -> u64 {
         self.lock_stall_cycles + self.lock_busy_cycles
+    }
+
+    /// Sum of every per-cycle attribution category. At the end of a
+    /// run this equals the machine's elapsed cycle count for every
+    /// node — each node-cycle is charged to exactly one category.
+    pub fn attributed_cycles(&self) -> u64 {
+        self.busy_cycles
+            + self.lock_busy_cycles
+            + self.data_stall_cycles
+            + self.lock_stall_cycles
+            + self.store_buffer_full_cycles
+            + self.commit_wait_cycles
+            + self.done_cycles
+            + self.paused_cycles
+            + self.other_cycles
+    }
+
+    /// The categories of [`NodeStats::attributed_cycles`] as
+    /// `(label, value)` pairs, in report order.
+    pub fn cycle_categories(&self) -> [(&'static str, u64); 9] {
+        [
+            ("busy", self.busy_cycles),
+            ("lock busy", self.lock_busy_cycles),
+            ("data stall", self.data_stall_cycles),
+            ("lock stall", self.lock_stall_cycles),
+            ("store-buffer full", self.store_buffer_full_cycles),
+            ("commit wait", self.commit_wait_cycles),
+            ("done (barrier)", self.done_cycles),
+            ("paused", self.paused_cycles),
+            ("other (transitions)", self.other_cycles),
+        ]
+    }
+
+    /// Checks the machine-level cycle-accounting identity for this
+    /// node: every elapsed cycle must be charged to exactly one
+    /// category, so the categories sum to `elapsed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the drift.
+    pub fn check_cycle_accounting(&self, node: NodeId, elapsed: u64) -> Result<(), String> {
+        let attributed = self.attributed_cycles();
+        if attributed == elapsed {
+            Ok(())
+        } else {
+            Err(format!(
+                "node {node}: cycle accounting drift: attributed {attributed} != elapsed \
+                 {elapsed} (busy {} + lock_busy {} + data_stall {} + lock_stall {} + sb_full {} \
+                 + commit_wait {} + done {} + paused {} + other {})",
+                self.busy_cycles,
+                self.lock_busy_cycles,
+                self.data_stall_cycles,
+                self.lock_stall_cycles,
+                self.store_buffer_full_cycles,
+                self.commit_wait_cycles,
+                self.done_cycles,
+                self.paused_cycles,
+                self.other_cycles,
+            ))
+        }
     }
 
     /// Total elision abandonments (lock actually acquired).
@@ -257,6 +329,37 @@ impl Hist {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The `p`-th percentile (`0.0 ..= 100.0`) estimated from the log2
+    /// buckets, or `None` when the histogram is empty.
+    ///
+    /// The true sample values inside a bucket are unknown, so the
+    /// estimate uses the bucket-midpoint convention: walking buckets
+    /// in ascending order, the first bucket whose cumulative count
+    /// reaches `ceil(p/100 x count)` (at least one sample, so p=0
+    /// yields the minimum bucket) answers with its midpoint —
+    /// `(lo + hi) / 2` for bucket `k` covering `[2^(k-1), 2^k)`,
+    /// exact for the single-valued buckets 0 and 1. The error is
+    /// bounded by half the bucket width, which is the resolution the
+    /// log2 layout buys.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // ceil(p/100 * count), floored at 1 sample.
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let lo = Self::bucket_lo(k);
+                let hi = if k <= 1 { lo } else { (1u64 << k) - 1 };
+                return Some(lo + (hi - lo) / 2);
+            }
+        }
+        unreachable!("rank <= count implies a bucket reaches it")
     }
 
     /// Non-empty buckets as `(bucket_lo, count)` pairs, ascending.
@@ -410,6 +513,12 @@ pub struct MachineStats {
     /// Wall-clock cycle at which the last thread finished: the paper's
     /// "parallel execution cycle count".
     pub parallel_cycles: u64,
+    /// Total cycles the machine ran, including the post-barrier drain
+    /// window (writebacks retiring after the last thread finished).
+    /// Every node ticks once per elapsed cycle, so this is the
+    /// right-hand side of the cycle-accounting identity. Zero until
+    /// the run finalizes.
+    pub elapsed_cycles: u64,
     /// Histogram/heatmap aggregates (ISSUE 2 observability layer).
     pub obs: ObsStats,
     /// Fault-injection counters (all zero when faults are off).
@@ -468,6 +577,27 @@ impl MachineStats {
             n.check_txn_accounting(id)?;
         }
         Ok(())
+    }
+
+    /// Runs [`NodeStats::check_cycle_accounting`] for every node
+    /// against the finalized [`MachineStats::elapsed_cycles`]: the
+    /// "where did every cycle go" identity — each category sums to
+    /// exactly `elapsed_cycles x procs` machine-wide.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first node's drift description.
+    pub fn check_cycle_accounting(&self) -> Result<(), String> {
+        for (id, n) in self.nodes.iter().enumerate() {
+            n.check_cycle_accounting(id, self.elapsed_cycles)?;
+        }
+        Ok(())
+    }
+
+    /// Aggregate attributed cycles across nodes (equals
+    /// `elapsed_cycles x nodes.len()` once the identity holds).
+    pub fn total_attributed_cycles(&self) -> u64 {
+        self.sum(NodeStats::attributed_cycles)
     }
 }
 
@@ -528,6 +658,87 @@ mod tests {
         assert!((a.mean() - 4.0).abs() < 1e-9);
         assert_eq!(Hist::new().mean(), 0.0);
         assert_eq!(Hist::new().min(), 0);
+    }
+
+    #[test]
+    fn hist_percentile_uses_bucket_midpoints() {
+        assert_eq!(Hist::new().percentile(50.0), None);
+
+        let mut h = Hist::new();
+        h.record(0);
+        assert_eq!(h.percentile(50.0), Some(0), "bucket 0 is exact");
+        assert_eq!(h.percentile(99.0), Some(0));
+
+        let mut h = Hist::new();
+        h.record(1);
+        assert_eq!(h.percentile(0.0), Some(1), "p0 is the minimum bucket");
+        assert_eq!(h.percentile(100.0), Some(1), "bucket 1 is exact");
+
+        // 10 samples in bucket 3 ([4,8), midpoint 5) and one in
+        // bucket 11 ([1024,2048), midpoint 1535).
+        let mut h = Hist::new();
+        for _ in 0..10 {
+            h.record(6);
+        }
+        h.record(1024);
+        assert_eq!(h.percentile(50.0), Some(5));
+        assert_eq!(h.percentile(90.0), Some(5), "rank 10 of 11 still bucket 3");
+        assert_eq!(h.percentile(95.0), Some(1535));
+        assert_eq!(h.percentile(99.0), Some(1535));
+
+        // Percentiles survive a merge.
+        let mut a = Hist::new();
+        a.record(2);
+        let mut b = Hist::new();
+        for _ in 0..9 {
+            b.record(100);
+        }
+        a.merge(&b);
+        assert_eq!(a.percentile(10.0), Some(2));
+        // Bucket 7 covers [64,128), midpoint 95.
+        assert_eq!(a.percentile(50.0), Some(95));
+    }
+
+    #[test]
+    fn cycle_accounting_balances() {
+        let mut n = NodeStats {
+            busy_cycles: 40,
+            lock_busy_cycles: 5,
+            data_stall_cycles: 20,
+            lock_stall_cycles: 10,
+            store_buffer_full_cycles: 3,
+            commit_wait_cycles: 2,
+            done_cycles: 12,
+            paused_cycles: 6,
+            other_cycles: 2,
+            ..Default::default()
+        };
+        assert_eq!(n.attributed_cycles(), 100);
+        n.check_cycle_accounting(0, 100).unwrap();
+        let err = n.check_cycle_accounting(3, 101).unwrap_err();
+        assert!(err.contains("node 3"), "{err}");
+        assert!(err.contains("attributed 100"), "{err}");
+        n.busy_cycles += 1;
+        n.check_cycle_accounting(3, 101).unwrap();
+
+        let labels: Vec<_> = n.cycle_categories().iter().map(|&(l, _)| l).collect();
+        assert_eq!(labels.len(), 9);
+        let total: u64 = n.cycle_categories().iter().map(|&(_, v)| v).sum();
+        assert_eq!(total, n.attributed_cycles(), "categories cover the identity");
+    }
+
+    #[test]
+    fn machine_cycle_accounting_names_the_offender() {
+        let mut m = MachineStats::new(2);
+        m.elapsed_cycles = 50;
+        m.node_mut(0).busy_cycles = 50;
+        m.node_mut(1).busy_cycles = 30;
+        m.node_mut(1).done_cycles = 19;
+        let err = m.check_cycle_accounting().unwrap_err();
+        assert!(err.contains("node 1"), "{err}");
+        m.node_mut(1).other_cycles = 1;
+        m.check_cycle_accounting().unwrap();
+        assert_eq!(m.total_attributed_cycles(), 100);
     }
 
     #[test]
