@@ -1,0 +1,48 @@
+//! `exp_scalability`: the 32–256-processor scalability lab on the
+//! home-node directory interconnect.
+//!
+//! Sweeps the multiple-counter microbenchmark (coarse-grain locking,
+//! no data conflicts — the workload whose parallelism the fabric must
+//! not squander) for BASE, SLE, and TLR at processor counts the
+//! snooping bus cannot reach. Defaults to `--interconnect directory`
+//! and `--procs 32,64,128,256`; the bus can be forced back on for
+//! ≤16-processor comparison rows.
+//!
+//! ```text
+//! cargo run --release -p tlr-bench --bin exp_scalability -- \
+//!     --seeds 3 --profile --json scalability.json
+//! ```
+//!
+//! Shares the core flag surface (`--quick`, `--check`, `--csv`,
+//! `--json`, `--jobs`, `--engine`, `--profile`, ...) with the other
+//! binaries.
+
+use tlr_bench::BenchOpts;
+use tlr_sim::config::Interconnect;
+
+fn main() {
+    let defaults = BenchOpts {
+        procs: vec![32, 64, 128, 256],
+        interconnect: Interconnect::Directory,
+        ..Default::default()
+    };
+    let opts = BenchOpts::parse_with_defaults(defaults, |_, _| false);
+    let pool = opts.pool();
+    if opts.check {
+        tlr_bench::checks::run(
+            "exp_scalability",
+            tlr_bench::checks::exp_scalability,
+            &pool,
+            opts.json.as_deref(),
+        );
+        return;
+    }
+    let sweep = tlr_bench::sweeps::scalability(&opts, &pool);
+    sweep.print();
+    if let Some(path) = &opts.csv {
+        tlr_bench::write_series_csv(path, &sweep.schemes, &sweep.rows);
+    }
+    if let Some(path) = &opts.json {
+        tlr_bench::write_json_file(path, &sweep.json());
+    }
+}

@@ -20,7 +20,7 @@
 //! coordinates in the message.
 
 use tlr_core::run::{run_workload, RunReport, WorkloadSpec};
-use tlr_sim::config::{MachineConfig, RetentionPolicy, Scheme};
+use tlr_sim::config::{Interconnect, MachineConfig, RetentionPolicy, Scheme};
 use tlr_sim::pool::{Job, Pool};
 use tlr_workloads::apps::{figure11_apps, mp3d, mp3d_coarse};
 use tlr_workloads::micro::{doubly_linked_list, multiple_counter, single_counter};
@@ -212,6 +212,67 @@ pub fn table2(_pool: &Pool) -> Result<(), String> {
         "RMW predictor must default on (all paper experiments)".into(),
     )?;
     ensure(cfg.timestamp_bits > 0, "timestamps must be present".into())
+}
+
+/// Scalability experiment: the home-node directory carries the paper's
+/// schemes past the snooping bus's 16-processor ceiling. At 32
+/// processors — double what the bus can order — every cell completes
+/// and validates, the directory (not the bus) does the ordering with
+/// conservation of requests, and the paper's no-conflict shape
+/// survives the fabric change: SLE and TLR stay near-identical and
+/// both decisively beat BASE.
+pub fn exp_scalability(pool: &Pool) -> Result<(), String> {
+    let total = 2048u64;
+    let schemes = crate::sweeps::SCALABILITY_SCHEMES;
+    let procs_list = [8usize, 32];
+    let mut jobs = Vec::with_capacity(procs_list.len() * schemes.len());
+    for &procs in &procs_list {
+        for &scheme in &schemes {
+            jobs.push(Job::new(cell_coords("multiple_counter", scheme, procs), move |_| {
+                let mut cfg = MachineConfig::paper_default(scheme, procs);
+                cfg.interconnect = Interconnect::Directory;
+                cfg.max_cycles = 60_000_000_000;
+                let r = run_workload(&cfg, &multiple_counter(procs, total));
+                r.assert_valid();
+                r
+            }));
+        }
+    }
+    let reports = pooled(pool, jobs)?;
+    for r in &reports {
+        ensure(
+            r.stats.dir.requests_ordered > 0,
+            format!("[{} x{}] the directory must have ordered requests", r.scheme, r.procs),
+        )?;
+        ensure(
+            r.stats.dir.requests_sent == r.stats.dir.requests_ordered,
+            format!(
+                "[{} x{}] request conservation: {} sent vs {} ordered",
+                r.scheme, r.procs, r.stats.dir.requests_sent, r.stats.dir.requests_ordered
+            ),
+        )?;
+        ensure(
+            r.stats.dir.banks == r.procs as u64,
+            format!(
+                "[{} x{}] default banking is one home bank per processor, got {}",
+                r.scheme, r.procs, r.stats.dir.banks
+            ),
+        )?;
+    }
+    let row32 = &reports[schemes.len()..];
+    let (base, sle, tlr) = (
+        row32[0].stats.parallel_cycles,
+        row32[1].stats.parallel_cycles,
+        row32[2].stats.parallel_cycles,
+    );
+    ensure(
+        (sle as f64 - tlr as f64).abs() / tlr as f64 <= 0.25,
+        format!("SLE ({sle}) and TLR ({tlr}) must stay near-identical without conflicts at 32 procs"),
+    )?;
+    ensure(
+        tlr * 2 < base,
+        format!("TLR must beat BASE decisively at 32 procs on the directory: {tlr} vs {base}"),
+    )
 }
 
 /// Chaos degradation experiment: injected faults may cost cycles but

@@ -9,7 +9,7 @@
 
 use std::path::PathBuf;
 
-use tlr_sim::config::Engine;
+use tlr_sim::config::{Engine, Interconnect};
 use tlr_sim::fault::FaultConfig;
 use tlr_sim::pool::Pool;
 
@@ -30,6 +30,9 @@ shared flags:
   --out PATH      generic output path
   --jobs N        worker threads (default: TLR_JOBS or host parallelism)
   --engine E      simulation engine: event (default) | cycle
+  --interconnect I  coherence interconnect: snooping (bus, <= 16 procs)
+                  | directory (home-node banks, <= 256 procs);
+                  binaries pick their own default
   --profile       collect utilization timelines, engine self-profiling,
                   and saturation columns (off: byte-identical output)";
 
@@ -67,6 +70,12 @@ pub struct Args {
     /// engine is the default, the cycle-stepped oracle is kept for
     /// differential checks and benchmarking.
     pub engine: Engine,
+    /// Coherence interconnect (`--interconnect snooping|directory`).
+    /// The snooping bus is the paper's 16-way machine; the home-node
+    /// directory scales to 256 processors (`exp_scalability` defaults
+    /// to it). Every entry of `procs` must fit the selected
+    /// interconnect's `max_procs`.
+    pub interconnect: Interconnect,
     /// Enable the profiling layer (`--profile`): every machine the
     /// binary builds collects the utilization timeline and engine
     /// self-profile, and sweep outputs grow saturation columns.
@@ -89,6 +98,7 @@ impl Default for Args {
             faults: FaultConfig::MAX_INTENSITY,
             fault_seed: DEFAULT_FAULT_SEED,
             engine: Engine::default(),
+            interconnect: Interconnect::Snooping,
             profile: false,
         }
     }
@@ -144,14 +154,30 @@ impl Args {
     ///
     /// Panics with a usage message on malformed arguments.
     pub fn parse_with(extra: impl FnMut(&mut Args, Flag<'_>) -> bool) -> Self {
-        let opts = Self::parse_tokens(std::env::args().skip(1).collect(), extra);
-        // Thread the engine choice to every MachineConfig the sweep
-        // helpers construct. Only real process arguments reach here —
-        // [`Args::parse_tokens`] leaves the global alone so tests
-        // (which share one process) pick engines via the config
-        // builder instead.
+        Self::parse_with_defaults(Args::default(), extra)
+    }
+
+    /// [`Args::parse_with`] starting from binary-specific `defaults`
+    /// instead of [`Args::default`] — `exp_scalability` defaults to
+    /// the home-node directory and a 32–256-processor sweep, which the
+    /// shared bus-sized defaults cannot express.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse_with_defaults(
+        defaults: Args,
+        extra: impl FnMut(&mut Args, Flag<'_>) -> bool,
+    ) -> Self {
+        let opts = Self::parse_tokens_with(defaults, std::env::args().skip(1).collect(), extra);
+        // Thread the engine/interconnect choices to every
+        // MachineConfig the sweep helpers construct. Only real process
+        // arguments reach here — [`Args::parse_tokens`] leaves the
+        // globals alone so tests (which share one process) pick them
+        // via the config builder instead.
         tlr_sim::config::set_default_engine(opts.engine);
         tlr_sim::config::set_default_profile(opts.profile);
+        tlr_sim::config::set_default_interconnect(opts.interconnect);
         opts
     }
 
@@ -162,9 +188,24 @@ impl Args {
     /// Panics with a usage message on malformed arguments.
     pub fn parse_tokens(
         tokens: Vec<String>,
+        extra: impl FnMut(&mut Args, Flag<'_>) -> bool,
+    ) -> Self {
+        Self::parse_tokens_with(Args::default(), tokens, extra)
+    }
+
+    /// [`Args::parse_tokens`] starting from binary-specific `defaults`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments, including a
+    /// `--procs` entry above the selected interconnect's processor
+    /// maximum.
+    pub fn parse_tokens_with(
+        defaults: Args,
+        tokens: Vec<String>,
         mut extra: impl FnMut(&mut Args, Flag<'_>) -> bool,
     ) -> Self {
-        let mut opts = Args::default();
+        let mut opts = defaults;
         let mut s = ArgStream { tokens, i: 0 };
         while s.i < s.tokens.len() {
             let arg = s.tokens[s.i].clone();
@@ -197,6 +238,10 @@ impl Args {
                 "--engine" => {
                     opts.engine = Engine::parse(&s.value("--engine")).unwrap_or_else(|e| panic!("{e}"));
                 }
+                "--interconnect" => {
+                    opts.interconnect = Interconnect::parse(&s.value("--interconnect"))
+                        .unwrap_or_else(|e| panic!("{e}"));
+                }
                 "--profile" => opts.profile = true,
                 "--help" | "-h" => {
                     println!("{CORE_USAGE}");
@@ -205,11 +250,24 @@ impl Args {
                 other => {
                     panic!(
                         "unknown argument {other:?} (supported: --quick, --check, --procs, \
-                         --seeds, --csv, --json, --out, --jobs, --engine, --profile, plus any \
-                         binary-specific flags)"
+                         --seeds, --csv, --json, --out, --jobs, --engine, --interconnect, \
+                         --profile, plus any binary-specific flags)"
                     )
                 }
             }
+        }
+        for &p in &opts.procs {
+            assert!(
+                p <= opts.interconnect.max_procs(),
+                "--procs {p} exceeds the {} interconnect's {}-processor maximum{}",
+                opts.interconnect,
+                opts.interconnect.max_procs(),
+                if opts.interconnect == Interconnect::Snooping {
+                    " (pass --interconnect directory for larger machines)"
+                } else {
+                    ""
+                }
+            );
         }
         opts
     }
@@ -337,6 +395,59 @@ mod tests {
         assert_eq!(a.jobs, None);
         assert_eq!(a.faults, FaultConfig::MAX_INTENSITY);
         assert_eq!(a.fault_seed, DEFAULT_FAULT_SEED);
+        assert_eq!(a.interconnect, Interconnect::Snooping);
+    }
+
+    #[test]
+    fn interconnect_flag_parses_and_lifts_the_proc_ceiling() {
+        let a = Args::parse_tokens(toks("--interconnect directory --procs 32,64,256"), |_, _| false);
+        assert_eq!(a.interconnect, Interconnect::Directory);
+        assert_eq!(a.procs, vec![32, 64, 256]);
+        let b = Args::parse_tokens(toks("--interconnect bus --procs 16"), |_, _| false);
+        assert_eq!(b.interconnect, Interconnect::Snooping);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the snooping interconnect's 16-processor maximum")]
+    fn procs_above_the_bus_limit_are_rejected() {
+        Args::parse_tokens(toks("--procs 32"), |_, _| false);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the directory interconnect's 256-processor maximum")]
+    fn procs_above_the_directory_limit_are_rejected() {
+        Args::parse_tokens(toks("--interconnect directory --procs 512"), |_, _| false);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown interconnect")]
+    fn bad_interconnect_value_is_rejected() {
+        Args::parse_tokens(toks("--interconnect mesh"), |_, _| false);
+    }
+
+    #[test]
+    fn binary_defaults_seed_the_parse_and_flags_still_override() {
+        let scalability = || Args {
+            procs: vec![32, 64, 128, 256],
+            interconnect: Interconnect::Directory,
+            ..Default::default()
+        };
+        let a = Args::parse_tokens_with(scalability(), vec![], |_, _| false);
+        assert_eq!(a.procs, vec![32, 64, 128, 256]);
+        assert_eq!(a.interconnect, Interconnect::Directory);
+        let b = Args::parse_tokens_with(scalability(), toks("--procs 8,48 --quick"), |_, _| false);
+        assert_eq!(b.procs, vec![8, 48]);
+        assert!(b.quick);
+        assert_eq!(b.interconnect, Interconnect::Directory, "defaults survive other flags");
+    }
+
+    #[test]
+    #[should_panic(expected = "pass --interconnect directory for larger machines")]
+    fn binary_defaults_still_validate_the_proc_ceiling() {
+        // Forcing the bus back on under a 32-proc default sweep must
+        // fail loudly, not overflow the broadcast fabric.
+        let defaults = Args { procs: vec![32, 64], ..Default::default() };
+        Args::parse_tokens_with(defaults, vec![], |_, _| false);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   threads (default: `TLR_JOBS` or the host parallelism). Results
 //!   are merged in submission order, so every output is byte-identical
 //!   to `--jobs 1` (enforced by `tests/parallel_determinism.rs`);
+//! * `--interconnect snooping|directory` — which coherence fabric
+//!   orders requests; the bus tops out at 16 processors, the
+//!   home-node directory at 256 (`exp_scalability` defaults to the
+//!   directory via [`cli::Args::parse_with_defaults`]);
 //! * `exp_robustness` additionally takes `--faults N` (maximum chaos
 //!   intensity level) and `--fault-seed S` (root seed for the fault
 //!   streams) via [`cli::Args::parse_chaos`].
@@ -26,7 +30,7 @@
 //! are the reproduction target.
 
 use tlr_core::run::{run_workload, RunReport, WorkloadSpec};
-use tlr_sim::config::{MachineConfig, Scheme};
+use tlr_sim::config::{default_interconnect, Interconnect, MachineConfig, Scheme};
 use tlr_sim::pool::{CellCoords, CellResult, Job, Pool};
 
 pub mod checks;
@@ -75,12 +79,32 @@ where
     W: WorkloadSpec,
     F: Fn(usize) -> W + Sync,
 {
+    sweep_series_on(pool, workload_name, default_interconnect(), schemes, procs_list, seeds, make_workload)
+}
+
+/// [`sweep_series`] over an explicit coherence interconnect — the
+/// scalability sweep runs on the home-node directory regardless of the
+/// process-wide default, and tests pick fabrics without touching
+/// process globals.
+pub fn sweep_series_on<W, F>(
+    pool: &Pool,
+    workload_name: &str,
+    interconnect: Interconnect,
+    schemes: &[Scheme],
+    procs_list: &[usize],
+    seeds: u64,
+    make_workload: F,
+) -> Vec<(usize, Vec<RunReport>)>
+where
+    W: WorkloadSpec,
+    F: Fn(usize) -> W + Sync,
+{
     let make_workload = &make_workload;
     let mut jobs = Vec::with_capacity(procs_list.len() * schemes.len());
     for &procs in procs_list {
         for &scheme in schemes {
             jobs.push(Job::new(cell_coords(workload_name, scheme, procs), move |_| {
-                run_cell_seeded(scheme, procs, &make_workload(procs), seeds)
+                run_cell_seeded_on(interconnect, scheme, procs, &make_workload(procs), seeds)
             }));
         }
     }
@@ -111,10 +135,22 @@ pub fn run_cell_seeded(
     workload: &dyn WorkloadSpec,
     seeds: u64,
 ) -> RunReport {
+    run_cell_seeded_on(default_interconnect(), scheme, procs, workload, seeds)
+}
+
+/// [`run_cell_seeded`] over an explicit coherence interconnect.
+pub fn run_cell_seeded_on(
+    interconnect: Interconnect,
+    scheme: Scheme,
+    procs: usize,
+    workload: &dyn WorkloadSpec,
+    seeds: u64,
+) -> RunReport {
     let mut first: Option<RunReport> = None;
     let mut total_cycles = 0u64;
     for s in 0..seeds {
         let mut cfg = MachineConfig::paper_default(scheme, procs);
+        cfg.interconnect = interconnect;
         cfg.max_cycles = 60_000_000_000;
         cfg.seed = cfg.seed.wrapping_add(s.wrapping_mul(0x9e37_79b9));
         let report = run_workload(&cfg, workload);

@@ -1,4 +1,4 @@
-//! Library entry points for the nine figure/table/exp binaries.
+//! Library entry points for the figure/table/exp binaries.
 //!
 //! Each function runs its binary's full sweep through the
 //! deterministic parallel execution engine ([`tlr_sim::pool`]) and
@@ -618,6 +618,43 @@ pub fn ablations(opts: &BenchOpts, pool: &Pool) -> Ablations {
     Ablations { procs, total, pairs, deferred_queue, victim_cache, write_buffer, timestamp_bits, retention }
 }
 
+/// Schemes the scalability experiment sweeps (the three main designs;
+/// MCS and strict-TS are variants, not part of the NUMA-scale story).
+pub const SCALABILITY_SCHEMES: [Scheme; 3] = [Scheme::Base, Scheme::Sle, Scheme::Tlr];
+
+/// `exp_scalability`: the multiple-counter microbenchmark at
+/// NUMA-scale processor counts on the home-node directory (the
+/// snooping bus stops at 16 processors; the directory's sharer
+/// vectors carry 256). One row per processor count, BASE/SLE/TLR
+/// columns, same shape as the Figure 8-10 sweeps so all the series
+/// tooling (CSV, JSON, `--profile` saturation columns) applies.
+pub fn scalability(opts: &BenchOpts, pool: &Pool) -> SeriesSweep {
+    let total = opts.scale(1 << 14);
+    let schemes = SCALABILITY_SCHEMES.to_vec();
+    let rows = crate::sweep_series_on(
+        pool,
+        "multiple_counter",
+        opts.interconnect,
+        &schemes,
+        &opts.procs,
+        opts.seeds,
+        |procs| multiple_counter(procs, total),
+    );
+    SeriesSweep {
+        display_title: format!(
+            "Scalability: multiple-counter on the {} interconnect, {total} total increments \
+             (cycles, lower is better)",
+            opts.interconnect
+        ),
+        json_title: format!(
+            "Scalability: multiple-counter on the {} interconnect",
+            opts.interconnect
+        ),
+        schemes,
+        rows,
+    }
+}
+
 /// Schemes the robustness experiment compares (MCS and strict-TS are
 /// variants; the degradation story is about the three main designs).
 pub const ROBUSTNESS_SCHEMES: [Scheme; 3] = [Scheme::Base, Scheme::Sle, Scheme::Tlr];
@@ -800,5 +837,27 @@ mod tests {
         tlr_sim::json::validate(&table1_json()).expect("table1");
         tlr_sim::json::validate(&table2_json()).expect("table2");
         assert_eq!(table1_rows().len(), 7);
+    }
+
+    #[test]
+    fn scalability_runs_on_the_directory_past_the_bus_limit() {
+        let o = BenchOpts {
+            procs: vec![4, 32],
+            interconnect: tlr_sim::config::Interconnect::Directory,
+            quick: true,
+            ..Default::default()
+        };
+        let s = scalability(&o, &Pool::serial());
+        assert_eq!(s.rows.len(), 2);
+        assert_eq!(s.rows[1].0, 32, "the 32-proc row is past the snooping limit");
+        assert_eq!(s.rows[1].1.len(), SCALABILITY_SCHEMES.len());
+        for r in &s.rows[1].1 {
+            assert!(
+                r.stats.dir.requests_ordered > 0,
+                "[{}] the directory, not the bus, must have ordered this cell",
+                r.scheme
+            );
+        }
+        tlr_sim::json::validate(&s.json()).expect("valid JSON");
     }
 }

@@ -69,6 +69,11 @@ fn exp_robustness_chaos_never_breaks_correctness() {
 }
 
 #[test]
+fn exp_scalability_shape_holds() {
+    checks::exp_scalability(&pool()).unwrap();
+}
+
+#[test]
 fn profile_smoke_holds() {
     checks::profile(&pool()).unwrap();
 }

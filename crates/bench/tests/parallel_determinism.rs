@@ -81,6 +81,17 @@ fn exp_robustness_is_parallel_deterministic() {
 }
 
 #[test]
+fn exp_scalability_is_parallel_deterministic() {
+    // Past-the-bus-limit cells through the directory's banked ordering
+    // points: bank scheduling must not leak worker-count dependence.
+    let o = BenchOpts {
+        interconnect: tlr_sim::config::Interconnect::Directory,
+        ..opts(vec![8, 32])
+    };
+    assert_identical("exp_scalability", |pool| sweeps::scalability(&o, pool).json());
+}
+
+#[test]
 fn chaos_cells_reproduce_for_a_fixed_fault_seed() {
     // Same (config, fault seed) must yield byte-identical results
     // run-to-run, not just across worker counts.

@@ -12,7 +12,7 @@
 //! (seed, config, workload) triple found within the shrink budget.
 
 use tlr_core::run::run_workload;
-use tlr_sim::config::{MachineConfig, RetentionPolicy, Scheme, UntimestampedPolicy};
+use tlr_sim::config::{Interconnect, MachineConfig, RetentionPolicy, Scheme, UntimestampedPolicy};
 use tlr_sim::fault::FaultConfig;
 use tlr_sim::pool::{CellCoords, Job, Pool};
 use tlr_sim::SimRng;
@@ -36,6 +36,10 @@ pub fn arbitrary_config(s: &mut Source) -> MachineConfig {
         MachineConfig::paper_default(scheme, procs)
     };
     cfg.retention = *s.pick(&[RetentionPolicy::Deferral, RetentionPolicy::Nack]);
+    // Snooping first: the bus is the simpler, better-understood fabric,
+    // so minimized counterexamples shed the directory before anything
+    // else.
+    cfg.interconnect = *s.pick(&[Interconnect::Snooping, Interconnect::Directory]);
     cfg.untimestamped_policy = *s.pick(&[
         UntimestampedPolicy::DeferAsLowestPriority,
         UntimestampedPolicy::Restart,
@@ -138,26 +142,64 @@ pub const FAULT_MATRIX_BUDGET: u64 = 8_000_000;
 ///
 /// Returns the oracle's violation or starvation report annotated with
 /// the config and workload.
-fn fault_matrix_cell(scheme: Scheme, fault_seed: u64, level: u32) -> Result<(), String> {
+fn fault_matrix_cell(
+    scheme: Scheme,
+    fault_seed: u64,
+    level: u32,
+    fabric: FaultMatrixFabric,
+) -> Result<(), String> {
     let mut src = Source::from_seed(fault_seed);
-    let procs = src.usize_in(2..=4);
     let retention =
         if fault_seed % 2 == 0 { RetentionPolicy::Deferral } else { RetentionPolicy::Nack };
+    // Snooping cells keep the original small-machine draws; directory
+    // cells pin a full-width thread population (fewer iterations each,
+    // so the cycle budget still means starvation, not load).
+    let (interconnect, procs, w) = match fabric {
+        FaultMatrixFabric::Snooping => {
+            let procs = src.usize_in(2..=4);
+            let w = OracleWorkload::arbitrary(&mut src, procs, 6);
+            (Interconnect::Snooping, procs, w)
+        }
+        FaultMatrixFabric::Directory(procs) => {
+            let w = OracleWorkload::arbitrary_with_procs(&mut src, procs, 2);
+            (Interconnect::Directory, procs, w)
+        }
+    };
     let cfg = MachineConfig::builder()
         .scheme(scheme)
         .procs(procs)
         .retention(retention)
+        .interconnect(interconnect)
         .seed(src.next_raw())
         .max_cycles(FAULT_MATRIX_BUDGET)
         .faults(FaultConfig::intensity(fault_seed, level))
         .build();
-    let w = OracleWorkload::arbitrary(&mut src, procs, 6);
     w.check(&cfg).map_err(|e| {
         format!(
-            "fault matrix violation (scheme {scheme}, fault seed {fault_seed:#x}, \
-             intensity {level}): {e}\n    config: {cfg:?}\n    workload: {w:?}"
+            "fault matrix violation (scheme {scheme}, fabric {interconnect}/{procs}p, \
+             fault seed {fault_seed:#x}, intensity {level}): {e}\n    config: {cfg:?}\n    \
+             workload: {w:?}"
         )
     })
+}
+
+/// Which ordering fabric a fault-matrix cell runs against. Cells
+/// rotate through the bus and 32- and 64-processor directory machines
+/// so chaos exercises the directed-invalidation paths at scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultMatrixFabric {
+    Snooping,
+    Directory(usize),
+}
+
+impl FaultMatrixFabric {
+    fn for_seed_index(i: u32) -> Self {
+        match i % 3 {
+            0 => FaultMatrixFabric::Snooping,
+            1 => FaultMatrixFabric::Directory(32),
+            _ => FaultMatrixFabric::Directory(64),
+        }
+    }
 }
 
 /// Sweeps (workload × scheme × fault seed) through the serializability
@@ -179,13 +221,14 @@ pub fn fault_matrix(name: &str, root_seed: u64, seeds: u32, pool: &Pool) {
             schemes.into_iter().map(move |scheme| {
                 let fault_seed = SimRng::nth(root_seed, u64::from(i));
                 let level = 1 + i % FaultConfig::MAX_INTENSITY;
+                let fabric = FaultMatrixFabric::for_seed_index(i);
                 let coords = CellCoords {
-                    workload: format!("fault-matrix-{i}"),
+                    workload: format!("fault-matrix-{i}-{fabric:?}"),
                     scheme: scheme.label().to_string(),
                     procs: level as usize,
                     seed: fault_seed,
                 };
-                Job::new(coords, move |_| fault_matrix_cell(scheme, fault_seed, level))
+                Job::new(coords, move |_| fault_matrix_cell(scheme, fault_seed, level, fabric))
             })
         })
         .collect();
@@ -249,6 +292,7 @@ mod tests {
         assert_eq!(cfg.scheme, Scheme::ALL[0]);
         assert_eq!(cfg.num_procs, 1);
         assert_eq!(cfg.retention, RetentionPolicy::Deferral);
+        assert_eq!(cfg.interconnect, Interconnect::Snooping);
         assert_eq!(cfg.timestamp_bits, 32);
         assert_eq!(cfg.seed, 0);
         assert_eq!(cfg.faults, FaultConfig::off(), "the simplest machine is fault-free");
@@ -274,9 +318,28 @@ mod tests {
 
     #[test]
     fn fault_matrix_cells_are_deterministic() {
-        // Same (scheme, seed, level) => same verdict; and the cell
-        // actually runs a faulty machine.
-        assert_eq!(fault_matrix_cell(Scheme::Tlr, 7, 4), fault_matrix_cell(Scheme::Tlr, 7, 4));
+        // Same (scheme, seed, level, fabric) => same verdict; and the
+        // cell actually runs a faulty machine.
+        assert_eq!(
+            fault_matrix_cell(Scheme::Tlr, 7, 4, FaultMatrixFabric::Snooping),
+            fault_matrix_cell(Scheme::Tlr, 7, 4, FaultMatrixFabric::Snooping)
+        );
+    }
+
+    #[test]
+    fn fault_matrix_rotates_through_the_fabrics() {
+        assert_eq!(FaultMatrixFabric::for_seed_index(0), FaultMatrixFabric::Snooping);
+        assert_eq!(FaultMatrixFabric::for_seed_index(1), FaultMatrixFabric::Directory(32));
+        assert_eq!(FaultMatrixFabric::for_seed_index(2), FaultMatrixFabric::Directory(64));
+        assert_eq!(FaultMatrixFabric::for_seed_index(3), FaultMatrixFabric::Snooping);
+    }
+
+    #[test]
+    fn directory_chaos_cell_passes_at_scale() {
+        // One pinned 32-processor directory cell under full-intensity
+        // chaos; the matrix sweeps many more in CI and the root tests.
+        fault_matrix_cell(Scheme::Tlr, 0xd1c7_5eed, 4, FaultMatrixFabric::Directory(32))
+            .expect("32-proc directory chaos cell");
     }
 
     #[test]

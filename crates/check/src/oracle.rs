@@ -80,6 +80,25 @@ impl OracleWorkload {
         let num_words = s.usize_in(1..=6);
         let packed = s.bool();
         let procs = s.usize_in(1..=max_procs.max(1));
+        Self::arbitrary_threads(s, num_words, packed, procs, max_iters)
+    }
+
+    /// As [`Self::arbitrary`], but with *exactly* `procs` threads —
+    /// scalability cells need full-width machines, not a drawn thread
+    /// count.
+    pub fn arbitrary_with_procs(s: &mut Source, procs: usize, max_iters: u64) -> Self {
+        let num_words = s.usize_in(1..=6);
+        let packed = s.bool();
+        Self::arbitrary_threads(s, num_words, packed, procs, max_iters)
+    }
+
+    fn arbitrary_threads(
+        s: &mut Source,
+        num_words: usize,
+        packed: bool,
+        procs: usize,
+        max_iters: u64,
+    ) -> Self {
         let threads = (0..procs)
             .map(|_| ThreadSpec {
                 words: gen::distinct_vec_of(s, 1..=3.min(num_words), |s| {

@@ -1,0 +1,140 @@
+//! The interconnect-equivalence wall: the banked home-node directory
+//! is a different *timing* for the same architecture, not a different
+//! correctness story. On machine sizes both fabrics support (≤16
+//! processors) every configuration must, under both the snooping bus
+//! and the directory:
+//!
+//! * keep the two engines byte-identical (same `MachineStats`, same
+//!   trace, same final cycle) — the directory's bank scheduling must
+//!   not leak nondeterminism into the event engine;
+//! * satisfy the serializability oracle — lock-free execution stays
+//!   lock-free when invalidations are directed instead of broadcast;
+//! * commit the same shared-memory sums — the fabrics may serialize
+//!   critical sections in different orders at different cycles, but
+//!   the committed commutative state is fabric-invariant.
+//!
+//! Stats, cycle counts, and serialization orders legitimately differ
+//! across fabrics (that difference is the experiment in
+//! `exp_scalability`); nothing here compares those.
+
+use tlr_check::diff::check_engines;
+use tlr_check::fuzz::arbitrary_config;
+use tlr_check::oracle::{OracleWorkload, LOCK};
+use tlr_check::{prop, Source};
+use tlr_mem::addr::Addr;
+use tlr_sim::config::{Interconnect, MachineConfig, Scheme};
+use tlr_sim::fault::FaultConfig;
+use tlr_sim::pool::Pool;
+
+/// Runs `w` under `cfg` and returns the committed fabric-invariant
+/// memory image: every shared word plus the lock word.
+fn committed_words(w: &OracleWorkload, cfg: &MachineConfig) -> Result<Vec<u64>, String> {
+    let mut m = w.build_machine(cfg);
+    m.run().map_err(|e| format!("failed to quiesce: {e}"))?;
+    let mut words: Vec<u64> =
+        (0..w.num_words).map(|i| m.final_word(w.word_addr(i))).collect();
+    words.push(m.final_word(Addr(LOCK)));
+    Ok(words)
+}
+
+/// One differential case: a fuzzed configuration and workload, taken
+/// through both fabrics for each paper scheme.
+fn fabric_case(s: &mut Source) -> Result<(), String> {
+    let cfg = arbitrary_config(s);
+    let w = OracleWorkload::arbitrary(s, cfg.num_procs, 4);
+    for scheme in [Scheme::Base, Scheme::Sle, Scheme::Tlr] {
+        let mut images = Vec::new();
+        for interconnect in [Interconnect::Snooping, Interconnect::Directory] {
+            let mut c = cfg.clone();
+            c.scheme = scheme;
+            c.interconnect = interconnect;
+            check_engines(|engine| {
+                let mut c = c.clone();
+                c.engine = engine;
+                w.build_machine(&c)
+            })
+            .map_err(|e| {
+                format!(
+                    "engine divergence under {interconnect} (scheme {scheme}): {e}\n    \
+                     config: {c:?}\n    workload: {w:?}"
+                )
+            })?;
+            w.check(&c).map_err(|e| {
+                format!(
+                    "oracle violation under {interconnect} (scheme {scheme}): {e}\n    \
+                     config: {c:?}\n    workload: {w:?}"
+                )
+            })?;
+            images.push(committed_words(&w, &c).map_err(|e| {
+                format!("{interconnect} (scheme {scheme}): {e}\n    config: {c:?}")
+            })?);
+        }
+        if images[0] != images[1] {
+            return Err(format!(
+                "committed memory differs across fabrics (scheme {scheme}): snooping \
+                 {:?} != directory {:?}\n    config: {cfg:?}\n    workload: {w:?}",
+                images[0], images[1]
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[test]
+fn directory_matches_snooping_on_fuzzed_configs() {
+    // 18 fuzzed configs x BASE/SLE/TLR x both fabrics, each fabric
+    // checked with both engines and the serializability oracle;
+    // `TLR_CHECK_CASES` scales the sweep.
+    let mut cfg = prop::Config::from_env(18);
+    cfg.max_shrink_checks = 32;
+    prop::check_with_pool("interconnect_equivalence", cfg, &Pool::from_env(), fabric_case);
+}
+
+#[test]
+fn directory_engines_agree_under_explicit_chaos() {
+    // Guaranteed-chaos directory cells: every fault kind active,
+    // intensity cycling through the full range, at processor counts
+    // the bus cannot reach.
+    for (i, procs) in [(0u32, 8usize), (1, 12), (2, 16), (3, 16)] {
+        let fault_seed = 0xd1_c7_0a05_u64.wrapping_add(u64::from(i) * 0x9e37_79b9);
+        let level = 1 + i % FaultConfig::MAX_INTENSITY;
+        for scheme in [Scheme::Base, Scheme::Sle, Scheme::Tlr] {
+            let mut src = Source::from_seed(fault_seed);
+            let w = OracleWorkload::arbitrary_with_procs(&mut src, procs, 2);
+            let cfg = MachineConfig::builder()
+                .scheme(scheme)
+                .procs(procs)
+                .interconnect(Interconnect::Directory)
+                .seed(src.next_raw())
+                .max_cycles(8_000_000)
+                .faults(FaultConfig::intensity(fault_seed, level))
+                .build();
+            check_engines(|engine| {
+                let mut c = cfg.clone();
+                c.engine = engine;
+                w.build_machine(&c)
+            })
+            .unwrap_or_else(|e| {
+                panic!(
+                    "directory chaos divergence (scheme {scheme}, {procs} procs, fault \
+                     seed {fault_seed:#x}, intensity {level}): {e}\n    workload: {w:?}"
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn directory_accepts_the_paper_configuration_at_sixteen_procs() {
+    // The largest machine both fabrics support, on the paper-default
+    // geometry: full oracle acceptance under the directory for every
+    // scheme, with a contended workload (all threads share the words).
+    let mut src = Source::from_seed(0x16_d1_c7);
+    let w = OracleWorkload::arbitrary_with_procs(&mut src, 16, 2);
+    for scheme in Scheme::ALL {
+        let mut cfg = MachineConfig::paper_default(scheme, 16);
+        cfg.interconnect = Interconnect::Directory;
+        cfg.max_cycles = 50_000_000;
+        w.check(&cfg).unwrap_or_else(|e| panic!("{scheme}: {e}"));
+    }
+}

@@ -32,8 +32,8 @@ use tlr_mem::mshr::{Intervention, MshrEntry};
 use tlr_mem::msg::{BusReqKind, BusRequest, DataGrant, NetMsg};
 use tlr_mem::protocol;
 use tlr_mem::timestamp::Timestamp;
-use tlr_mem::{Bus, MemorySystem, Network};
-use tlr_sim::config::{Engine, MachineConfig, UntimestampedPolicy};
+use tlr_mem::{Bus, Directory, MemorySystem, Network};
+use tlr_sim::config::{Engine, Interconnect, MachineConfig, UntimestampedPolicy};
 use tlr_sim::fault::FaultPlan;
 use tlr_sim::prof::{Gauges, Profiler, WakeSource};
 use tlr_sim::trace::{Trace, TraceKind};
@@ -68,6 +68,10 @@ struct Ctx<'a> {
     net: &'a mut Network<NetMsg>,
     memsys: &'a mut MemorySystem,
     bus: &'a mut Bus,
+    /// The home directory, when the machine runs the directory
+    /// interconnect; coherence requests then travel point-to-point to
+    /// their home bank instead of arbitrating for the bus.
+    dir: Option<&'a mut Directory>,
     /// The protocol-owner ledger; kept in the context for policy
     /// extensions that must follow bus order when touching it.
     #[allow(dead_code)]
@@ -88,6 +92,17 @@ impl Ctx<'_> {
 
     fn ts_bits(&self) -> u32 {
         self.cfg.timestamp_bits
+    }
+
+    /// Routes a coherence request to the machine's ordering fabric:
+    /// bus arbitration on snooping machines, a request flight to the
+    /// home bank on directory machines. The single choke point for
+    /// every request issued by a node.
+    fn send_req(&mut self, node: NodeId, req: BusRequest) {
+        match self.dir.as_deref_mut() {
+            Some(d) => d.send(self.now, req),
+            None => self.bus.enqueue(node, req),
+        }
     }
 
     /// Whether the chaos layer annuls the open transaction at this
@@ -218,6 +233,10 @@ pub struct Machine {
     cycle: Cycle,
     nodes: Vec<Node>,
     bus: Bus,
+    /// The banked home directory; `Some` only under
+    /// [`Interconnect::Directory`]. The bus then stays empty for the
+    /// whole run and the directory is the ordering fabric.
+    dir: Option<Directory>,
     net: Network<NetMsg>,
     memsys: MemorySystem,
     /// Protocol-owner ledger: the node last granted exclusive (or
@@ -245,6 +264,9 @@ pub struct Machine {
     woken: Vec<bool>,
     /// Scratch: this cycle's network deliveries (capacity reuse).
     net_scratch: Vec<NetMsg>,
+    /// Scratch: this cycle's directory-ordered requests (capacity
+    /// reuse; empty on snooping machines).
+    dir_scratch: Vec<BusRequest>,
     /// Scratch: burst mode's active-node set (capacity reuse).
     burst_scratch: Vec<usize>,
     /// Scratch: per-node involvement flags for the snoop being
@@ -283,6 +305,14 @@ impl Machine {
     pub fn new(cfg: MachineConfig, programs: Vec<Arc<Program>>, lock_addrs: HashSet<Addr>) -> Self {
         assert_eq!(programs.len(), cfg.num_procs, "one program per processor required");
         assert_eq!(cfg.line_bytes(), tlr_mem::LINE_BYTES, "line size fixed at 64 bytes");
+        assert!(
+            cfg.num_procs <= cfg.interconnect.max_procs(),
+            "{} processors exceed the {} interconnect's supported maximum of {} \
+             (use Interconnect::Directory for larger machines)",
+            cfg.num_procs,
+            cfg.interconnect.label(),
+            cfg.interconnect.max_procs(),
+        );
         let mut rng = SimRng::new(cfg.seed);
         let nodes = programs
             .into_iter()
@@ -291,10 +321,21 @@ impl Machine {
             .collect::<Vec<_>>();
         let mut stats = MachineStats::new(cfg.num_procs);
         let mut bus = Bus::new(cfg.num_procs, cfg.latency.bus_occupancy);
+        let mut dir = (cfg.interconnect == Interconnect::Directory).then(|| {
+            let banks = if cfg.dir_banks == 0 { cfg.num_procs } else { cfg.dir_banks };
+            Directory::new(cfg.num_procs, banks, cfg.latency.bus_occupancy, cfg.req_network)
+        });
+        let stats_dir_banks = dir.as_ref().map_or(0, |d| d.banks());
+        stats.dir.banks = stats_dir_banks as u64;
         let mut net = Network::new();
         if cfg.faults.enabled {
             bus.set_fault(cfg.faults.bus_fault());
             net.set_fault(cfg.faults.net_fault());
+            if let Some(d) = &mut dir {
+                // The directory's request network gets its own jitter
+                // stream so the data network's draws are untouched.
+                d.set_fault(cfg.faults.net_fault());
+            }
             // Capacity squeezes are static configuration; record what
             // was withheld so degradation curves can report it.
             for i in 0..cfg.num_procs {
@@ -311,6 +352,7 @@ impl Machine {
         }
         Machine {
             bus,
+            dir,
             net,
             memsys: MemorySystem::new(cfg.l2_sets, cfg.l2_ways, cfg.latency.l2, cfg.latency.memory),
             owner: HashMap::new(),
@@ -325,6 +367,7 @@ impl Machine {
             snoops: VecDeque::new(),
             woken: vec![false; cfg.num_procs],
             net_scratch: Vec::new(),
+            dir_scratch: Vec::new(),
             burst_scratch: Vec::new(),
             snoop_touch: Vec::new(),
             engine_steps: 0,
@@ -338,6 +381,7 @@ impl Machine {
             burst_ticks: 0,
             prof: cfg.profile.profiler().map(|mut p| {
                 p.bus_occupancy = cfg.latency.bus_occupancy;
+                p.dir_banks = stats_dir_banks;
                 p
             }),
             cfg,
@@ -421,6 +465,7 @@ impl Machine {
         }) && self.bus.pending() == 0
             && self.net.is_empty()
             && self.snoops.is_empty()
+            && self.dir.as_ref().is_none_or(Directory::is_empty)
     }
 
     /// Runs until quiescence.
@@ -527,6 +572,7 @@ impl Machine {
         // machine-level work, so the scan below would be wasted.
         if self.cycle + 1 >= bound
             || self.bus.pending() > 0
+            || self.dir.as_ref().is_some_and(|d| d.pending() > 0)
             || self.net.next_ready().is_some_and(|c| c <= self.cycle + 2)
         {
             return;
@@ -569,6 +615,11 @@ impl Machine {
             let mut h = horizon;
             if let Some(c) = self.bus.next_order_cycle(self.cycle) {
                 h = h.min(c);
+            }
+            if let Some(d) = &self.dir {
+                if let Some(c) = d.next_order_cycle(self.cycle) {
+                    h = h.min(c);
+                }
             }
             if let Some(c) = self.net.next_ready() {
                 h = h.min(c.max(self.cycle + 1));
@@ -659,6 +710,11 @@ impl Machine {
         };
         if let Some(c) = self.bus.next_order_cycle(self.cycle) {
             consider(c, WakeSource::Bus);
+        }
+        if let Some(d) = &self.dir {
+            if let Some(c) = d.next_order_cycle(self.cycle) {
+                consider(c, WakeSource::Directory);
+            }
         }
         if let Some(c) = self.net.next_ready() {
             consider(c, WakeSource::Network);
@@ -996,19 +1052,22 @@ impl Machine {
         self.engine_steps += 1;
         let fault_traced = self.cfg.faults.enabled && self.trace.is_enabled();
         let (net_before, bus_before) = if fault_traced {
-            (self.net.fault_injections(), self.bus.fault_injections())
+            (
+                self.net.fault_injections()
+                    + self.dir.as_ref().map_or(0, |d| d.fault_injections()),
+                self.bus.fault_injections(),
+            )
         } else {
             (0, 0)
         };
         for w in self.woken.iter_mut() {
             *w = false;
         }
-        // 1. Order at most one address-bus transaction; the ordering
-        //    point mutates the requester (and the NACKing owner), so
-        //    `order_request` marks them woken.
-        if let Some(req) = self.bus.tick(self.cycle) {
-            self.order_request(req);
-        }
+        // 1. Order at most one address-bus transaction (or, on
+        //    directory machines, up to one request per free home
+        //    bank); the ordering point mutates the requester (and the
+        //    NACKing owner), so `order_request` marks them woken.
+        self.order_phase();
         // 2. Deliver data-network messages; each delivery mutates its
         //    destination. Drained through a reused scratch buffer —
         //    snapshot semantics (messages sent while handling these
@@ -1104,7 +1163,9 @@ impl Machine {
                     TraceKind::FaultInjected { kind: "bus_arbitration", payload: bus_delta },
                 );
             }
-            let net_delta = self.net.fault_injections() - net_before;
+            let net_delta = self.net.fault_injections()
+                + self.dir.as_ref().map_or(0, |d| d.fault_injections())
+                - net_before;
             if net_delta > 0 {
                 self.trace.record(
                     self.cycle,
@@ -1130,6 +1191,8 @@ impl Machine {
         }
         Gauges {
             bus_ordered: self.bus.ordered_count(),
+            dir_ordered: self.dir.as_ref().map_or(0, |d| d.ordered_count()),
+            dir_depth: self.dir.as_ref().map_or(0, |d| d.pending()),
             net_sent: self.net.sent_count(),
             net_depth: self.net.len(),
             snoop_depth: self.snoops.len(),
@@ -1189,8 +1252,15 @@ impl Machine {
         self.stats.parallel_cycles =
             self.nodes.iter().filter_map(|n| n.done_at).max().unwrap_or(self.cycle);
         self.stats.elapsed_cycles = self.cycle;
-        self.stats.faults.net_delays = self.net.fault_injections();
+        // Directory request-network jitter rides the same knob as data
+        // network jitter, so both count as net delays.
+        self.stats.faults.net_delays = self.net.fault_injections()
+            + self.dir.as_ref().map_or(0, |d| d.fault_injections());
         self.stats.faults.bus_reorders = self.bus.fault_injections();
+        if let Some(d) = &self.dir {
+            self.stats.dir.requests_ordered = d.ordered_count();
+            self.stats.dir.requests_sent = d.sent_count();
+        }
         // Every started elision must have ended exactly one way; drift
         // here means a counter was forgotten somewhere in this file.
         #[cfg(debug_assertions)]
@@ -1278,6 +1348,7 @@ impl Machine {
             net: &mut self.net,
             memsys: &mut self.memsys,
             bus: &mut self.bus,
+            dir: self.dir.as_mut(),
             owner: &mut self.owner,
             stats: &mut self.stats,
             trace: &mut self.trace,
@@ -1295,14 +1366,17 @@ impl Machine {
         // runs surface each cycle's delta as events at node 0.
         let fault_traced = self.cfg.faults.enabled && self.trace.is_enabled();
         let (net_before, bus_before) = if fault_traced {
-            (self.net.fault_injections(), self.bus.fault_injections())
+            (
+                self.net.fault_injections()
+                    + self.dir.as_ref().map_or(0, |d| d.fault_injections()),
+                self.bus.fault_injections(),
+            )
         } else {
             (0, 0)
         };
-        // 1. Order at most one address-bus transaction.
-        if let Some(req) = self.bus.tick(self.cycle) {
-            self.order_request(req);
-        }
+        // 1. Order at most one address-bus transaction (or up to one
+        //    per free home bank on directory machines).
+        self.order_phase();
         // 2. Deliver data-network messages.
         let msgs = self.net.drain_ready(self.cycle);
         for msg in msgs {
@@ -1335,7 +1409,9 @@ impl Machine {
                     TraceKind::FaultInjected { kind: "bus_arbitration", payload: bus_delta },
                 );
             }
-            let net_delta = self.net.fault_injections() - net_before;
+            let net_delta = self.net.fault_injections()
+                + self.dir.as_ref().map_or(0, |d| d.fault_injections())
+                - net_before;
             if net_delta > 0 {
                 self.trace.record(
                     self.cycle,
@@ -1345,6 +1421,25 @@ impl Machine {
             }
         }
         self.maybe_sample();
+    }
+
+    /// Runs this cycle's ordering point(s): the single address-bus
+    /// slot, or — on directory machines — every home bank whose
+    /// occupancy window has expired, in bank-index order. The fixed
+    /// bank order keeps the cycle-stepped and event engines' RNG draw
+    /// sequences identical.
+    fn order_phase(&mut self) {
+        if let Some(d) = self.dir.as_mut() {
+            let mut ordered = std::mem::take(&mut self.dir_scratch);
+            ordered.clear();
+            d.tick_into(self.cycle, &mut ordered);
+            for req in ordered.drain(..) {
+                self.order_request(req);
+            }
+            self.dir_scratch = ordered;
+        } else if let Some(req) = self.bus.tick(self.cycle) {
+            self.order_request(req);
+        }
     }
 
     /// Handles an address-bus transaction at its ordering point.
@@ -1363,8 +1458,13 @@ impl Machine {
                     let p = node.pending_wb.remove(pos);
                     if !p.cancelled {
                         self.memsys.writeback(req.line, p.data);
-                        if self.owner.get(&req.line) == Some(&req.requester) {
-                            self.owner.remove(&req.line);
+                        match self.dir.as_mut() {
+                            Some(d) => d.retire_writeback(req.line, req.requester),
+                            None => {
+                                if self.owner.get(&req.line) == Some(&req.requester) {
+                                    self.owner.remove(&req.line);
+                                }
+                            }
                         }
                     }
                 }
@@ -1381,14 +1481,28 @@ impl Machine {
                 } else {
                     self.stats.bus.get_s += 1;
                 }
-                let other_sharers = self.nodes.iter().enumerate().any(|(j, n)| {
-                    j != req.requester && n.line_state(req.line).is_valid()
-                });
-                let supplier = match self.owner.get(&req.line) {
-                    Some(&o) if o != req.requester => Some(o),
-                    _ => None,
+                // The bus ordering point snoops every cache, so the
+                // sharer scan is exact; the directory consults its
+                // (conservatively imprecise) sharer vector instead and
+                // yields the directed target set for the snoop phase.
+                let (supplier, other_sharers, self_owner, targets) = match self.dir.as_ref() {
+                    Some(d) => {
+                        let dec = d.peek_order(&req);
+                        let self_owner = d.owner(req.line) == Some(req.requester);
+                        (dec.supplier, dec.other_sharers, self_owner, Some(dec.targets))
+                    }
+                    None => {
+                        let other_sharers = self.nodes.iter().enumerate().any(|(j, n)| {
+                            j != req.requester && n.line_state(req.line).is_valid()
+                        });
+                        let supplier = match self.owner.get(&req.line) {
+                            Some(&o) if o != req.requester => Some(o),
+                            _ => None,
+                        };
+                        let self_owner = self.owner.get(&req.line) == Some(&req.requester);
+                        (supplier, other_sharers, self_owner, None)
+                    }
                 };
-                let self_owner = self.owner.get(&req.line) == Some(&req.requester);
                 // NACK retention (§3): the owner's refusal is asserted
                 // at the ordering point — the transaction is annulled,
                 // no ownership transfers, every snooper ignores it.
@@ -1407,9 +1521,17 @@ impl Machine {
                         }
                     }
                 }
-                // Ledger update at the ordering point.
-                if req.kind == BusReqKind::GetX || (supplier.is_none() && !other_sharers) {
-                    self.owner.insert(req.line, req.requester);
+                // Ledger update at the ordering point. (A NACKed
+                // request returns above without reaching this, so an
+                // annulled transaction transfers no state in either
+                // fabric.)
+                match self.dir.as_mut() {
+                    Some(d) => d.commit_order(&req),
+                    None => {
+                        if req.kind == BusReqKind::GetX || (supplier.is_none() && !other_sharers) {
+                            self.owner.insert(req.line, req.requester);
+                        }
+                    }
                 }
                 if supplier.is_none() {
                     dbglog!("[{}] MEMSUPPLY line={} to={} self_owner={}", now, req.line.0, req.requester, self_owner);
@@ -1436,6 +1558,7 @@ impl Machine {
                             req,
                             supplier: None,
                             other_sharers,
+                            targets,
                         });
                         return;
                     }
@@ -1490,6 +1613,7 @@ impl Machine {
                     req,
                     supplier,
                     other_sharers,
+                    targets,
                 });
             }
             BusReqKind::Upgrade => {
@@ -1582,6 +1706,16 @@ fn deliver_one(nodes: &mut [Node], ctx: &mut Ctx, msg: NetMsg) {
 /// change, no stats, no trace, no randomness), so skipping the call
 /// is exact.
 fn node_involved(node: &Node, ev: &SnoopEvent) -> bool {
+    // Directory requests are directed, not broadcast: only the nodes
+    // in the ordering decision's target set ever see the snoop. Within
+    // the targets the broadcast predicate below still applies — a
+    // stale sharer bit (silent clean eviction) names a node that
+    // no-ops through `snoop_one`, and the predicate proves it.
+    if let Some(t) = &ev.targets {
+        if !t.contains(node.id) {
+            return false;
+        }
+    }
     ev.req.requester == node.id
         || ev.supplier == Some(node.id)
         || !node.mshrs.is_empty()
@@ -1712,7 +1846,7 @@ fn issue_miss(node: &mut Node, ctx: &mut Ctx, line: LineAddr, exclusive: bool, t
     let e = node.mshrs.alloc(MshrEntry::new(line, exclusive, ts)).expect("mshr alloc");
     e.issued = true;
     dbglog!("[{}] n{} issue_miss line={} x={}", ctx.now, node.id, line.0, exclusive);
-    ctx.bus.enqueue(
+    ctx.send_req(
         node.id,
         BusRequest {
             requester: node.id,
@@ -1747,7 +1881,7 @@ fn install_line(node: &mut Node, ctx: &mut Ctx, entry: CacheLine) -> Result<(), 
     // clean: the node may still owe a deferred response for them.
     if evicted2.state.dirty() || evicted2.spec_accessed() {
         node.pending_wb.push(PendingWriteback { line: evicted2.line, data: evicted2.data, cancelled: false });
-        ctx.bus.enqueue(
+        ctx.send_req(
             node.id,
             BusRequest {
                 requester: node.id,
@@ -2669,7 +2803,7 @@ fn handle_nack(node: &mut Node, ctx: &mut Ctx, line: LineAddr) {
 fn retry_nacked(node: &mut Node, ctx: &mut Ctx) {
     for line in node.nack_retries.take_due(ctx.now) {
         if let Some(m) = node.mshrs.get(line) {
-            ctx.bus.enqueue(
+            ctx.send_req(
                 node.id,
                 BusRequest {
                     requester: node.id,

@@ -102,6 +102,10 @@ pub struct SnoopEvent {
     /// Whether other caches held valid copies at order time (grant
     /// computation).
     pub other_sharers: bool,
+    /// The directed snoop target set, when the request was ordered by
+    /// the home-node directory. `None` on bus machines (broadcast:
+    /// every cache snoops).
+    pub targets: Option<tlr_mem::NodeSet>,
 }
 
 /// One processor node.

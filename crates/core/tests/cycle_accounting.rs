@@ -16,7 +16,7 @@ use std::sync::Arc;
 use tlr_core::{run_preemptive, Machine, Preemption};
 use tlr_cpu::{Asm, Program};
 use tlr_mem::Addr;
-use tlr_sim::config::{Engine, MachineConfig, Scheme};
+use tlr_sim::config::{Engine, Interconnect, MachineConfig, Scheme};
 use tlr_sim::fault::FaultConfig;
 use tlr_sync::tatas::{self, TatasRegs};
 
@@ -51,8 +51,20 @@ fn incrementer(iters: u64) -> Arc<Program> {
 }
 
 fn machine(scheme: Scheme, engine: Engine, faults: FaultConfig, procs: usize, iters: u64) -> Machine {
+    machine_on(Interconnect::Snooping, scheme, engine, faults, procs, iters)
+}
+
+fn machine_on(
+    interconnect: Interconnect,
+    scheme: Scheme,
+    engine: Engine,
+    faults: FaultConfig,
+    procs: usize,
+    iters: u64,
+) -> Machine {
     let mut cfg = MachineConfig::paper_default(scheme, procs);
     cfg.engine = engine;
+    cfg.interconnect = interconnect;
     cfg.faults = faults;
     cfg.max_cycles = 50_000_000;
     Machine::new(cfg, vec![incrementer(iters); procs], HashSet::from([Addr(LOCK)]))
@@ -108,6 +120,31 @@ fn identity_holds_under_fault_injection() {
             m.stats().faults.spurious_aborts > 0,
             "intensity-3 chaos on a contended counter must inject aborts"
         );
+    }
+}
+
+#[test]
+fn identity_holds_on_directory_machines_past_the_bus_limit() {
+    // 64 and 128 processors are unreachable on the snooping bus; the
+    // directory cells audit the identity at machine widths where the
+    // event engine's settling paths (idle charges, spin fast-forward)
+    // do the bulk of the accounting. Both engines, with and without
+    // chaos.
+    for (procs, iters) in [(64usize, 8u64), (128, 4)] {
+        for engine in [Engine::EventDriven, Engine::CycleStepped] {
+            for faults in [FaultConfig::off(), FaultConfig::intensity(0xd1c7_acc7, 2)] {
+                let what = format!(
+                    "directory {procs}p / {engine:?} / faults={}",
+                    faults.enabled
+                );
+                audit(
+                    machine_on(Interconnect::Directory, Scheme::Tlr, engine, faults, procs, iters),
+                    procs,
+                    iters,
+                    &what,
+                );
+            }
+        }
     }
 }
 

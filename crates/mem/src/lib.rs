@@ -17,6 +17,8 @@
 //!   probe messages of §3.1.1,
 //! * [`protocol`] — the pure MOESI transition rules,
 //! * [`bus`] — the ordered, split-transaction broadcast address bus,
+//! * [`directory`] — the banked home-node directory, the scalable
+//!   alternative ordering fabric to the bus,
 //! * [`network`] — the point-to-point pipelined data network,
 //! * [`memsys`] — the shared L2 and backing memory,
 //! * [`timestamp`] — TLR's globally unique timestamps (§2.1.2),
@@ -29,6 +31,7 @@
 pub mod addr;
 pub mod bus;
 pub mod cache;
+pub mod directory;
 pub mod line;
 pub mod memsys;
 pub mod mshr;
@@ -43,6 +46,7 @@ pub mod wb;
 pub use addr::{Addr, LineAddr, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
 pub use bus::Bus;
 pub use cache::Cache;
+pub use directory::{DirEntry, Directory, NodeSet, OrderDecision};
 pub use line::{CacheLine, LineData, Moesi};
 pub use memsys::MemorySystem;
 pub use mshr::{Intervention, MshrEntry, MshrFile, RetryTimers};

@@ -55,6 +55,16 @@ pub struct BusRequest {
     pub enqueued_at: Cycle,
 }
 
+impl BusRequest {
+    /// The home directory bank responsible for ordering this request:
+    /// lines are interleaved across banks by low-order line address,
+    /// so hot lines on different addresses land on different ordering
+    /// points.
+    pub fn home_bank(&self, banks: usize) -> usize {
+        (self.line.0 % banks as u64) as usize
+    }
+}
+
 /// The coherence state granted to a requester when its data arrives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataGrant {

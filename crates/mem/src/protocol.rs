@@ -8,6 +8,8 @@
 //! builds on without modification ("We do not require changes to the
 //! coherence protocol state transitions", §3).
 
+use tlr_sim::NodeId;
+
 use crate::line::Moesi;
 use crate::msg::{BusReqKind, DataGrant};
 
@@ -80,6 +82,55 @@ pub fn fill_grant(kind: BusReqKind, other_sharers: bool, from_cache: bool) -> Da
     }
 }
 
+/// What the home directory decides when a request reaches its bank's
+/// ordering point. This is the directory-protocol analogue of the
+/// snooping machine's owner-ledger consultation: the same rules,
+/// expressed over the directory's (owner, sharer-vector) entry instead
+/// of a broadcast snoop of every cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirOutcome {
+    /// The cache designated to supply (the registered owner, when it
+    /// is not the requester itself). `None` means memory supplies.
+    pub supplier: Option<NodeId>,
+    /// Whether any node other than the requester is registered as
+    /// holding a copy — decides Shared vs. Exclusive grants exactly as
+    /// the snooping machine's cache scan does. The sharer vector is
+    /// imprecise (silent clean evictions are never reported), so this
+    /// may be a stale positive; that only downgrades a grant from
+    /// Exclusive to Shared, never the reverse.
+    pub other_sharers: bool,
+    /// Whether the entry's owner field moves to the requester at the
+    /// ordering point: always for an exclusive request, and for a GetS
+    /// granted with no supplier and no other sharers (the Exclusive
+    /// grant). Mirrors the snooping ledger rule verbatim.
+    pub take_ownership: bool,
+}
+
+/// Directory ordering decision for a request of `kind` from
+/// `requester`, given the home entry's registered `owner` and whether
+/// any *other* node is registered as a sharer (`other_holders`).
+///
+/// Writebacks never come through here: they retire at the ordering
+/// point without a grant (see `Directory::retire_writeback`).
+pub fn dir_order(
+    kind: BusReqKind,
+    requester: NodeId,
+    owner: Option<NodeId>,
+    other_holders: bool,
+) -> DirOutcome {
+    debug_assert!(
+        matches!(kind, BusReqKind::GetS | BusReqKind::GetX),
+        "only data requests consult the directory entry"
+    );
+    let supplier = owner.filter(|&o| o != requester);
+    let other_sharers = other_holders || supplier.is_some();
+    DirOutcome {
+        supplier,
+        other_sharers,
+        take_ownership: kind == BusReqKind::GetX || (supplier.is_none() && !other_sharers),
+    }
+}
+
 /// The state a granted fill installs as.
 pub fn grant_state(grant: DataGrant) -> Moesi {
     match grant {
@@ -148,6 +199,30 @@ mod tests {
         assert_eq!(grant_state(DataGrant::Shared), Shared);
         assert_eq!(grant_state(DataGrant::Exclusive), Exclusive);
         assert_eq!(grant_state(DataGrant::Modified), Modified);
+    }
+
+    #[test]
+    fn dir_order_mirrors_the_snooping_ledger() {
+        // No owner, no sharers: GetS takes ownership (Exclusive grant).
+        let d = dir_order(GetS, 1, None, false);
+        assert_eq!(d, DirOutcome { supplier: None, other_sharers: false, take_ownership: true });
+        // A remote owner supplies and keeps ownership on GetS...
+        let d = dir_order(GetS, 1, Some(0), true);
+        assert_eq!(d.supplier, Some(0));
+        assert!(d.other_sharers && !d.take_ownership);
+        // ...but loses it on GetX.
+        let d = dir_order(GetX, 1, Some(0), true);
+        assert_eq!(d.supplier, Some(0));
+        assert!(d.other_sharers && d.take_ownership);
+        // The requester re-reading its own line is not its own supplier.
+        let d = dir_order(GetS, 0, Some(0), false);
+        assert_eq!(d.supplier, None);
+        assert!(!d.other_sharers, "self-ownership is not an other-sharer");
+        // Sharers without an owner force a Shared grant, no ownership.
+        let d = dir_order(GetS, 1, None, true);
+        assert_eq!(d, DirOutcome { supplier: None, other_sharers: true, take_ownership: false });
+        // GetX always takes ownership, even from a cold entry.
+        assert!(dir_order(GetX, 2, None, false).take_ownership);
     }
 
     #[test]

@@ -79,6 +79,92 @@ pub fn default_engine() -> Engine {
     }
 }
 
+/// Which coherence interconnect orders requests.
+///
+/// The paper's machine is a 16-way broadcast snooping bus
+/// (Gigaplane-like, Table 2); the directory interconnect is the
+/// NUMA-scale alternative ROADMAP item 2 calls for: per-line home
+/// banks with owner + sharer-vector state, directed invalidations
+/// instead of broadcast snoops, and point-to-point request delivery.
+/// Both interconnects order every request at exactly one point, so
+/// TLR's timestamp deferral, markers, and probes work unchanged on
+/// either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Interconnect {
+    /// Broadcast snooping over the split-transaction address bus (the
+    /// paper's machine). One global ordering point.
+    #[default]
+    Snooping,
+    /// Home-node directory: per-bank ordering points, owner + sharer
+    /// vector per line, directed request forwarding. Scales past the
+    /// bus's 16-processor knee.
+    Directory,
+}
+
+impl Interconnect {
+    /// Parses an `--interconnect` flag value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized token.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "snoop" | "snooping" | "bus" => Ok(Interconnect::Snooping),
+            "dir" | "directory" => Ok(Interconnect::Directory),
+            other => Err(format!(
+                "unknown interconnect {other:?} (expected \"snooping\" or \"directory\")"
+            )),
+        }
+    }
+
+    /// Short label for logs and benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Interconnect::Snooping => "snooping",
+            Interconnect::Directory => "directory",
+        }
+    }
+
+    /// The largest processor count this interconnect supports: the
+    /// broadcast bus is the paper's 16-way Gigaplane-class machine,
+    /// the directory's sharer vectors are sized for 256-way NUMA.
+    pub fn max_procs(self) -> usize {
+        match self {
+            Interconnect::Snooping => 16,
+            Interconnect::Directory => 256,
+        }
+    }
+}
+
+impl std::fmt::Display for Interconnect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Process-wide default interconnect, consulted when a configuration
+/// is built — the `--interconnect` analogue of [`DEFAULT_ENGINE`],
+/// with the same rules: binaries set it once in `main`, library code
+/// and tests never write it (they use
+/// [`MachineConfigBuilder::interconnect`]). `0` = snooping, `1` =
+/// directory.
+static DEFAULT_INTERCONNECT: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default interconnect. Call once, from a
+/// binary's `main`, before building any configuration.
+pub fn set_default_interconnect(interconnect: Interconnect) {
+    DEFAULT_INTERCONNECT.store(interconnect as u8, Ordering::Relaxed);
+}
+
+/// The process-wide default interconnect new configurations start
+/// from.
+pub fn default_interconnect() -> Interconnect {
+    match DEFAULT_INTERCONNECT.load(Ordering::Relaxed) {
+        0 => Interconnect::Snooping,
+        _ => Interconnect::Directory,
+    }
+}
+
 /// Process-wide default profiling switch, consulted when a
 /// configuration is built — the `--profile` analogue of
 /// [`DEFAULT_ENGINE`], with the same rules: binaries set it once in
@@ -290,6 +376,17 @@ pub struct MachineConfig {
     pub untimestamped_policy: UntimestampedPolicy,
     /// How conflict winners retain contested blocks (§3).
     pub retention: RetentionPolicy,
+    /// Which coherence interconnect orders requests (snooping bus or
+    /// home-node directory).
+    pub interconnect: Interconnect,
+    /// Directory home banks (independent ordering points). `0` means
+    /// one bank per processor; ignored on the snooping bus.
+    pub dir_banks: usize,
+    /// Point-to-point request-network latency in cycles for directory
+    /// mode: the flight time from a requester to a line's home bank.
+    /// Matches the data network's 20 cycles by default; ignored on the
+    /// snooping bus (whose requests arbitrate in place).
+    pub req_network: u64,
     /// Memory-system latencies.
     pub latency: LatencyConfig,
     /// Maximum uniform random perturbation (cycles) added to memory
@@ -336,6 +433,9 @@ impl MachineConfig {
             timestamp_bits: 32,
             untimestamped_policy: UntimestampedPolicy::default(),
             retention: RetentionPolicy::default(),
+            interconnect: default_interconnect(),
+            dir_banks: 0,
+            req_network: 20,
             latency: LatencyConfig::default(),
             latency_jitter: 2,
             seed: 0x7a3d_5eed,
@@ -439,6 +539,30 @@ impl MachineConfigBuilder {
     #[must_use]
     pub fn retention(mut self, retention: RetentionPolicy) -> Self {
         self.cfg.retention = retention;
+        self
+    }
+
+    /// Selects the coherence interconnect (the snooping bus default or
+    /// the home-node directory).
+    #[must_use]
+    pub fn interconnect(mut self, interconnect: Interconnect) -> Self {
+        self.cfg.interconnect = interconnect;
+        self
+    }
+
+    /// Sets the number of directory home banks (`0` = one per
+    /// processor). Only meaningful with
+    /// [`Interconnect::Directory`].
+    #[must_use]
+    pub fn dir_banks(mut self, banks: usize) -> Self {
+        self.cfg.dir_banks = banks;
+        self
+    }
+
+    /// Sets the directory request-network latency in cycles.
+    #[must_use]
+    pub fn req_network(mut self, latency: u64) -> Self {
+        self.cfg.req_network = latency;
         self
     }
 
@@ -623,6 +747,35 @@ mod tests {
         assert_eq!(Engine::parse("cycle-stepped"), Ok(Engine::CycleStepped));
         assert!(Engine::parse("warp").is_err());
         assert_eq!(Engine::EventDriven.label(), "event");
+    }
+
+    #[test]
+    fn interconnect_defaults_to_snooping_and_builder_overrides() {
+        let cfg = MachineConfig::paper_default(Scheme::Tlr, 4);
+        assert_eq!(cfg.interconnect, Interconnect::Snooping);
+        assert_eq!(cfg.dir_banks, 0);
+        assert_eq!(cfg.req_network, 20);
+        let cfg = MachineConfig::builder()
+            .interconnect(Interconnect::Directory)
+            .dir_banks(8)
+            .req_network(12)
+            .build();
+        assert_eq!(cfg.interconnect, Interconnect::Directory);
+        assert_eq!(cfg.dir_banks, 8);
+        assert_eq!(cfg.req_network, 12);
+    }
+
+    #[test]
+    fn interconnect_parse_labels_and_limits() {
+        assert_eq!(Interconnect::parse("snooping"), Ok(Interconnect::Snooping));
+        assert_eq!(Interconnect::parse("bus"), Ok(Interconnect::Snooping));
+        assert_eq!(Interconnect::parse("dir"), Ok(Interconnect::Directory));
+        assert_eq!(Interconnect::parse("directory"), Ok(Interconnect::Directory));
+        assert!(Interconnect::parse("mesh").is_err());
+        assert_eq!(Interconnect::Snooping.label(), "snooping");
+        assert_eq!(Interconnect::Directory.to_string(), "directory");
+        assert_eq!(Interconnect::Snooping.max_procs(), 16);
+        assert_eq!(Interconnect::Directory.max_procs(), 256);
     }
 
     #[test]

@@ -81,13 +81,16 @@ pub enum WakeSource {
     IdleTimer,
     /// A NACK retry timer fired.
     RetryTimer,
+    /// A directory request flight arrived or a home bank's occupancy
+    /// window expired with queued work.
+    Directory,
     /// Nothing was scheduled: the step ran to the caller's bound.
     Bound,
 }
 
 impl WakeSource {
     /// Number of variants (the histogram's array size).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every variant, in display order.
     pub const ALL: [WakeSource; WakeSource::COUNT] = [
@@ -97,6 +100,7 @@ impl WakeSource {
         WakeSource::SnoopFront,
         WakeSource::IdleTimer,
         WakeSource::RetryTimer,
+        WakeSource::Directory,
         WakeSource::Bound,
     ];
 
@@ -109,6 +113,7 @@ impl WakeSource {
             WakeSource::SnoopFront => "snoop front",
             WakeSource::IdleTimer => "idle timer",
             WakeSource::RetryTimer => "retry timer",
+            WakeSource::Directory => "directory order",
             WakeSource::Bound => "bound (nothing scheduled)",
         }
     }
@@ -124,6 +129,11 @@ pub struct Gauges {
     pub bus_ordered: u64,
     /// Cumulative data-network messages sent (`Network::sent_count`).
     pub net_sent: u64,
+    /// Cumulative directory requests ordered
+    /// (`Directory::ordered_count`; zero on snooping machines).
+    pub dir_ordered: u64,
+    /// Directory requests in flight or queued at a home bank.
+    pub dir_depth: usize,
     /// Data-network messages currently in flight.
     pub net_depth: usize,
     /// Global snoop queue depth.
@@ -155,6 +165,10 @@ pub struct Sample {
     pub bus_ordered: u64,
     /// Data-network messages sent within the epoch (delta).
     pub net_sent: u64,
+    /// Directory requests ordered within the epoch (delta).
+    pub dir_ordered: u64,
+    /// High-water directory pending depth observed at a boundary.
+    pub dir_depth: usize,
     /// High-water data-network depth observed at a boundary.
     pub net_depth: usize,
     /// High-water global snoop queue depth.
@@ -188,6 +202,8 @@ impl Sample {
         self.cycles += next.cycles;
         self.bus_ordered += next.bus_ordered;
         self.net_sent += next.net_sent;
+        self.dir_ordered += next.dir_ordered;
+        self.dir_depth = self.dir_depth.max(next.dir_depth);
         self.net_depth = self.net_depth.max(next.net_depth);
         self.snoop_depth = self.snoop_depth.max(next.snoop_depth);
         self.mshrs = self.mshrs.max(next.mshrs);
@@ -273,11 +289,16 @@ pub struct Profiler {
     /// Cumulative-counter snapshots at the last closed boundary.
     last_bus_ordered: u64,
     last_net_sent: u64,
+    last_dir_ordered: u64,
     /// Per-transaction address-bus occupancy in cycles, filled in by
     /// the machine from its latency configuration so downstream
     /// reports can convert ordered-transaction counts to busy cycles
     /// without re-threading the config.
     pub bus_occupancy: u64,
+    /// Home-bank count of the directory, when one is installed (zero
+    /// on snooping machines). Divides into per-bank occupancy:
+    /// `dir_ordered * bus_occupancy / (dir_banks * cycles)`.
+    pub dir_banks: usize,
     /// Engine self-profiling counters.
     pub engine: EngineProf,
 }
@@ -294,7 +315,9 @@ impl Profiler {
             samples: Vec::new(),
             last_bus_ordered: 0,
             last_net_sent: 0,
+            last_dir_ordered: 0,
             bus_occupancy: 0,
+            dir_banks: 0,
             engine: EngineProf::default(),
         }
     }
@@ -320,6 +343,8 @@ impl Profiler {
             cycles: now - self.epoch_start,
             bus_ordered: g.bus_ordered - self.last_bus_ordered,
             net_sent: g.net_sent - self.last_net_sent,
+            dir_ordered: g.dir_ordered - self.last_dir_ordered,
+            dir_depth: g.dir_depth,
             net_depth: g.net_depth,
             snoop_depth: g.snoop_depth,
             mshrs: g.mshrs,
@@ -331,6 +356,7 @@ impl Profiler {
         self.samples.push(s);
         self.last_bus_ordered = g.bus_ordered;
         self.last_net_sent = g.net_sent;
+        self.last_dir_ordered = g.dir_ordered;
         self.epoch_start = now;
         // Next boundary: the next multiple of `epoch` past `now`.
         self.next_boundary = (now / self.epoch + 1) * self.epoch;
@@ -396,6 +422,23 @@ impl Profiler {
         self.bus_utilization(self.bus_occupancy)
     }
 
+    /// Whole-run mean per-bank directory occupancy in `0.0 ..= 1.0`,
+    /// or 0 on snooping machines: each ordered request holds its home
+    /// bank for the occupancy window, and banks order independently,
+    /// so busy bank-cycles divide by `banks * elapsed`.
+    pub fn dir_utilization(&self) -> f64 {
+        if self.dir_banks == 0 {
+            return 0.0;
+        }
+        let cycles: u64 = self.samples.iter().map(|s| s.cycles).sum();
+        let ordered: u64 = self.samples.iter().map(|s| s.dir_ordered).sum();
+        if cycles == 0 {
+            0.0
+        } else {
+            (ordered * self.bus_occupancy) as f64 / (cycles * self.dir_banks as u64) as f64
+        }
+    }
+
     /// [`Profiler::saturation_verdict`] with the machine-installed
     /// occupancy.
     pub fn verdict(&self, procs: usize) -> String {
@@ -411,6 +454,26 @@ impl Profiler {
     /// machine mostly waits on lock hand-offs; otherwise the cell is
     /// compute-bound.
     pub fn saturation_verdict(&self, occupancy: u64, procs: usize) -> String {
+        // Directory machines have no bus; the saturating resource is
+        // the mean home-bank occupancy instead.
+        if self.dir_banks > 0 {
+            let dir = self.dir_utilization();
+            if dir >= 0.80 {
+                return format!(
+                    "directory-bound: {:.0}% mean bank occupancy ({} banks)",
+                    dir * 100.0,
+                    self.dir_banks
+                );
+            }
+            let peak_spin = self.peak(|s| s.spin_nodes);
+            if procs > 0 && peak_spin * 2 >= procs {
+                return format!(
+                    "contention-bound: up to {peak_spin}/{procs} nodes spinning, dir {:.0}%",
+                    dir * 100.0
+                );
+            }
+            return format!("compute-bound: dir {:.0}% mean bank occupancy", dir * 100.0);
+        }
         let bus = self.bus_utilization(occupancy);
         if bus >= 0.80 {
             return format!("bus-bound: {:.0}% occupancy", bus * 100.0);
@@ -527,6 +590,45 @@ mod tests {
         let mut p = Profiler::new(ProfConfig { enabled: true, epoch_log2: 4, max_samples: 512 });
         p.sample(16, g(0, 1));
         assert!(p.saturation_verdict(4, 16).starts_with("compute-bound"));
+    }
+
+    #[test]
+    fn directory_utilization_and_verdict() {
+        let mut p = Profiler::new(ProfConfig { enabled: true, epoch_log2: 4, max_samples: 512 });
+        p.bus_occupancy = 4;
+        assert_eq!(p.dir_utilization(), 0.0, "snooping machines report zero");
+        p.dir_banks = 2;
+        // 16 cycles, 8 orders x occupancy 4 over 2 banks = 100% busy.
+        p.sample(16, Gauges { dir_ordered: 8, ..Default::default() });
+        assert!((p.dir_utilization() - 1.0).abs() < 1e-12);
+        assert!(p.verdict(16).starts_with("directory-bound"), "{}", p.verdict(16));
+
+        let mut p = Profiler::new(ProfConfig { enabled: true, epoch_log2: 4, max_samples: 512 });
+        p.bus_occupancy = 4;
+        p.dir_banks = 8;
+        p.sample(16, Gauges { dir_ordered: 1, spin_nodes: 12, ..Default::default() });
+        assert!(p.verdict(16).starts_with("contention-bound"));
+
+        let mut p = Profiler::new(ProfConfig { enabled: true, epoch_log2: 4, max_samples: 512 });
+        p.bus_occupancy = 4;
+        p.dir_banks = 8;
+        p.sample(16, Gauges { dir_ordered: 1, ..Default::default() });
+        assert!(p.verdict(16).starts_with("compute-bound"));
+    }
+
+    #[test]
+    fn dir_samples_are_delta_based_and_merge() {
+        let mut p = Profiler::new(ProfConfig { enabled: true, epoch_log2: 2, max_samples: 4 });
+        for i in 1..=4u64 {
+            p.sample(i * 4, Gauges { dir_ordered: i * 3, dir_depth: i as usize, ..Default::default() });
+        }
+        // Overflow merged 4 samples to 2: deltas add, depth high-waters.
+        let s = p.samples();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].dir_ordered, 6);
+        assert_eq!(s[0].dir_depth, 2);
+        let total: u64 = s.iter().map(|x| x.dir_ordered).sum();
+        assert_eq!(total, 12);
     }
 
     #[test]

@@ -497,6 +497,20 @@ impl BusStats {
     }
 }
 
+/// Home-directory activity (all zero on snooping machines).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DirStats {
+    /// Requests ordered across all home banks. Each occupies its bank
+    /// for the configured occupancy window, so
+    /// `requests_ordered * occupancy / (banks * elapsed)` is the mean
+    /// per-bank occupancy — the directory's saturation metric.
+    pub requests_ordered: u64,
+    /// Request flights sent toward the home banks.
+    pub requests_sent: u64,
+    /// Number of home banks the machine was built with.
+    pub banks: u64,
+}
+
 /// Whole-machine statistics for one run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MachineStats {
@@ -504,6 +518,8 @@ pub struct MachineStats {
     pub nodes: Vec<NodeStats>,
     /// Address-bus activity.
     pub bus: BusStats,
+    /// Home-directory activity (directory interconnect only).
+    pub dir: DirStats,
     /// Data responses supplied cache-to-cache.
     pub cache_to_cache_transfers: u64,
     /// Data responses supplied by the shared L2.
