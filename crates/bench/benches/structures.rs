@@ -73,6 +73,7 @@ fn main() {
                 line: LineAddr(9),
                 kind: BusReqKind::GetX,
                 ts: None,
+                karma: 0,
                 wb_data: None,
                 enqueued_at: now,
             },

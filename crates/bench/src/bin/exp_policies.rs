@@ -1,0 +1,41 @@
+//! `exp_policies`: the pluggable contention-management comparison.
+//!
+//! Runs every conflict policy (`timestamp` — the paper's ordering —
+//! plus `backoff`, `karma` and `lazysub`, see `tlr_core::policy`)
+//! over a spectrum of contention regimes: independent counters (no
+//! conflicts), one contended counter (maximum conflict), the
+//! doubly-linked list (dynamic conflicts) and the mp3d cell-lock
+//! kernel (app-like mixed footprints). All cells run the TLR scheme;
+//! only the contention manager varies. Every cell is validated for
+//! serializability — policies may trade cycles, never correctness.
+//!
+//! ```text
+//! cargo run --release -p tlr-bench --bin exp_policies -- \
+//!     --procs 16 --json policies.json
+//! ```
+//!
+//! Shares the core flag surface (`--quick`, `--check`, `--json`,
+//! `--jobs`, `--engine`, `--interconnect`, ...) with the other
+//! binaries. `--policy` is ignored here: this binary sweeps all
+//! policies by construction.
+
+use tlr_bench::BenchOpts;
+
+fn main() {
+    let opts = BenchOpts::parse();
+    let pool = opts.pool();
+    if opts.check {
+        tlr_bench::checks::run(
+            "exp_policies",
+            tlr_bench::checks::exp_policies,
+            &pool,
+            opts.json.as_deref(),
+        );
+        return;
+    }
+    let sweep = tlr_bench::sweeps::policies(&opts, &pool);
+    sweep.print();
+    if let Some(path) = &opts.json {
+        tlr_bench::write_json_file(path, &sweep.json());
+    }
+}

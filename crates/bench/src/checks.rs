@@ -20,7 +20,7 @@
 //! coordinates in the message.
 
 use tlr_core::run::{run_workload, RunReport, WorkloadSpec};
-use tlr_sim::config::{Interconnect, MachineConfig, RetentionPolicy, Scheme};
+use tlr_sim::config::{Interconnect, MachineConfig, PolicyKind, RetentionPolicy, Scheme};
 use tlr_sim::pool::{Job, Pool};
 use tlr_workloads::apps::{figure11_apps, mp3d, mp3d_coarse};
 use tlr_workloads::micro::{doubly_linked_list, multiple_counter, single_counter};
@@ -342,6 +342,67 @@ pub fn exp_robustness(pool: &Pool) -> Result<(), String> {
         wild.iter().any(|r| r.stats.faults.total_injected() > 0),
         "max-intensity cells must actually inject faults".into(),
     )
+}
+
+/// Conflict-policy experiment: every policy is a correct contention
+/// manager — all cells validate and commit the full workload within
+/// the cycle budget (a livelocking policy would hit `max_cycles` and
+/// fail validation) — and the timestamp policy is bit-identical to
+/// the pre-policy-trait configuration path, on both a contended and
+/// an uncontended regime.
+pub fn exp_policies(pool: &Pool) -> Result<(), String> {
+    let procs = 4;
+    let contended = single_counter(procs, 256);
+    let parallel = multiple_counter(procs, 512);
+    let regimes: [&dyn WorkloadSpec; 2] = [&contended, &parallel];
+    let mut jobs = Vec::with_capacity(regimes.len() * (PolicyKind::ALL.len() + 1));
+    for &w in &regimes {
+        for kind in PolicyKind::ALL {
+            jobs.push(Job::new(cell_coords(w.name(), Scheme::Tlr, procs), move |_| {
+                let cfg = MachineConfig::builder()
+                    .scheme(Scheme::Tlr)
+                    .procs(procs)
+                    .policy(kind)
+                    // Reachable in wall clock (unlike the 60G sweep
+                    // convention), so a livelocking policy fails the
+                    // budget assertion below instead of hanging CI.
+                    .max_cycles(200_000_000)
+                    .build();
+                run_workload(&cfg, w)
+            }));
+        }
+        // Reference cell: the pre-policy configuration path.
+        jobs.push(Job::new(cell_coords(w.name(), Scheme::Tlr, procs), move |_| {
+            run_cell(Scheme::Tlr, procs, w)
+        }));
+    }
+    let reports = pooled(pool, jobs)?;
+    for per_regime in reports.chunks(PolicyKind::ALL.len() + 1) {
+        let reference = per_regime.last().expect("reference cell");
+        for (kind, r) in PolicyKind::ALL.iter().zip(per_regime) {
+            r.validation
+                .clone()
+                .map_err(|e| format!("[{kind} x{procs}] policy broke serializability: {e}"))?;
+            ensure(
+                r.stats.total_commits() > 0,
+                format!("[{kind}] no transaction ever committed"),
+            )?;
+            ensure(
+                r.stats.parallel_cycles < 200_000_000,
+                format!("[{kind}] ran into the cycle budget: livelock"),
+            )?;
+        }
+        let ts = &per_regime[0];
+        ensure(
+            ts.stats == reference.stats,
+            format!(
+                "timestamp policy must be bit-identical to the pre-policy path: \
+                 {} vs {} cycles",
+                ts.stats.parallel_cycles, reference.stats.parallel_cycles
+            ),
+        )?;
+    }
+    Ok(())
 }
 
 /// Profiling smoke (`tlr-profile --check`): a profiled cell must

@@ -9,7 +9,7 @@
 
 use std::path::PathBuf;
 
-use tlr_sim::config::{Engine, Interconnect};
+use tlr_sim::config::{Engine, Interconnect, PolicyKind};
 use tlr_sim::fault::FaultConfig;
 use tlr_sim::pool::Pool;
 
@@ -34,7 +34,9 @@ shared flags:
                   | directory (home-node banks, <= 256 procs);
                   binaries pick their own default
   --profile       collect utilization timelines, engine self-profiling,
-                  and saturation columns (off: byte-identical output)";
+                  and saturation columns (off: byte-identical output)
+  --policy P      conflict policy: timestamp (default, the paper's
+                  ordering) | backoff | karma | lazy-sub";
 
 /// Command-line options shared by the figure binaries.
 #[derive(Debug, Clone)]
@@ -82,6 +84,11 @@ pub struct Args {
     /// Off by default — unprofiled output is byte-identical to a
     /// build without the profiler.
     pub profile: bool,
+    /// Conflict policy (`--policy timestamp|backoff|karma|lazy-sub`):
+    /// which contention manager every machine the binary builds uses.
+    /// The default, timestamp order, is the paper's algorithm and is
+    /// byte-identical to a build without the policy layer.
+    pub policy: PolicyKind,
 }
 
 impl Default for Args {
@@ -100,6 +107,7 @@ impl Default for Args {
             engine: Engine::default(),
             interconnect: Interconnect::Snooping,
             profile: false,
+            policy: PolicyKind::Timestamp,
         }
     }
 }
@@ -178,6 +186,7 @@ impl Args {
         tlr_sim::config::set_default_engine(opts.engine);
         tlr_sim::config::set_default_profile(opts.profile);
         tlr_sim::config::set_default_interconnect(opts.interconnect);
+        tlr_sim::config::set_default_policy(opts.policy);
         opts
     }
 
@@ -243,6 +252,10 @@ impl Args {
                         .unwrap_or_else(|e| panic!("{e}"));
                 }
                 "--profile" => opts.profile = true,
+                "--policy" => {
+                    opts.policy =
+                        PolicyKind::parse(&s.value("--policy")).unwrap_or_else(|e| panic!("{e}"));
+                }
                 "--help" | "-h" => {
                     println!("{CORE_USAGE}");
                     std::process::exit(0);
@@ -251,7 +264,7 @@ impl Args {
                     panic!(
                         "unknown argument {other:?} (supported: --quick, --check, --procs, \
                          --seeds, --csv, --json, --out, --jobs, --engine, --interconnect, \
-                         --profile, plus any binary-specific flags)"
+                         --profile, --policy, plus any binary-specific flags)"
                     )
                 }
             }
@@ -377,6 +390,26 @@ mod tests {
     #[should_panic(expected = "unknown engine")]
     fn bad_engine_value_is_rejected() {
         Args::parse_tokens(toks("--engine warp"), |_, _| false);
+    }
+
+    #[test]
+    fn policy_flag_parses_all_kinds_and_defaults_to_timestamp() {
+        assert_eq!(Args::parse_tokens(vec![], |_, _| false).policy, PolicyKind::Timestamp);
+        for (tok, want) in [
+            ("timestamp", PolicyKind::Timestamp),
+            ("backoff", PolicyKind::Backoff),
+            ("karma", PolicyKind::Karma),
+            ("lazy-sub", PolicyKind::LazySub),
+        ] {
+            let a = Args::parse_tokens(toks(&format!("--policy {tok}")), |_, _| false);
+            assert_eq!(a.policy, want, "--policy {tok}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy")]
+    fn bad_policy_value_is_rejected() {
+        Args::parse_tokens(toks("--policy coinflip"), |_, _| false);
     }
 
     #[test]

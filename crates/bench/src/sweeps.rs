@@ -16,7 +16,7 @@
 //! functions of the rows.
 
 use tlr_core::run::{run_workload, RunReport, WorkloadSpec};
-use tlr_sim::config::{MachineConfig, RetentionPolicy, Scheme};
+use tlr_sim::config::{MachineConfig, PolicyKind, RetentionPolicy, Scheme};
 use tlr_sim::pool::{Job, Pool};
 use tlr_workloads::apps::{figure11_apps, mp3d, mp3d_coarse};
 use tlr_workloads::micro::{doubly_linked_list, multiple_counter, single_counter};
@@ -801,6 +801,162 @@ pub fn robustness(opts: &BenchOpts, pool: &Pool) -> Robustness {
         })
         .collect();
     Robustness { procs, total, fault_seed: opts.fault_seed, rows }
+}
+
+/// Contention-management comparison results: one row per contention
+/// regime (workload), one TLR report per conflict policy.
+pub struct Policies {
+    /// Processor count every cell ran at.
+    pub procs: usize,
+    /// Policies, in column order ([`PolicyKind::ALL`]).
+    pub policies: Vec<PolicyKind>,
+    /// Rows in regime order: (regime name, one report per policy).
+    pub rows: Vec<(&'static str, Vec<RunReport>)>,
+}
+
+impl Policies {
+    /// The policy with the fewest parallel cycles in row `i`.
+    pub fn winner(&self, i: usize) -> PolicyKind {
+        let (_, reports) = &self.rows[i];
+        let best = reports
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.stats.parallel_cycles)
+            .expect("at least one policy column");
+        self.policies[best.0]
+    }
+
+    /// The experiment as a JSON document.
+    pub fn json(&self) -> String {
+        let mut j = tlr_sim::json::JsonBuf::new();
+        j.obj();
+        j.str_field("title", "Conflict-policy comparison (TLR contention management)");
+        j.u64_field("procs", self.procs as u64);
+        j.arr_key("policies");
+        for p in &self.policies {
+            j.str_elem(p.label());
+        }
+        j.end_arr();
+        j.arr_key("regimes");
+        for (i, (name, reports)) in self.rows.iter().enumerate() {
+            j.obj();
+            j.str_field("regime", name);
+            j.str_field("winner", self.winner(i).label());
+            j.arr_key("cells");
+            for (p, r) in self.policies.iter().zip(reports) {
+                j.obj();
+                j.str_field("policy", p.label());
+                j.u64_field("parallel_cycles", r.stats.parallel_cycles);
+                j.u64_field("commits", r.stats.total_commits());
+                j.u64_field("restarts", r.stats.total_restarts());
+                j.u64_field("fallbacks", r.stats.total_fallbacks());
+                j.u64_field("deferrals", r.stats.sum(|n| n.requests_deferred));
+                j.u64_field("nacks", r.stats.sum(|n| n.nacks_sent));
+                j.u64_field("wasted_cycles", r.stats.total_wasted_cycles());
+                j.end_obj();
+            }
+            j.end_arr();
+            j.end_obj();
+        }
+        j.end_arr();
+        j.end_obj();
+        j.finish()
+    }
+
+    /// Prints the comparison table: cycles per (regime, policy) and
+    /// the per-regime winner.
+    pub fn print(&self) {
+        println!("\n== Conflict-policy comparison, TLR x{} (cycles, lower is better) ==", self.procs);
+        print!("{:>18}", "regime");
+        for p in &self.policies {
+            print!("{:>16}", p.label());
+        }
+        println!("{:>12}", "winner");
+        for (i, (name, reports)) in self.rows.iter().enumerate() {
+            print!("{name:>18}");
+            for r in reports {
+                print!("{:>16}", r.stats.parallel_cycles);
+            }
+            println!("{:>12}", self.winner(i).label());
+        }
+        print!("{:>18}", "");
+        if let Some((_, last)) = self.rows.last() {
+            for r in last {
+                print!(
+                    "{:>16}",
+                    format!(
+                        "c{} r{} f{}",
+                        r.stats.total_commits(),
+                        r.stats.total_restarts(),
+                        r.stats.total_fallbacks()
+                    )
+                );
+            }
+            println!("   (last row: c=commits r=restarts f=fallbacks)");
+        }
+    }
+}
+
+/// The contention regimes `exp_policies` sweeps: name and a workload
+/// factory at (procs, work scale).
+fn policy_regimes(
+    procs: usize,
+    total: u64,
+    pairs: u64,
+) -> Vec<(&'static str, Box<dyn WorkloadSpec>)> {
+    vec![
+        ("multiple_counter", Box::new(multiple_counter(procs, total))),
+        ("single_counter", Box::new(single_counter(procs, total.max(256) / 2))),
+        ("linked_list", Box::new(doubly_linked_list(procs, pairs))),
+        ("mp3d", Box::new(mp3d(procs, (total / 16).max(64), 512))),
+    ]
+}
+
+/// `exp_policies`: every conflict policy over the contention-regime
+/// spectrum, all cells fanned out in one scatter. TLR scheme
+/// throughout — the policies differ only in how conflicts are
+/// adjudicated, so scheme variation would blur the comparison.
+pub fn policies(opts: &BenchOpts, pool: &Pool) -> Policies {
+    let procs = *opts.procs.last().unwrap_or(&8);
+    let total = opts.scale(1 << 12);
+    let pairs = opts.scale(512);
+    let regimes = policy_regimes(procs, total, pairs);
+    let kinds = PolicyKind::ALL.to_vec();
+    let mut jobs = Vec::with_capacity(regimes.len() * kinds.len());
+    for (_, w) in &regimes {
+        for &kind in &kinds {
+            let w = w.as_ref();
+            let interconnect = opts.interconnect;
+            jobs.push(Job::new(cell_coords(w.name(), Scheme::Tlr, procs), move |_| {
+                let cfg = MachineConfig::builder()
+                    .scheme(Scheme::Tlr)
+                    .procs(procs)
+                    .interconnect(interconnect)
+                    .policy(kind)
+                    // Tighter than the sweep-wide 60G convention: a
+                    // livelocking policy keeps the machine busy every
+                    // cycle, so the budget must be reachable in wall
+                    // clock for the cell to fail instead of hanging.
+                    // Legitimate cells finish thousands of times
+                    // below this.
+                    .max_cycles(200_000_000)
+                    .build();
+                let r = run_workload(&cfg, w);
+                // Every policy must stay correct; only performance may
+                // differ.
+                r.assert_valid();
+                r
+            }));
+        }
+    }
+    let mut cells = unwrap_cells(pool.scatter_indexed(jobs)).into_iter();
+    let rows = regimes
+        .iter()
+        .map(|(name, _)| {
+            (*name, (0..kinds.len()).map(|_| cells.next().expect("one cell per policy")).collect())
+        })
+        .collect();
+    Policies { procs, policies: kinds, rows }
 }
 
 #[cfg(test)]

@@ -77,3 +77,8 @@ fn exp_scalability_shape_holds() {
 fn profile_smoke_holds() {
     checks::profile(&pool()).unwrap();
 }
+
+#[test]
+fn exp_policies_shape_holds() {
+    checks::exp_policies(&pool()).unwrap();
+}

@@ -92,6 +92,11 @@ fn exp_scalability_is_parallel_deterministic() {
 }
 
 #[test]
+fn exp_policies_is_parallel_deterministic() {
+    assert_identical("exp_policies", |pool| sweeps::policies(&opts(vec![2]), pool).json());
+}
+
+#[test]
 fn chaos_cells_reproduce_for_a_fixed_fault_seed() {
     // Same (config, fault seed) must yield byte-identical results
     // run-to-run, not just across worker counts.

@@ -12,7 +12,9 @@
 //! (seed, config, workload) triple found within the shrink budget.
 
 use tlr_core::run::run_workload;
-use tlr_sim::config::{Interconnect, MachineConfig, RetentionPolicy, Scheme, UntimestampedPolicy};
+use tlr_sim::config::{
+    Interconnect, MachineConfig, PolicyKind, RetentionPolicy, Scheme, UntimestampedPolicy,
+};
 use tlr_sim::fault::FaultConfig;
 use tlr_sim::pool::{CellCoords, Job, Pool};
 use tlr_sim::SimRng;
@@ -66,6 +68,10 @@ pub fn arbitrary_config(s: &mut Source) -> MachineConfig {
     // Chaos last: a zero stream keeps faults off, so minimized
     // counterexamples shed the fault layer before anything else.
     cfg.faults = gen::fault_config(s);
+    // Appended after every older knob so a zero stream still maps to
+    // the paper's timestamp policy and shrinking sheds the alternative
+    // contention managers first.
+    cfg.policy = *s.pick(&PolicyKind::ALL);
     cfg
 }
 
@@ -151,6 +157,9 @@ fn fault_matrix_cell(
     let mut src = Source::from_seed(fault_seed);
     let retention =
         if fault_seed % 2 == 0 { RetentionPolicy::Deferral } else { RetentionPolicy::Nack };
+    // Rotate the conflict policy across seeds so chaos adjudicates
+    // every contention manager, not just the paper's timestamp order.
+    let policy = PolicyKind::ALL[(fault_seed >> 2) as usize % PolicyKind::ALL.len()];
     // Snooping cells keep the original small-machine draws; directory
     // cells pin a full-width thread population (fewer iterations each,
     // so the cycle budget still means starvation, not load).
@@ -169,6 +178,7 @@ fn fault_matrix_cell(
         .scheme(scheme)
         .procs(procs)
         .retention(retention)
+        .policy(policy)
         .interconnect(interconnect)
         .seed(src.next_raw())
         .max_cycles(FAULT_MATRIX_BUDGET)
@@ -176,9 +186,9 @@ fn fault_matrix_cell(
         .build();
     w.check(&cfg).map_err(|e| {
         format!(
-            "fault matrix violation (scheme {scheme}, fabric {interconnect}/{procs}p, \
-             fault seed {fault_seed:#x}, intensity {level}): {e}\n    config: {cfg:?}\n    \
-             workload: {w:?}"
+            "fault matrix violation (scheme {scheme}, policy {policy}, fabric \
+             {interconnect}/{procs}p, fault seed {fault_seed:#x}, intensity {level}): {e}\n    \
+             config: {cfg:?}\n    workload: {w:?}"
         )
     })
 }

@@ -1,0 +1,149 @@
+//! The policy-differential wall: every pluggable conflict policy
+//! (`tlr_core::policy`) is a different *contention manager* for the
+//! same transactional architecture, not a different correctness
+//! story. Each policy must, on both ordering fabrics and at machine
+//! sizes up to the directory's scale:
+//!
+//! * satisfy the serializability oracle — lock-free execution stays
+//!   lock-free no matter who wins a conflict;
+//! * quiesce within the fault-matrix cycle budget — a policy whose
+//!   win relation admits cycles (mutual deferral) or whose pacing
+//!   never converges (livelock) hits the budget and fails here;
+//! * keep the two simulation engines byte-identical — policy
+//!   decisions must be functions of machine state, never of engine
+//!   scheduling;
+//! * under the timestamp default, be indistinguishable from a
+//!   configuration that never mentions the policy layer at all.
+//!
+//! Cycle counts legitimately differ across policies — that difference
+//! is the experiment in `exp_policies`; nothing here compares them.
+
+use tlr_check::diff::check_engines;
+use tlr_check::fuzz::FAULT_MATRIX_BUDGET;
+use tlr_check::oracle::OracleWorkload;
+use tlr_check::Source;
+use tlr_core::run::run_workload;
+use tlr_sim::config::{Interconnect, MachineConfig, PolicyKind, Scheme};
+use tlr_sim::fault::FaultConfig;
+use tlr_workloads::micro::single_counter;
+
+/// The (fabric, processor-count) grid the wall runs on: the paper's
+/// 16-way bus, the same size on the directory, and a 64-processor
+/// directory machine the bus cannot reach.
+const FABRICS: [(Interconnect, usize); 3] = [
+    (Interconnect::Snooping, 16),
+    (Interconnect::Directory, 16),
+    (Interconnect::Directory, 64),
+];
+
+fn cfg_for(policy: PolicyKind, interconnect: Interconnect, procs: usize, seed: u64) -> MachineConfig {
+    MachineConfig::builder()
+        .scheme(Scheme::Tlr)
+        .procs(procs)
+        .policy(policy)
+        .interconnect(interconnect)
+        .seed(seed)
+        .max_cycles(FAULT_MATRIX_BUDGET)
+        .build()
+}
+
+/// A contended oracle workload sized to the machine: full-width
+/// thread population, few iterations each, so the cycle budget means
+/// starvation rather than load.
+fn contended_workload(procs: usize, seed: u64) -> OracleWorkload {
+    let mut src = Source::from_seed(seed);
+    let iters = if procs > 16 { 2 } else { 4 };
+    OracleWorkload::arbitrary_with_procs(&mut src, procs, iters)
+}
+
+#[test]
+fn every_policy_passes_the_oracle_on_both_fabrics() {
+    for policy in PolicyKind::ALL {
+        for (interconnect, procs) in FABRICS {
+            let seed = 0x90_11C7 ^ (procs as u64) << 8 ^ policy as u64;
+            let w = contended_workload(procs, seed);
+            let cfg = cfg_for(policy, interconnect, procs, seed.wrapping_mul(0x9e37_79b9));
+            w.check(&cfg).unwrap_or_else(|e| {
+                panic!("policy {policy} on {interconnect}/{procs}p: {e}\n    workload: {w:?}")
+            });
+        }
+    }
+}
+
+#[test]
+fn every_policy_keeps_the_engines_byte_identical() {
+    for policy in PolicyKind::ALL {
+        for (interconnect, procs) in FABRICS {
+            let seed = 0xe9_61_4e ^ (procs as u64) << 8 ^ policy as u64;
+            let w = contended_workload(procs, seed);
+            let cfg = cfg_for(policy, interconnect, procs, seed.wrapping_mul(0x9e37_79b9));
+            check_engines(|engine| {
+                let mut c = cfg.clone();
+                c.engine = engine;
+                w.build_machine(&c)
+            })
+            .unwrap_or_else(|e| {
+                panic!(
+                    "engine divergence under policy {policy} on {interconnect}/{procs}p: {e}\n    \
+                     workload: {w:?}"
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn every_policy_survives_chaos_within_the_progress_budget() {
+    // Fault-matrix-style adjudication per policy: all five fault kinds
+    // active, intensity cycling, on both fabrics. A policy that relies
+    // on a schedule accident for progress starves here and trips the
+    // budget.
+    for (i, policy) in PolicyKind::ALL.into_iter().enumerate() {
+        for (j, (interconnect, procs)) in
+            [(Interconnect::Snooping, 4usize), (Interconnect::Directory, 32)].into_iter().enumerate()
+        {
+            let fault_seed = 0xc4a0_5eed ^ ((i as u64) << 16) ^ ((j as u64) << 24);
+            let level = 1 + (i as u32 + j as u32) % FaultConfig::MAX_INTENSITY;
+            let mut src = Source::from_seed(fault_seed);
+            let iters = if procs > 16 { 2 } else { 4 };
+            let w = OracleWorkload::arbitrary_with_procs(&mut src, procs, iters);
+            let cfg = MachineConfig::builder()
+                .scheme(Scheme::Tlr)
+                .procs(procs)
+                .policy(policy)
+                .interconnect(interconnect)
+                .seed(src.next_raw())
+                .max_cycles(FAULT_MATRIX_BUDGET)
+                .faults(FaultConfig::intensity(fault_seed, level))
+                .build();
+            w.check(&cfg).unwrap_or_else(|e| {
+                panic!(
+                    "policy {policy} under chaos on {interconnect}/{procs}p \
+                     (fault seed {fault_seed:#x}, intensity {level}): {e}\n    workload: {w:?}"
+                )
+            });
+        }
+    }
+}
+
+#[test]
+fn timestamp_policy_is_invisible() {
+    // A config that names the timestamp policy explicitly and one that
+    // never mentions the policy layer must produce bit-identical
+    // statistics — the trait indirection may not perturb a single
+    // draw, stall, or counter on the default path.
+    for procs in [4usize, 8] {
+        let w = single_counter(procs, 256);
+        let implicit = MachineConfig::paper_default(Scheme::Tlr, procs);
+        let mut explicit = implicit.clone();
+        explicit.policy = PolicyKind::Timestamp;
+        let a = run_workload(&implicit, &w);
+        let b = run_workload(&explicit, &w);
+        a.assert_valid();
+        assert_eq!(
+            format!("{:?}", a.stats),
+            format!("{:?}", b.stats),
+            "x{procs}: explicit timestamp policy must be the identity"
+        );
+    }
+}

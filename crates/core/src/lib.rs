@@ -43,12 +43,16 @@
 pub mod machine;
 pub mod node;
 pub mod os;
+pub mod policy;
 pub mod rmw;
 pub mod run;
 pub mod sle;
 
 pub use machine::{Machine, SimTimeout};
 pub use os::{run_preemptive, Preemption, PreemptionReport};
+pub use policy::{
+    policy_for, ConflictPolicy, KarmaSize, LazySubscription, SeededBackoff, TimestampOrder,
+};
 pub use rmw::RmwPredictor;
 pub use run::{build_machine, run_workload, RunReport, WorkloadSpec};
 pub use sle::{AbortKind, ElidedLock, StorePairPredictor, Txn};
@@ -56,4 +60,4 @@ pub use sle::{AbortKind, ElidedLock, StorePairPredictor, Txn};
 // Re-export the timestamp types: conceptually they belong to TLR
 // (§2.1.2) even though they live in `tlr-mem` so coherence messages
 // can carry them.
-pub use tlr_mem::timestamp::{LogicalClock, Timestamp};
+pub use tlr_mem::timestamp::{LogicalClock, Prio, Timestamp};

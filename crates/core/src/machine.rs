@@ -31,7 +31,7 @@ use tlr_mem::line::{CacheLine, Moesi};
 use tlr_mem::mshr::{Intervention, MshrEntry};
 use tlr_mem::msg::{BusReqKind, BusRequest, DataGrant, NetMsg};
 use tlr_mem::protocol;
-use tlr_mem::timestamp::Timestamp;
+use tlr_mem::timestamp::{Prio, Timestamp};
 use tlr_mem::{Bus, Directory, MemorySystem, Network};
 use tlr_sim::config::{Engine, Interconnect, MachineConfig, UntimestampedPolicy};
 use tlr_sim::fault::FaultPlan;
@@ -40,6 +40,7 @@ use tlr_sim::trace::{Trace, TraceKind};
 use tlr_sim::{Cycle, MachineStats, NodeId, SimRng};
 
 use crate::node::{DeferredReq, Node, PendingWriteback, SnoopEvent, Wait};
+use crate::policy::{policy_for, ConflictPolicy, RetryEnv, RetryPacing};
 use crate::sle::{AbortKind, ElidedLock, Txn};
 
 /// Cycles an [`tlr_cpu::Op::Io`] operation takes outside speculation.
@@ -80,6 +81,9 @@ struct Ctx<'a> {
     trace: &'a mut Trace,
     rng: &'a mut SimRng,
     lock_addrs: &'a HashSet<Addr>,
+    /// The conflict-resolution policy every decision point consults
+    /// (stateless; resolved once from `cfg.policy`).
+    policy: &'static dyn ConflictPolicy,
     /// Spurious-abort stream, present only on chaos runs; its own RNG,
     /// so the machine's `rng` sequences are untouched by fault draws.
     fault: Option<&'a mut FaultPlan>,
@@ -249,6 +253,9 @@ pub struct Machine {
     trace: Trace,
     rng: SimRng,
     lock_addrs: HashSet<Addr>,
+    /// The conflict-resolution policy (stateless, shared static),
+    /// resolved from `cfg.policy` at construction.
+    policy: &'static dyn ConflictPolicy,
     /// Spurious-abort fault stream; `None` unless chaos is enabled.
     fault: Option<FaultPlan>,
     /// Snooped bus transactions awaiting their due cycle. One global
@@ -360,6 +367,7 @@ impl Machine {
             trace: Trace::new(),
             rng,
             lock_addrs,
+            policy: policy_for(cfg.policy),
             nodes,
             cycle: 0,
             fault: cfg.faults.plan(),
@@ -1354,6 +1362,7 @@ impl Machine {
             trace: &mut self.trace,
             rng: &mut self.rng,
             lock_addrs: &self.lock_addrs,
+            policy: self.policy,
             fault: self.fault.as_mut(),
         };
         f(&mut self.nodes, &mut ctx)
@@ -1506,7 +1515,12 @@ impl Machine {
                 // NACK retention (§3): the owner's refusal is asserted
                 // at the ordering point — the transaction is annulled,
                 // no ownership transfers, every snooper ignores it.
-                if self.cfg.retention == tlr_sim::config::RetentionPolicy::Nack {
+                // The policy may override the configured retention
+                // (backoff forces NACKs: deferral deadlocks under
+                // requester-always-loses).
+                if self.policy.effective_retention(self.cfg.retention)
+                    == tlr_sim::config::RetentionPolicy::Nack
+                {
                     if let Some(o) = supplier {
                         // The refusal check advances the owner's
                         // logical clock either way.
@@ -1639,8 +1653,14 @@ impl Machine {
     /// blocks (§3.1.1) restores the timestamp order.
     fn nack_at_order(&mut self, o: NodeId, req: &BusRequest) -> bool {
         let bits = self.cfg.timestamp_bits;
+        let policy = self.policy;
         let node = &mut self.nodes[o];
         if node.txn.is_none() {
+            return false;
+        }
+        // A lazily-subscribed lock line is never retained: the holder
+        // surrenders it and re-checks the lock word at commit.
+        if policy.lazy_subscription() && is_lock_line(node, req.line) {
             return false;
         }
         match node.mshrs.get(req.line) {
@@ -1662,7 +1682,8 @@ impl Machine {
             }
             Some(in_ts) => {
                 node.clock.observe_conflicting(in_ts);
-                node.timestamp().wins_over(in_ts, bits)
+                let ours = Prio::new(node.timestamp(), node.karma);
+                policy.nack_requester(ours, Prio::new(in_ts, req.karma), bits)
             }
         };
         if wins {
@@ -1694,7 +1715,7 @@ fn deliver_one(nodes: &mut [Node], ctx: &mut Ctx, msg: NetMsg) {
         }
         NetMsg::Marker { from, line, .. } => handle_marker(node, ctx, line, from),
         NetMsg::Nack { line, .. } => handle_nack(node, ctx, line),
-        NetMsg::Probe { line, ts, .. } => handle_probe(node, ctx, line, ts),
+        NetMsg::Probe { line, ts, karma, .. } => handle_probe(node, ctx, line, Prio::new(ts, karma)),
     }
 }
 
@@ -1853,6 +1874,7 @@ fn issue_miss(node: &mut Node, ctx: &mut Ctx, line: LineAddr, exclusive: bool, t
             line,
             kind: if exclusive { BusReqKind::GetX } else { BusReqKind::GetS },
             ts,
+            karma: if ts.is_some() { node.karma } else { 0 },
             wb_data: None,
             enqueued_at: ctx.now,
         },
@@ -1888,6 +1910,7 @@ fn install_line(node: &mut Node, ctx: &mut Ctx, entry: CacheLine) -> Result<(), 
                 line: evicted2.line,
                 kind: BusReqKind::WriteBack,
                 ts: None,
+                karma: 0,
                 wb_data: Some(evicted2.data),
                 enqueued_at: ctx.now,
             },
@@ -2013,6 +2036,22 @@ fn abort_txn(node: &mut Node, ctx: &mut Ctx, kind: AbortKind, line: Option<LineA
     } else if kind.forces_fallback() {
         node.sharer_inval_streak = 0;
     }
+    if ctx.policy.uses_karma() {
+        if kind.forces_fallback() || sle_conflict_fallback {
+            node.karma = 0;
+        } else {
+            // Size priority: karma is the *largest* footprint any
+            // aborted attempt reached, not a running sum. Frozen for
+            // the whole next attempt (consistent order among live
+            // txns) and bounded by the transaction's footprint, so it
+            // saturates — a running sum would let the loser of every
+            // round come back outranking the winner, and two symmetric
+            // contenders would flip priority and kill each other
+            // forever.
+            let (r, w) = node.spec_footprint();
+            node.karma = node.karma.max(r.saturating_add(w));
+        }
+    }
     node.core.restore(&txn.checkpoint);
     node.wait = None;
     node.waiting_access = None;
@@ -2040,6 +2079,19 @@ fn try_commit(node: &mut Node, ctx: &mut Ctx) {
     if !ready {
         return;
     }
+    if node.txn.as_ref().is_some_and(|t| t.lock_recheck) {
+        // Lazy subscription: a lock line was touched by a remote
+        // writer during the attempt; revalidate every elided lock at
+        // commit instead of having aborted eagerly.
+        match revalidate_elided_locks(node, ctx) {
+            LockRecheck::Valid => {}
+            LockRecheck::Waiting => return,
+            LockRecheck::Held => {
+                abort_txn(node, ctx, AbortKind::LockWrite, None);
+                return;
+            }
+        }
+    }
     let txn = node.txn.take().expect("commit without transaction");
     for e in node.wb.entries().to_vec() {
         let id = node.id;
@@ -2059,6 +2111,9 @@ fn try_commit(node: &mut Node, ctx: &mut Ctx) {
         node.sle_pred.elision_succeeded(el.pc);
     }
     node.sharer_inval_streak = 0;
+    if ctx.policy.uses_karma() {
+        node.karma = 0;
+    }
     let commit_wait = txn.commit_entered_at.map_or(0, |c| ctx.now.saturating_sub(c));
     ctx.stats.node_mut(node.id).commits += 1;
     ctx.stats.obs.cs_length.record(ctx.now.saturating_sub(txn.started_at));
@@ -2078,6 +2133,58 @@ fn try_commit(node: &mut Node, ctx: &mut Ctx) {
     node.core.complete_store();
     node.wait = None;
     node.waiting_access = None;
+}
+
+/// Outcome of the commit-time lock revalidation under lazy
+/// subscription.
+enum LockRecheck {
+    /// Every elided lock is resident and free: commit may proceed.
+    Valid,
+    /// A lock line is not resident; a refetch was issued and commit
+    /// retries once it lands.
+    Waiting,
+    /// A lock word no longer holds its free value: someone acquired
+    /// the lock for real, so the speculative work must be discarded.
+    Held,
+}
+
+/// Lazy-subscription commit check: instead of aborting on any remote
+/// lock write during the attempt, the transaction validates at commit
+/// that every elided lock is still free. A resident copy is
+/// coherence-current, so residency plus a value check suffices;
+/// validated lines get their spec-read bit re-armed so a racing lock
+/// write between validation and the atomic commit still aborts.
+fn revalidate_elided_locks(node: &mut Node, ctx: &mut Ctx) -> LockRecheck {
+    let locks: Vec<(Addr, u64)> = node
+        .txn
+        .as_ref()
+        .expect("recheck without transaction")
+        .elided
+        .iter()
+        .map(|e| (e.addr, e.free_value))
+        .collect();
+    for &(addr, _) in &locks {
+        let line = addr.line();
+        if node.line(line).is_none() {
+            if node.mshrs.get(line).is_none() {
+                let ts = Some(node.timestamp());
+                issue_miss(node, ctx, line, false, ts);
+            }
+            return LockRecheck::Waiting;
+        }
+    }
+    for &(addr, free) in &locks {
+        let line = addr.line();
+        let l = node.line_mut(line).expect("checked resident above");
+        if l.data.word(addr) != free {
+            return LockRecheck::Held;
+        }
+        l.spec_read = true;
+    }
+    if let Some(t) = node.txn.as_mut() {
+        t.lock_recheck = false;
+    }
+    LockRecheck::Valid
 }
 
 /// Retries exclusive-ownership requests for transactional stores that
@@ -2145,7 +2252,7 @@ enum ConflictDecision {
     Lose,
 }
 
-fn decide_conflict(node: &mut Node, ctx: &mut Ctx, line: LineAddr, incoming: Option<Timestamp>) -> ConflictDecision {
+fn decide_conflict(node: &mut Node, ctx: &mut Ctx, line: LineAddr, incoming: Option<Prio>) -> ConflictDecision {
     if !ctx.cfg.scheme.tlr_enabled() {
         // Plain SLE: any conflict restarts and falls back to the lock.
         return ConflictDecision::Lose;
@@ -2157,13 +2264,14 @@ fn decide_conflict(node: &mut Node, ctx: &mut Ctx, line: LineAddr, incoming: Opt
             UntimestampedPolicy::DeferAsLowestPriority => ConflictDecision::Defer { relaxed: false },
             UntimestampedPolicy::Restart => ConflictDecision::Lose,
         },
-        Some(in_ts) => {
-            node.clock.observe_conflicting(in_ts);
-            let ours = node.timestamp();
-            if ours.wins_over(in_ts, ctx.ts_bits()) {
+        Some(inp) => {
+            node.clock.observe_conflicting(inp.ts);
+            let ours = Prio::new(node.timestamp(), node.karma);
+            if ctx.policy.holder_retains(ours, inp, ctx.ts_bits()) {
                 ConflictDecision::Defer { relaxed: false }
             } else if ctx.cfg.scheme.relax_single_block()
-                && ctx.cfg.retention == tlr_sim::config::RetentionPolicy::Deferral
+                && ctx.policy.effective_retention(ctx.cfg.retention)
+                    == tlr_sim::config::RetentionPolicy::Deferral
                 && !node.mshrs.has_transactional_miss()
                 && node.txn_pending_x.is_empty()
                 && !node.defers_other_lines(line)
@@ -2191,10 +2299,19 @@ fn owner_conflict(node: &mut Node, ctx: &mut Ctx, req: &BusRequest) {
     // *before* ours: deferring it would make our own upgrade wait on
     // our own commit. We must lose.
     let upgrade_in_flight = node.mshrs.get(line).is_some();
+    // Lazy subscription: an elided lock line is surrendered without
+    // aborting or deferring; the commit re-checks the lock word.
+    if !upgrade_in_flight && ctx.policy.lazy_subscription() && is_lock_line(node, line) {
+        if let Some(t) = node.txn.as_mut() {
+            t.lock_recheck = true;
+        }
+        supply_from_line(node, ctx, line, req.requester, exclusive);
+        return;
+    }
     let decision = if upgrade_in_flight {
         ConflictDecision::Lose
     } else {
-        decide_conflict(node, ctx, line, req.ts)
+        decide_conflict(node, ctx, line, req.ts.map(|t| Prio::new(t, req.karma)))
     };
     let decision = match decision {
         // Under NACK retention the refusal must happen at the bus
@@ -2202,7 +2319,8 @@ fn owner_conflict(node: &mut Node, ctx: &mut Ctx, req: &BusRequest) {
         // is architecturally committed, so a late win degrades to a
         // loss (service and restart).
         ConflictDecision::Defer { .. }
-            if ctx.cfg.retention == tlr_sim::config::RetentionPolicy::Nack =>
+            if ctx.policy.effective_retention(ctx.cfg.retention)
+                == tlr_sim::config::RetentionPolicy::Nack =>
         {
             ConflictDecision::Lose
         }
@@ -2210,7 +2328,13 @@ fn owner_conflict(node: &mut Node, ctx: &mut Ctx, req: &BusRequest) {
     };
     match decision {
         ConflictDecision::Defer { relaxed } if node.deferred.len() < node.deferred_cap => {
-            node.deferred.push_back(DeferredReq { line, from: req.requester, exclusive, ts: req.ts });
+            node.deferred.push_back(DeferredReq {
+                line,
+                from: req.requester,
+                exclusive,
+                ts: req.ts,
+                karma: req.karma,
+            });
             let depth = node.deferred.len() as u32;
             let ns = ctx.stats.node_mut(node.id);
             ns.requests_deferred += 1;
@@ -2274,7 +2398,12 @@ fn snoop_one(node: &mut Node, ctx: &mut Ctx, ev: &SnoopEvent) {
             let m = node.mshrs.get_mut(line).unwrap();
             our_exclusive = m.exclusive;
             our_ts = m.ts;
-            m.interventions.push_back(Intervention { from: req.requester, exclusive, ts: req.ts });
+            m.interventions.push_back(Intervention {
+                from: req.requester,
+                exclusive,
+                ts: req.ts,
+                karma: req.karma,
+            });
         }
         ctx.stats.node_mut(node.id).markers_sent += 1;
         ctx.trace.record(ctx.now, node.id, TraceKind::Marker { line: line.0, to: req.requester });
@@ -2288,16 +2417,20 @@ fn snoop_one(node: &mut Node, ctx: &mut Ctx, ev: &SnoopEvent) {
             if conflict {
                 if let Some(in_ts) = req.ts {
                     node.clock.observe_conflicting(in_ts);
-                    let ours = node.timestamp();
-                    if in_ts.wins_over(ours, ctx.ts_bits()) {
+                    let ours = Prio::new(node.timestamp(), node.karma);
+                    let inp = Prio::new(in_ts, req.karma);
+                    if ctx.policy.challenger_preempts(inp, ours, ctx.ts_bits()) {
                         let m = node.mshrs.get_mut(line).unwrap();
                         if let Some(up) = m.marker_from {
                             ctx.stats.node_mut(node.id).probes_sent += 1;
                             ctx.trace.record(ctx.now, node.id, TraceKind::Probe { line: line.0, to: up });
                             let delay = ctx.data_latency();
-                            ctx.net.send(ctx.now + delay, NetMsg::Probe { to: up, line, ts: in_ts });
+                            ctx.net.send(
+                                ctx.now + delay,
+                                NetMsg::Probe { to: up, line, ts: inp.ts, karma: inp.karma },
+                            );
                         } else {
-                            m.pending_probe = Some(in_ts);
+                            m.pending_probe = Some(inp);
                         }
                     }
                 }
@@ -2342,13 +2475,19 @@ fn snoop_one(node: &mut Node, ctx: &mut Ctx, ev: &SnoopEvent) {
             // (§3.1.2): misspeculate. A write to the elided lock
             // itself means another thread is *acquiring* it — restart
             // and re-elide once it is free again (§2.2), without
-            // punishing the elision predictor.
-            let kind = if is_lock_line(node, line) {
-                AbortKind::LockWrite
+            // punishing the elision predictor. Under lazy subscription
+            // a lock write instead arms the commit-time re-check.
+            if is_lock_line(node, line) {
+                if ctx.policy.lazy_subscription() {
+                    if let Some(t) = node.txn.as_mut() {
+                        t.lock_recheck = true;
+                    }
+                } else {
+                    abort_txn(node, ctx, AbortKind::LockWrite, Some(line));
+                }
             } else {
-                AbortKind::SharerInvalidation
-            };
-            abort_txn(node, ctx, kind, Some(line));
+                abort_txn(node, ctx, AbortKind::SharerInvalidation, Some(line));
+            }
         }
         let outcome = protocol::snoop(state, req.kind);
         if outcome.next == Moesi::Invalid {
@@ -2477,18 +2616,23 @@ fn handle_fill(
     // correct) value above; the copy itself is already stale.
     if mshr.invalidate_after_fill {
         let was_spec = node.line(line).is_some_and(|l| l.spec_accessed());
-        let kind = if is_lock_line(node, line) {
-            AbortKind::LockWrite
-        } else {
-            AbortKind::SharerInvalidation
-        };
+        let lock = is_lock_line(node, line);
         node.l1.take(line);
         node.victim.take(line);
         if node.core.link() == Some(line) {
             node.core.clear_link();
         }
         if was_spec && node.txn.is_some() {
-            abort_txn(node, ctx, kind, Some(line));
+            if lock && ctx.policy.lazy_subscription() {
+                // Lazy subscription: the overtaking lock write arms
+                // the commit-time re-check instead of aborting.
+                if let Some(t) = node.txn.as_mut() {
+                    t.lock_recheck = true;
+                }
+            } else {
+                let kind = if lock { AbortKind::LockWrite } else { AbortKind::SharerInvalidation };
+                abort_txn(node, ctx, kind, Some(line));
+            }
         }
     }
     // Service the intervention chain in order.
@@ -2567,18 +2711,28 @@ fn process_interventions(node: &mut Node, ctx: &mut Ctx, line: LineAddr, ivs: Ve
             chain_supply(node, ctx, line, iv);
             continue;
         }
+        // Lazy subscription: a chained request for an elided lock line
+        // is supplied without aborting; the commit re-checks the word.
+        if ctx.policy.lazy_subscription() && is_lock_line(node, line) {
+            if let Some(t) = node.txn.as_mut() {
+                t.lock_recheck = true;
+            }
+            chain_supply(node, ctx, line, iv);
+            continue;
+        }
         // Note: even under NACK retention, interventions use the
         // deferral machinery — they were ordered into the coherence
         // chain before this node had data, i.e. before any NACK could
         // have been asserted at the bus. Only order-point refusals
         // (`nack_at_order`) implement the NACK policy proper.
-        match decide_conflict(node, ctx, line, iv.ts) {
+        match decide_conflict(node, ctx, line, iv.ts.map(|t| Prio::new(t, iv.karma))) {
             ConflictDecision::Defer { relaxed } if node.deferred.len() < node.deferred_cap => {
                 node.deferred.push_back(DeferredReq {
                     line,
                     from: iv.from,
                     exclusive: iv.exclusive,
                     ts: iv.ts,
+                    karma: iv.karma,
                 });
                 let depth = node.deferred.len() as u32;
                 let ns = ctx.stats.node_mut(node.id);
@@ -2668,29 +2822,31 @@ fn chain_supply(node: &mut Node, ctx: &mut Ctx, line: LineAddr, iv: &Interventio
 /// timestamp) toward it.
 fn handle_marker(node: &mut Node, ctx: &mut Ctx, line: LineAddr, from: NodeId) {
     let in_txn = node.txn.is_some();
-    let ours = node.timestamp();
+    let ours = Prio::new(node.timestamp(), node.karma);
     let bits = ctx.ts_bits();
+    let policy = ctx.policy;
     let Some(m) = node.mshrs.get_mut(line) else { return };
     m.marker_from = Some(from);
-    let mut fwd: Option<Timestamp> = m.pending_probe.take();
+    let mut fwd: Option<Prio> = m.pending_probe.take();
     if in_txn && m.ts.is_some() {
         let our_exclusive = m.exclusive;
         for iv in &m.interventions {
             if let Some(ts) = iv.ts {
+                let cand = Prio::new(ts, iv.karma);
                 if (iv.exclusive || our_exclusive)
-                    && ts.wins_over(ours, bits)
-                    && fwd.is_none_or(|f| ts.wins_over(f, bits))
+                    && policy.challenger_preempts(cand, ours, bits)
+                    && fwd.is_none_or(|f| policy.outranks(cand, f, bits))
                 {
-                    fwd = Some(ts);
+                    fwd = Some(cand);
                 }
             }
         }
     }
-    if let Some(ts) = fwd {
+    if let Some(pr) = fwd {
         ctx.stats.node_mut(node.id).probes_sent += 1;
         ctx.trace.record(ctx.now, node.id, TraceKind::Probe { line: line.0, to: from });
         let delay = ctx.data_latency();
-        ctx.net.send(ctx.now + delay, NetMsg::Probe { to: from, line, ts });
+        ctx.net.send(ctx.now + delay, NetMsg::Probe { to: from, line, ts: pr.ts, karma: pr.karma });
     }
 }
 
@@ -2698,14 +2854,14 @@ fn handle_marker(node: &mut Node, ctx: &mut Ctx, line: LineAddr, from: NodeId) {
 /// timestamp is chasing the data. If we hold the block and are
 /// deferring, we lose and release; if we are also pending, forward the
 /// probe upstream.
-fn handle_probe(node: &mut Node, ctx: &mut Ctx, line: LineAddr, ts: Timestamp) {
+fn handle_probe(node: &mut Node, ctx: &mut Ctx, line: LineAddr, prio: Prio) {
     ctx.stats.node_mut(node.id).probes_received += 1;
     if node.txn.is_none() {
         return;
     }
-    node.clock.observe_conflicting(ts);
-    let ours = node.timestamp();
-    if !ts.wins_over(ours, ctx.ts_bits()) {
+    node.clock.observe_conflicting(prio.ts);
+    let ours = Prio::new(node.timestamp(), node.karma);
+    if !ctx.policy.challenger_preempts(prio, ours, ctx.ts_bits()) {
         return; // we have priority; the prober waits
     }
     if node.deferred.iter().any(|d| d.line == line) {
@@ -2718,9 +2874,9 @@ fn handle_probe(node: &mut Node, ctx: &mut Ctx, line: LineAddr, ts: Timestamp) {
         if let Some(up) = m.marker_from {
             ctx.stats.node_mut(node.id).probes_sent += 1;
             let delay = ctx.data_latency();
-            ctx.net.send(ctx.now + delay, NetMsg::Probe { to: up, line, ts });
+            ctx.net.send(ctx.now + delay, NetMsg::Probe { to: up, line, ts: prio.ts, karma: prio.karma });
         } else {
-            m.pending_probe = Some(ts);
+            m.pending_probe = Some(prio);
         }
     }
 }
@@ -2794,8 +2950,30 @@ fn charge_busy(node: &mut Node, ctx: &mut Ctx, is_lock: bool) {
 fn handle_nack(node: &mut Node, ctx: &mut Ctx, line: LineAddr) {
     ctx.stats.node_mut(node.id).nacks_received += 1;
     if node.mshrs.get(line).is_some() {
-        let backoff = ctx.cfg.latency.data_network + ctx.rng.below(32);
-        node.nack_retries.schedule(ctx.now + backoff, line);
+        let attempt = {
+            let m = node.mshrs.get_mut(line).expect("checked above");
+            m.retries += 1;
+            m.retries
+        };
+        let env = RetryEnv {
+            seed: ctx.cfg.seed,
+            node: node.id,
+            line: line.0,
+            attempt,
+            base: ctx.cfg.latency.data_network,
+        };
+        match ctx.policy.retry_pacing(&env, ctx.rng) {
+            RetryPacing::Retry { delay } => {
+                node.nack_retries.schedule(ctx.now + delay, line);
+            }
+            RetryPacing::Restart { delay } => {
+                // Backoff's probabilistic cycle breaker: the repeated
+                // loser restarts its own transaction (the MSHR and its
+                // retry count survive, so the delay keeps growing).
+                node.nack_retries.schedule(ctx.now + delay, line);
+                abort_txn(node, ctx, AbortKind::Conflict, Some(line));
+            }
+        }
     }
 }
 
@@ -2810,6 +2988,7 @@ fn retry_nacked(node: &mut Node, ctx: &mut Ctx) {
                     line,
                     kind: if m.exclusive { BusReqKind::GetX } else { BusReqKind::GetS },
                     ts: m.ts,
+                    karma: if m.ts.is_some() { node.karma } else { 0 },
                     wb_data: None,
                     enqueued_at: ctx.now,
                 },
@@ -2836,13 +3015,16 @@ fn enforce_ts_order_before_miss(node: &mut Node, ctx: &mut Ctx, line: LineAddr) 
     if node.txn.is_none() || node.deferred.is_empty() {
         return false;
     }
-    let ours = node.timestamp();
-    // Losing cases: (a) a deferred request has an earlier timestamp
+    let ours = Prio::new(node.timestamp(), node.karma);
+    // Losing cases: (a) a deferred request has a higher priority
     // (the §3.2 relaxation must now yield), or (b) the new exclusive
     // request targets a line we are deferring — it would be ordered
     // *behind* the deferred requester and wait on our own commit.
     let must_lose = node.deferred.iter().any(|d| {
-        d.line == line || d.ts.is_some_and(|t| t.wins_over(ours, ctx.ts_bits()))
+        d.line == line
+            || d.ts.is_some_and(|t| {
+                ctx.policy.deferred_blocks_miss(Prio::new(t, d.karma), ours, ctx.ts_bits())
+            })
     });
     if !must_lose {
         return false;

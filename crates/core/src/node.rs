@@ -37,6 +37,9 @@ pub struct DeferredReq {
     pub exclusive: bool,
     /// The waiting request's timestamp.
     pub ts: Option<Timestamp>,
+    /// The waiting request's contention-manager credit (karma policy
+    /// only; 0 otherwise).
+    pub karma: u32,
 }
 
 /// Why the core is blocked, used for retrying and for Figure 11's
@@ -167,6 +170,12 @@ pub struct Node {
     /// started eliding (observability: the restarts-per-transaction
     /// histogram samples and resets this on commit/fallback).
     pub restart_streak: u32,
+    /// Contention-manager credit under the karma policy: the
+    /// accumulated speculative footprint of this node's *aborted*
+    /// attempts. Accumulated at abort (so it is constant within an
+    /// attempt — see `tlr_core::policy`), reset at commit or lock
+    /// fallback, and always 0 under every other policy.
+    pub karma: u32,
     /// Cycle the core finished, if it has.
     pub done_at: Option<Cycle>,
 }
@@ -205,6 +214,7 @@ impl Node {
             nack_retries: RetryTimers::new(),
             sharer_inval_streak: 0,
             restart_streak: 0,
+            karma: 0,
             done_at: None,
         }
     }
@@ -317,7 +327,7 @@ mod tests {
     #[test]
     fn single_block_eligibility() {
         let mut n = mk_node();
-        n.deferred.push_back(DeferredReq { line: LineAddr(5), from: 1, exclusive: true, ts: None });
+        n.deferred.push_back(DeferredReq { line: LineAddr(5), from: 1, exclusive: true, ts: None, karma: 0 });
         assert!(!n.defers_other_lines(LineAddr(5)));
         assert!(n.defers_other_lines(LineAddr(6)));
     }

@@ -1,0 +1,482 @@
+//! Pluggable conflict-resolution policy (the contention-management
+//! lab of ROADMAP item 5).
+//!
+//! The paper fixes *timestamp-order* conflict resolution (§3.1.1), but
+//! its retention mechanism — deferral queues, markers, probes, NACKs —
+//! is policy-agnostic. [`ConflictPolicy`] names the four decision
+//! points where the machine previously hardwired
+//! [`Timestamp::wins_over`](tlr_mem::timestamp::Timestamp::wins_over):
+//!
+//! 1. **Ordered-request refusal** ([`ConflictPolicy::nack_requester`])
+//!    — at the bus ordering point under NACK retention, does the
+//!    owner annul the incoming request?
+//! 2. **Deferral-time retention**
+//!    ([`ConflictPolicy::holder_retains`]) — at the owner holding the
+//!    data, is the conflicting request deferred (win) or serviced
+//!    with a restart (loss)?
+//! 3. **Probe win/lose** ([`ConflictPolicy::challenger_preempts`] and
+//!    [`ConflictPolicy::outranks`]) — does an incoming conflict
+//!    priority force a pending holder to yield, and which of several
+//!    queued challengers is forwarded upstream?
+//! 4. **Retry pacing** ([`ConflictPolicy::retry_pacing`]) — how long
+//!    a NACKed requester waits before re-arbitrating, and whether it
+//!    restarts its own transaction to break a potential cycle.
+//!
+//! Every comparison takes [`Prio`] values — the paper's timestamp plus
+//! a contention-manager credit — so policies that rank by something
+//! other than age (karma) ride the same wires.
+//!
+//! # Liveness analysis (see DESIGN.md §15 for the long form)
+//!
+//! *Timestamp* ([`TimestampOrder`]): the paper's argument — timestamps
+//! are a total order over live transactions, retained across restarts,
+//! so waits-for cycles are impossible and the oldest transaction is
+//! never aborted (livelock-free, starvation-free).
+//!
+//! *Karma* ([`KarmaSize`]): priority = the largest footprint any
+//! aborted attempt reached, timestamp tiebreak. The credit is
+//! deliberately **constant within an attempt** (updated only *at*
+//! abort): a time-varying footprint would let two nodes each rank
+//! above the other on different comparisons mid-flight, and mutual
+//! deferral is a deadlock the cycle budget would report as livelock.
+//! And it is a **max, not a running sum**: a sum grows without bound,
+//! so the loser of every round comes back outranking the winner and
+//! two symmetric contenders flip priority and kill each other forever
+//! (observed on the linked-list workload at small processor counts).
+//! A max is bounded by the transaction's own footprint, so it
+//! saturates; once saturated, (karma desc, timestamp) is a *fixed*
+//! total order over the contenders and the paper's progress argument
+//! goes through unchanged.
+//!
+//! *Backoff* ([`SeededBackoff`]): requester-always-loses cannot defer
+//! (two holders deferring each other would deadlock) and cannot purely
+//! NACK (two requesters NACKing each other's misses cross-retry
+//! forever), so it forces NACK retention, never retains at deferral
+//! time once a conflict slips past the ordering point, and paces
+//! retries with a salted, seeded exponential delay plus a
+//! self-restart after repeated refusals — probabilistic cycle
+//! breaking. It is *not* starvation-free by construction; the fault
+//! matrix's cycle-budget progress check adjudicates it empirically.
+//!
+//! *Lazy subscription* ([`LazySubscription`]): identical to timestamp
+//! order for *data* conflicts; only the elided **lock lines** change
+//! behavior — a write to the lock no longer aborts eagerly, the
+//! transaction instead re-fetches and re-checks every elided lock word
+//! at commit (Dice et al.'s lazy-subscription SLE, made safe here by
+//! keeping data conflicts eagerly resolved). Safety is adjudicated by
+//! the serializability oracle.
+
+use tlr_mem::timestamp::Prio;
+use tlr_sim::config::{PolicyKind, RetentionPolicy};
+use tlr_sim::SimRng;
+
+/// What a NACKed requester does when its backoff is being scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryPacing {
+    /// Re-arbitrate for the bus after `delay` cycles.
+    Retry {
+        /// Cycles to wait before re-issuing the request.
+        delay: u64,
+    },
+    /// Re-arbitrate after `delay` cycles *and* abort the requester's
+    /// own transaction now (backoff's probabilistic cycle breaker:
+    /// after repeated refusals the loser restarts from scratch, so two
+    /// mutually-refusing transactions eventually desynchronize).
+    Restart {
+        /// Cycles to wait before re-issuing the request.
+        delay: u64,
+    },
+}
+
+/// Deterministic inputs available to retry pacing. Everything is
+/// derived from simulation state — no wall clock, no global RNG — so
+/// both engines compute identical schedules.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryEnv {
+    /// The machine seed (`MachineConfig::seed`).
+    pub seed: u64,
+    /// The NACKed requester.
+    pub node: usize,
+    /// The contested line address.
+    pub line: u64,
+    /// How many times this MSHR entry has been NACKed (≥ 1 on the
+    /// first call; survives transaction aborts).
+    pub attempt: u32,
+    /// The configured data-network latency (the legacy backoff base).
+    pub base: u64,
+}
+
+/// A conflict-resolution policy: pure decision logic, no state. The
+/// machine keeps one `&'static` instance and consults it at every
+/// decision point; all state a policy needs (karma credits, retry
+/// counts, the lazy-subscription flag) lives in the node/MSHR/message
+/// structures and is threaded in as [`Prio`] values or via
+/// [`RetryEnv`].
+pub trait ConflictPolicy: Sync + std::fmt::Debug {
+    /// Which [`PolicyKind`] this implementation realizes.
+    fn kind(&self) -> PolicyKind;
+
+    /// Deferral-time retention: does the holder (`ours`) retain the
+    /// block against the conflicting request (`theirs`), deferring its
+    /// response until commit? A `false` is a loss: service and
+    /// restart.
+    fn holder_retains(&self, ours: Prio, theirs: Prio, bits: u32) -> bool;
+
+    /// Order-point refusal under NACK retention: does the owner
+    /// (`ours`) annul the incoming request (`theirs`)? Defaults to the
+    /// deferral-time decision.
+    fn nack_requester(&self, ours: Prio, theirs: Prio, bits: u32) -> bool {
+        self.holder_retains(ours, theirs, bits)
+    }
+
+    /// Probe side: does the conflicting priority (`theirs`, chasing
+    /// the data from downstream) force a node ranked `ours` to yield /
+    /// propagate the probe?
+    fn challenger_preempts(&self, theirs: Prio, ours: Prio, bits: u32) -> bool;
+
+    /// Arbitration among queued challengers when at most one probe is
+    /// forwarded upstream: is `a` ranked strictly above `b`?
+    fn outranks(&self, a: Prio, b: Prio, bits: u32) -> bool;
+
+    /// §3.2 enforcement before a new transactional miss: does the
+    /// deferred entry (`theirs`) oblige the holder (`ours`) to lose
+    /// now? Defaults to the probe-side comparison.
+    fn deferred_blocks_miss(&self, theirs: Prio, ours: Prio, bits: u32) -> bool {
+        self.challenger_preempts(theirs, ours, bits)
+    }
+
+    /// The retention mechanism actually run, given the configured one.
+    /// Backoff forces NACK retention (deferral under
+    /// requester-always-loses deadlocks); every other policy honours
+    /// the configuration.
+    fn effective_retention(&self, configured: RetentionPolicy) -> RetentionPolicy {
+        configured
+    }
+
+    /// Pacing for a NACKed request. The default reproduces the legacy
+    /// schedule byte-for-byte: `base + rng.below(32)` drawn from the
+    /// machine RNG.
+    fn retry_pacing(&self, env: &RetryEnv, rng: &mut SimRng) -> RetryPacing {
+        let _ = env.attempt;
+        RetryPacing::Retry { delay: env.base + rng.below(32) }
+    }
+
+    /// Whether elided-lock lines are lazily subscribed: mid-txn lock
+    /// writes set a commit-time re-check instead of aborting.
+    fn lazy_subscription(&self) -> bool {
+        false
+    }
+
+    /// Whether nodes accrue karma credits at abort (and attach them to
+    /// outgoing requests).
+    fn uses_karma(&self) -> bool {
+        false
+    }
+}
+
+/// The paper's §3.1.1 policy: earlier timestamp wins, everywhere.
+/// Every comparison below is a literal transcription of the expression
+/// previously hardwired at the corresponding `machine.rs` site, so the
+/// default policy is byte-identical to the pre-trait machine.
+#[derive(Debug)]
+pub struct TimestampOrder;
+
+impl ConflictPolicy for TimestampOrder {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Timestamp
+    }
+
+    fn holder_retains(&self, ours: Prio, theirs: Prio, bits: u32) -> bool {
+        ours.ts.wins_over(theirs.ts, bits)
+    }
+
+    fn challenger_preempts(&self, theirs: Prio, ours: Prio, bits: u32) -> bool {
+        theirs.ts.wins_over(ours.ts, bits)
+    }
+
+    fn outranks(&self, a: Prio, b: Prio, bits: u32) -> bool {
+        a.ts.wins_over(b.ts, bits)
+    }
+}
+
+/// Requester-always-loses with seeded exponential backoff.
+///
+/// The holder refuses every conflicting request at the bus ordering
+/// point (NACK retention is forced); the refused requester waits
+/// `base + uniform(32 << min(attempt, 6))` cycles — drawn from its own
+/// salted [`SimRng`], so the schedule is deterministic per
+/// (seed, node, line, attempt) and decorrelated across contenders —
+/// and after [`SeededBackoff::RESTART_AFTER`] consecutive refusals it
+/// also aborts its own transaction, the probabilistic cycle breaker.
+#[derive(Debug)]
+pub struct SeededBackoff;
+
+impl SeededBackoff {
+    /// Refusals tolerated before the requester restarts itself.
+    pub const RESTART_AFTER: u32 = 4;
+
+    /// Largest exponent of the delay window (`32 << 6` = 2048 cycles).
+    pub const MAX_SHIFT: u32 = 6;
+}
+
+impl ConflictPolicy for SeededBackoff {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Backoff
+    }
+
+    /// A conflict that slips past the ordering point (e.g. a request
+    /// queued behind a miss whose holder only later became
+    /// transactional) must not be deferred: two holders deferring each
+    /// other under holder-always-wins is a deadlock. Mirroring stock
+    /// NACK-retention semantics at snoop time, the holder loses.
+    fn holder_retains(&self, _ours: Prio, _theirs: Prio, _bits: u32) -> bool {
+        false
+    }
+
+    /// At the ordering point the holder always refuses.
+    fn nack_requester(&self, _ours: Prio, _theirs: Prio, _bits: u32) -> bool {
+        true
+    }
+
+    /// No probe ever needs to travel: holders never yield to probes.
+    fn challenger_preempts(&self, _theirs: Prio, _ours: Prio, _bits: u32) -> bool {
+        false
+    }
+
+    fn outranks(&self, a: Prio, b: Prio, bits: u32) -> bool {
+        a.ts.wins_over(b.ts, bits)
+    }
+
+    fn effective_retention(&self, _configured: RetentionPolicy) -> RetentionPolicy {
+        RetentionPolicy::Nack
+    }
+
+    fn retry_pacing(&self, env: &RetryEnv, _rng: &mut SimRng) -> RetryPacing {
+        // Salted draw: independent of the machine RNG stream, distinct
+        // per (seed, node, line, attempt) so simultaneous losers
+        // desynchronize instead of colliding again.
+        let salt = env
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (env.node as u64).wrapping_mul(0xD1B5_4A32_D192_ED03)
+            ^ env.line.wrapping_mul(0x94D0_49BB_1331_11EB)
+            ^ (u64::from(env.attempt) << 32);
+        let mut r = SimRng::new(salt);
+        let window = 32u64 << env.attempt.min(Self::MAX_SHIFT);
+        let delay = env.base + r.below(window);
+        if env.attempt >= Self::RESTART_AFTER {
+            RetryPacing::Restart { delay }
+        } else {
+            RetryPacing::Retry { delay }
+        }
+    }
+}
+
+/// Karma-style size priority: the transaction that has already wasted
+/// the most speculative work wins; timestamps break ties.
+///
+/// The credit is the largest read+write-set footprint any of a node's
+/// aborted attempts reached (a max, not a sum — see the module docs
+/// for why a sum livelocks; reset at commit or fallback), attached to
+/// every outgoing transactional request. Because it only changes *at*
+/// abort — when all retained ownerships are released anyway — the
+/// ranking is constant among concurrently live attempts, and because
+/// it is bounded it saturates, which keeps the win relation a
+/// consistent, eventually-fixed total order.
+#[derive(Debug)]
+pub struct KarmaSize;
+
+impl KarmaSize {
+    fn beats(a: Prio, b: Prio, bits: u32) -> bool {
+        if a.karma != b.karma {
+            a.karma > b.karma
+        } else {
+            a.ts.wins_over(b.ts, bits)
+        }
+    }
+}
+
+impl ConflictPolicy for KarmaSize {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Karma
+    }
+
+    fn holder_retains(&self, ours: Prio, theirs: Prio, bits: u32) -> bool {
+        Self::beats(ours, theirs, bits)
+    }
+
+    fn challenger_preempts(&self, theirs: Prio, ours: Prio, bits: u32) -> bool {
+        Self::beats(theirs, ours, bits)
+    }
+
+    fn outranks(&self, a: Prio, b: Prio, bits: u32) -> bool {
+        Self::beats(a, b, bits)
+    }
+
+    fn uses_karma(&self) -> bool {
+        true
+    }
+}
+
+/// Lazy-subscription SLE: timestamp order for data conflicts, but
+/// elided lock lines are surrendered without aborting — the commit
+/// re-fetches and re-checks every elided lock word instead.
+#[derive(Debug)]
+pub struct LazySubscription;
+
+impl ConflictPolicy for LazySubscription {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::LazySub
+    }
+
+    fn holder_retains(&self, ours: Prio, theirs: Prio, bits: u32) -> bool {
+        ours.ts.wins_over(theirs.ts, bits)
+    }
+
+    fn challenger_preempts(&self, theirs: Prio, ours: Prio, bits: u32) -> bool {
+        theirs.ts.wins_over(ours.ts, bits)
+    }
+
+    fn outranks(&self, a: Prio, b: Prio, bits: u32) -> bool {
+        a.ts.wins_over(b.ts, bits)
+    }
+
+    fn lazy_subscription(&self) -> bool {
+        true
+    }
+}
+
+/// The four built-in policies, as shared statics: policies are
+/// stateless, so one instance serves every machine in the process
+/// (pooled sweeps run many concurrently).
+static TIMESTAMP: TimestampOrder = TimestampOrder;
+static BACKOFF: SeededBackoff = SeededBackoff;
+static KARMA: KarmaSize = KarmaSize;
+static LAZY_SUB: LazySubscription = LazySubscription;
+
+/// Resolves a [`PolicyKind`] to its implementation.
+pub fn policy_for(kind: PolicyKind) -> &'static dyn ConflictPolicy {
+    match kind {
+        PolicyKind::Timestamp => &TIMESTAMP,
+        PolicyKind::Backoff => &BACKOFF,
+        PolicyKind::Karma => &KARMA,
+        PolicyKind::LazySub => &LAZY_SUB,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlr_mem::timestamp::Timestamp;
+
+    fn p(clock: u64, node: usize, karma: u32) -> Prio {
+        Prio::new(Timestamp::new(clock, node), karma)
+    }
+
+    #[test]
+    fn policy_for_round_trips_every_kind() {
+        for k in PolicyKind::ALL {
+            assert_eq!(policy_for(k).kind(), k);
+        }
+    }
+
+    #[test]
+    fn timestamp_order_matches_wins_over_literally() {
+        let pol = policy_for(PolicyKind::Timestamp);
+        for (a, b) in [(p(1, 0, 0), p(2, 1, 0)), (p(5, 3, 9), p(5, 4, 0)), (p(7, 2, 0), p(3, 1, 5))] {
+            let bits = 16;
+            assert_eq!(pol.holder_retains(a, b, bits), a.ts.wins_over(b.ts, bits));
+            assert_eq!(pol.challenger_preempts(a, b, bits), a.ts.wins_over(b.ts, bits));
+            assert_eq!(pol.outranks(a, b, bits), a.ts.wins_over(b.ts, bits));
+            assert_eq!(pol.deferred_blocks_miss(a, b, bits), a.ts.wins_over(b.ts, bits));
+            assert_eq!(pol.nack_requester(a, b, bits), a.ts.wins_over(b.ts, bits));
+        }
+        assert_eq!(pol.effective_retention(RetentionPolicy::Deferral), RetentionPolicy::Deferral);
+        assert_eq!(pol.effective_retention(RetentionPolicy::Nack), RetentionPolicy::Nack);
+        assert!(!pol.lazy_subscription());
+        assert!(!pol.uses_karma());
+    }
+
+    #[test]
+    fn timestamp_retry_pacing_is_the_legacy_draw() {
+        let pol = policy_for(PolicyKind::Timestamp);
+        let env = RetryEnv { seed: 42, node: 3, line: 9, attempt: 5, base: 12 };
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        let got = pol.retry_pacing(&env, &mut a);
+        let want = RetryPacing::Retry { delay: 12 + b.below(32) };
+        assert_eq!(got, want, "must consume exactly one below(32) from the machine rng");
+    }
+
+    #[test]
+    fn backoff_refuses_at_order_but_never_retains_or_probes() {
+        let pol = policy_for(PolicyKind::Backoff);
+        let (a, b) = (p(1, 0, 0), p(2, 1, 0));
+        assert!(pol.nack_requester(a, b, 16));
+        assert!(pol.nack_requester(b, a, 16), "even a younger holder refuses");
+        assert!(!pol.holder_retains(a, b, 16), "escaped conflicts degrade to holder loss");
+        assert!(!pol.challenger_preempts(a, b, 16));
+        assert_eq!(pol.effective_retention(RetentionPolicy::Deferral), RetentionPolicy::Nack);
+    }
+
+    #[test]
+    fn backoff_pacing_is_seeded_exponential_and_restarts() {
+        let pol = policy_for(PolicyKind::Backoff);
+        let mut rng = SimRng::new(0);
+        let before = rng.below(u64::MAX);
+        let mut rng2 = SimRng::new(0);
+        let before2 = rng2.below(u64::MAX);
+        assert_eq!(before, before2);
+        // Deterministic per env, machine RNG untouched.
+        let env = RetryEnv { seed: 9, node: 1, line: 64, attempt: 1, base: 10 };
+        let d1 = pol.retry_pacing(&env, &mut rng);
+        let d2 = pol.retry_pacing(&env, &mut rng2);
+        assert_eq!(d1, d2);
+        assert_eq!(rng.below(u64::MAX), rng2.below(u64::MAX), "machine rng stream untouched");
+        match d1 {
+            RetryPacing::Retry { delay } => assert!((10..10 + 64).contains(&delay)),
+            RetryPacing::Restart { .. } => panic!("attempt 1 must not restart"),
+        }
+        // Window grows with attempts, capped, and late attempts restart.
+        let late = RetryEnv { attempt: SeededBackoff::RESTART_AFTER, ..env };
+        assert!(matches!(pol.retry_pacing(&late, &mut rng), RetryPacing::Restart { .. }));
+        let huge = RetryEnv { attempt: 40, ..env };
+        match pol.retry_pacing(&huge, &mut rng) {
+            RetryPacing::Restart { delay } => {
+                assert!(delay < 10 + (32u64 << SeededBackoff::MAX_SHIFT), "window capped");
+            }
+            RetryPacing::Retry { .. } => panic!("attempt 40 must restart"),
+        }
+    }
+
+    #[test]
+    fn karma_orders_by_credit_then_timestamp() {
+        let pol = policy_for(PolicyKind::Karma);
+        assert!(pol.uses_karma());
+        let big = p(9, 1, 50);
+        let old = p(1, 0, 2);
+        assert!(pol.holder_retains(big, old, 16), "more wasted work wins despite younger ts");
+        assert!(!pol.holder_retains(old, big, 16));
+        assert!(pol.challenger_preempts(big, old, 16));
+        // Equal credit falls back to timestamp order.
+        let a = p(1, 0, 7);
+        let b = p(2, 1, 7);
+        assert!(pol.holder_retains(a, b, 16));
+        assert!(!pol.holder_retains(b, a, 16));
+        // The relation is a strict total order on distinct priorities:
+        // exactly one side wins.
+        for (x, y) in [(big, old), (a, b), (p(3, 0, 1), p(3, 1, 1))] {
+            assert_ne!(pol.outranks(x, y, 16), pol.outranks(y, x, 16));
+        }
+    }
+
+    #[test]
+    fn lazy_subscription_is_timestamp_plus_lock_laziness() {
+        let pol = policy_for(PolicyKind::LazySub);
+        assert!(pol.lazy_subscription());
+        let (a, b) = (p(1, 0, 0), p(2, 1, 0));
+        assert!(pol.holder_retains(a, b, 16));
+        assert!(!pol.holder_retains(b, a, 16));
+        assert_eq!(pol.effective_retention(RetentionPolicy::Deferral), RetentionPolicy::Deferral);
+    }
+}

@@ -188,6 +188,11 @@ pub struct Txn {
     /// Number of conflict-induced restarts so far (the timestamp is
     /// retained across these).
     pub restarts: u32,
+    /// Lazy-subscription flag: an elided lock line was invalidated (or
+    /// supplied away) mid-transaction instead of aborting eagerly; the
+    /// commit must re-fetch and re-check every elided lock word before
+    /// it may proceed. Only ever set by the lazy-subscription policy.
+    pub lock_recheck: bool,
 }
 
 impl Txn {
@@ -200,6 +205,7 @@ impl Txn {
             started_at: now,
             commit_entered_at: None,
             restarts: 0,
+            lock_recheck: false,
         }
     }
 

@@ -151,6 +151,7 @@ mod tests {
             line: LineAddr(line),
             kind: BusReqKind::GetX,
             ts: None,
+            karma: 0,
             wb_data: None,
             enqueued_at: 0,
         }

@@ -370,7 +370,7 @@ mod tests {
     use crate::msg::BusReqKind;
 
     fn req(node: NodeId, line: u64, kind: BusReqKind) -> BusRequest {
-        BusRequest { requester: node, line: LineAddr(line), kind, ts: None, wb_data: None, enqueued_at: 0 }
+        BusRequest { requester: node, line: LineAddr(line), kind, ts: None, karma: 0, wb_data: None, enqueued_at: 0 }
     }
 
     fn ordered_at(dir: &mut Directory, now: Cycle) -> Vec<BusRequest> {

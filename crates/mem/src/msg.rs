@@ -48,6 +48,9 @@ pub struct BusRequest {
     /// generated within a transaction ("Misses generated within a
     /// transaction carry a timestamp", §3).
     pub ts: Option<Timestamp>,
+    /// Contention-manager credit riding along with the timestamp
+    /// (meaningful only under the karma conflict policy; 0 otherwise).
+    pub karma: u32,
     /// Writeback payload (present only for [`BusReqKind::WriteBack`]).
     pub wb_data: Option<LineData>,
     /// Cycle the request entered bus arbitration (for queueing
@@ -123,6 +126,9 @@ pub enum NetMsg {
         line: LineAddr,
         /// Timestamp of the conflicting (downstream) request.
         ts: Timestamp,
+        /// Contention-manager credit of the conflicting request
+        /// (karma policy only; 0 otherwise).
+        karma: u32,
     },
 }
 
@@ -173,7 +179,7 @@ mod tests {
         assert_eq!(d.destination(), 3);
         let m = NetMsg::Marker { to: 1, from: 0, line: LineAddr(9) };
         assert_eq!(m.destination(), 1);
-        let p = NetMsg::Probe { to: 2, line: LineAddr(9), ts: Timestamp::new(0, 0) };
+        let p = NetMsg::Probe { to: 2, line: LineAddr(9), ts: Timestamp::new(0, 0), karma: 0 };
         assert_eq!(p.destination(), 2);
         assert_eq!(d.label(), "data");
         assert_eq!(m.label(), "marker");

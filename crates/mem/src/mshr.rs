@@ -18,7 +18,7 @@ use tlr_sim::events::Schedulable;
 use tlr_sim::{Cycle, NodeId};
 
 use crate::addr::LineAddr;
-use crate::timestamp::Timestamp;
+use crate::timestamp::{Prio, Timestamp};
 
 /// An external request ordered behind this node's outstanding miss,
 /// to be serviced (or deferred) once the data arrives.
@@ -31,6 +31,9 @@ pub struct Intervention {
     pub exclusive: bool,
     /// The downstream request's timestamp, if transactional.
     pub ts: Option<Timestamp>,
+    /// The downstream request's contention-manager credit (karma
+    /// policy only; 0 otherwise).
+    pub karma: u32,
 }
 
 /// One outstanding miss.
@@ -61,9 +64,15 @@ pub struct MshrEntry {
     /// The upstream neighbour that sent us a marker for this line
     /// (it holds or precedes us in the chain), used to forward probes.
     pub marker_from: Option<NodeId>,
-    /// A conflicting earlier timestamp that must be propagated
+    /// A conflicting higher-priority request that must be propagated
     /// upstream as a probe once the upstream neighbour is known.
-    pub pending_probe: Option<Timestamp>,
+    pub pending_probe: Option<Prio>,
+    /// How many times this request has been NACKed at the ordering
+    /// point and re-issued. Feeds the conflict policy's retry pacing
+    /// (the backoff policy grows its delay window with this count);
+    /// the entry — and with it the count — survives transaction
+    /// aborts, so repeated losers keep backing off further.
+    pub retries: u32,
     /// A later exclusive request was ordered while this (shared) miss
     /// was outstanding: the fill may be consumed once and must then be
     /// invalidated immediately, keeping the cache coherent.
@@ -84,6 +93,7 @@ impl MshrEntry {
             interventions: VecDeque::new(),
             marker_from: None,
             pending_probe: None,
+            retries: 0,
             invalidate_after_fill: false,
         }
     }
@@ -267,8 +277,8 @@ mod tests {
     fn interventions_queue_in_order() {
         let mut f = MshrFile::new(2);
         let e = f.alloc(MshrEntry::new(LineAddr(1), true, None)).unwrap();
-        e.interventions.push_back(Intervention { from: 2, exclusive: true, ts: None });
-        e.interventions.push_back(Intervention { from: 3, exclusive: false, ts: None });
+        e.interventions.push_back(Intervention { from: 2, exclusive: true, ts: None, karma: 0 });
+        e.interventions.push_back(Intervention { from: 3, exclusive: false, ts: None, karma: 0 });
         let e = f.remove(LineAddr(1)).unwrap();
         let froms: Vec<_> = e.interventions.iter().map(|i| i.from).collect();
         assert_eq!(froms, vec![2, 3]);

@@ -65,6 +65,37 @@ impl std::fmt::Display for Timestamp {
     }
 }
 
+/// The full conflict-resolution priority a request carries: the
+/// paper's timestamp plus a contention-manager credit.
+///
+/// The timestamp-ordered default policy looks only at `ts`; the
+/// karma-style policy orders by `karma` first (accumulated wasted
+/// footprint of aborted attempts — deliberately *constant within an
+/// attempt*, so the win relation stays a consistent total order among
+/// concurrently live transactions and mutual-deferral deadlocks are
+/// impossible) and falls back to the timestamp as the tiebreak.
+/// `karma` is 0 everywhere outside the karma policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prio {
+    /// The transaction timestamp (§2.1.2).
+    pub ts: Timestamp,
+    /// Contention-manager credit (karma policy only; 0 otherwise).
+    pub karma: u32,
+}
+
+impl Prio {
+    /// Creates a priority.
+    pub fn new(ts: Timestamp, karma: u32) -> Self {
+        Prio { ts, karma }
+    }
+
+    /// A priority carrying only a timestamp (karma 0) — what every
+    /// policy except karma puts on the wire.
+    pub fn ts_only(ts: Timestamp) -> Self {
+        Prio { ts, karma: 0 }
+    }
+}
+
 /// A node's local logical clock (§2.1.2).
 ///
 /// "On a successful TLR execution, the processor increments its local
@@ -176,6 +207,51 @@ mod tests {
         assert!(!new.wins_over(old, 8));
         // But without wrapping (64-bit), 3 < 250.
         assert!(new.wins_over(old, 64));
+    }
+
+    #[test]
+    fn wrap_window_boundary_is_pinned_at_timestamp_bits() {
+        // Every conflict policy now routes through the same modular
+        // comparison; pin its behavior exactly at the half-window
+        // boundary of the configured width.
+        //
+        // With `bits` bits, a.clock is earlier than b.clock iff the
+        // forward distance d = (b - a) mod 2^bits satisfies
+        // 0 < d < 2^(bits-1). Exactly at d = 2^(bits-1) *neither*
+        // clock is earlier, and the node id does NOT break the tie
+        // (ids only order equal clocks): both comparisons lose.
+        for bits in [2u32, 8, 16, 32, 63] {
+            let half = 1u64 << (bits - 1);
+            let a = Timestamp::new(0, 0);
+            // One short of the boundary: a is still earlier.
+            let just_inside = Timestamp::new(half - 1, 1);
+            assert!(a.wins_over(just_inside, bits), "d=half-1 @{bits}");
+            assert!(!just_inside.wins_over(a, bits), "d=half-1 sym @{bits}");
+            // Exactly the boundary: the window is ambiguous, nobody
+            // wins, in either direction.
+            let boundary = Timestamp::new(half, 1);
+            assert!(!a.wins_over(boundary, bits), "d=half @{bits}");
+            assert!(!boundary.wins_over(a, bits), "d=half sym @{bits}");
+            // One past the boundary: the order inverts — b is now the
+            // earlier clock (a is "ahead" in the wrapping window).
+            let just_past = Timestamp::new(half + 1, 1);
+            assert!(!a.wins_over(just_past, bits), "d=half+1 @{bits}");
+            assert!(just_past.wins_over(a, bits), "d=half+1 sym @{bits}");
+        }
+        // At full width there is no window: plain comparison, and the
+        // 2^63 distance that ties at 63 bits orders normally at 64.
+        let a = Timestamp::new(0, 0);
+        let far = Timestamp::new(1u64 << 63, 1);
+        assert!(a.wins_over(far, 64));
+        assert!(!far.wins_over(a, 64));
+    }
+
+    #[test]
+    fn prio_constructors() {
+        let t = Timestamp::new(9, 2);
+        assert_eq!(Prio::ts_only(t), Prio::new(t, 0));
+        assert_eq!(Prio::new(t, 7).karma, 7);
+        assert_eq!(Prio::new(t, 7).ts, t);
     }
 
     #[test]

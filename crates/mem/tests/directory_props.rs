@@ -123,7 +123,7 @@ fn check_invariants(dir: &Directory, model: &Model, lines: &[LineAddr]) -> Resul
 }
 
 fn request(requester: NodeId, line: LineAddr, kind: BusReqKind, now: u64) -> BusRequest {
-    BusRequest { requester, line, kind, ts: None, wb_data: None, enqueued_at: now }
+    BusRequest { requester, line, kind, ts: None, karma: 0, wb_data: None, enqueued_at: now }
 }
 
 /// Advances the directory through `[now+1, until]`, applying (or

@@ -7,7 +7,7 @@
 //! [`MachineConfig::builder`] offers a fluent surface for everything
 //! else, including the [`crate::fault`] chaos knobs.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 
 use crate::fault::FaultConfig;
 use crate::prof::ProfConfig;
@@ -51,31 +51,6 @@ impl Engine {
             Engine::EventDriven => "event",
             Engine::CycleStepped => "cycle",
         }
-    }
-}
-
-/// Process-wide default engine, consulted when a configuration is
-/// built. `0` = event-driven, `1` = cycle-stepped.
-///
-/// This exists so the shared `--engine` flag (tlr-bench's CLI) can
-/// switch every configuration a binary constructs without threading a
-/// parameter through all nine sweep entry points. Binaries set it once
-/// in `main`, before any sweep runs; library code and tests must never
-/// write it (tests run concurrently in one process) and instead use
-/// [`MachineConfigBuilder::engine`].
-static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(0);
-
-/// Sets the process-wide default engine. Call once, from a binary's
-/// `main`, before building any configuration.
-pub fn set_default_engine(engine: Engine) {
-    DEFAULT_ENGINE.store(engine as u8, Ordering::Relaxed);
-}
-
-/// The process-wide default engine new configurations start from.
-pub fn default_engine() -> Engine {
-    match DEFAULT_ENGINE.load(Ordering::Relaxed) {
-        0 => Engine::EventDriven,
-        _ => Engine::CycleStepped,
     }
 }
 
@@ -142,51 +117,212 @@ impl std::fmt::Display for Interconnect {
     }
 }
 
-/// Process-wide default interconnect, consulted when a configuration
-/// is built — the `--interconnect` analogue of [`DEFAULT_ENGINE`],
-/// with the same rules: binaries set it once in `main`, library code
-/// and tests never write it (they use
-/// [`MachineConfigBuilder::interconnect`]). `0` = snooping, `1` =
-/// directory.
-static DEFAULT_INTERCONNECT: AtomicU8 = AtomicU8::new(0);
+/// Which contention-management policy resolves transactional
+/// conflicts.
+///
+/// The paper fixes timestamp-order conflict resolution (§3.1.1); the
+/// [`crate`]-level mechanism (deferral queues, markers, probes) is
+/// policy-agnostic, and `tlr-core` resolves every conflict through a
+/// `ConflictPolicy` implementation selected by this kind. See
+/// `tlr_core::policy` for the decision points and per-policy livelock
+/// analysis (DESIGN.md §15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PolicyKind {
+    /// The paper's policy: earlier timestamp wins, losers defer or
+    /// restart, retained timestamps give starvation freedom. The
+    /// default, byte-identical to the pre-policy-trait code.
+    #[default]
+    Timestamp,
+    /// Requester always loses; NACKed requesters retry after a salted,
+    /// seeded exponential backoff instead of a fixed pacing window.
+    Backoff,
+    /// Karma-style size priority: the transaction with the larger
+    /// speculative read/write-set footprint wins, timestamp order
+    /// breaks ties.
+    Karma,
+    /// Lazy-subscription SLE: lock-line invalidations no longer abort
+    /// eagerly; the elided lock word is re-checked at commit time.
+    /// Data conflicts still resolve in timestamp order.
+    LazySub,
+}
+
+impl PolicyKind {
+    /// Parses a `--policy` flag value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized token.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "timestamp" | "ts" => Ok(PolicyKind::Timestamp),
+            "backoff" => Ok(PolicyKind::Backoff),
+            "karma" => Ok(PolicyKind::Karma),
+            "lazysub" | "lazy-sub" | "lazy-subscription" => Ok(PolicyKind::LazySub),
+            other => Err(format!(
+                "unknown policy {other:?} (expected \"timestamp\", \"backoff\", \"karma\" or \"lazysub\")"
+            )),
+        }
+    }
+
+    /// Short label for logs and benchmark output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Timestamp => "timestamp",
+            PolicyKind::Backoff => "backoff",
+            PolicyKind::Karma => "karma",
+            PolicyKind::LazySub => "lazysub",
+        }
+    }
+
+    /// All policies, timestamp (the paper's) first.
+    pub const ALL: [PolicyKind; 4] =
+        [PolicyKind::Timestamp, PolicyKind::Backoff, PolicyKind::Karma, PolicyKind::LazySub];
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Process-wide configuration defaults, consulted when a configuration
+/// is built.
+///
+/// One registry replaces the three copy-pasted atomics that used to
+/// back `--engine`, `--interconnect` and `--profile`, and `--policy`
+/// rides the same mechanism. The rules are unchanged: a binary's
+/// `main` sets defaults once, before any sweep runs; library code and
+/// tests must never write them (tests run concurrently in one process)
+/// and instead use the [`MachineConfigBuilder`] setters.
+pub struct Defaults {
+    /// `0` = event-driven, `1` = cycle-stepped.
+    engine: AtomicU8,
+    /// `0` = snooping, `1` = directory.
+    interconnect: AtomicU8,
+    /// Whether new configurations profile ([`ProfConfig::on`]).
+    profile: AtomicBool,
+    /// Index into [`PolicyKind::ALL`].
+    policy: AtomicU8,
+}
+
+/// The process-wide [`Defaults`] registry.
+static DEFAULTS: Defaults = Defaults {
+    engine: AtomicU8::new(0),
+    interconnect: AtomicU8::new(0),
+    profile: AtomicBool::new(false),
+    policy: AtomicU8::new(0),
+};
+
+impl Defaults {
+    /// The process-wide registry. Binaries set fields once in `main`;
+    /// everything else only reads.
+    pub fn get() -> &'static Defaults {
+        &DEFAULTS
+    }
+
+    /// Sets the default engine.
+    pub fn set_engine(&self, engine: Engine) {
+        self.engine.store(engine as u8, Ordering::Relaxed);
+    }
+
+    /// The default engine new configurations start from.
+    pub fn engine(&self) -> Engine {
+        match self.engine.load(Ordering::Relaxed) {
+            0 => Engine::EventDriven,
+            _ => Engine::CycleStepped,
+        }
+    }
+
+    /// Sets the default interconnect.
+    pub fn set_interconnect(&self, interconnect: Interconnect) {
+        self.interconnect.store(interconnect as u8, Ordering::Relaxed);
+    }
+
+    /// The default interconnect new configurations start from.
+    pub fn interconnect(&self) -> Interconnect {
+        match self.interconnect.load(Ordering::Relaxed) {
+            0 => Interconnect::Snooping,
+            _ => Interconnect::Directory,
+        }
+    }
+
+    /// Sets the default profiling switch.
+    pub fn set_profile(&self, on: bool) {
+        self.profile.store(on, Ordering::Relaxed);
+    }
+
+    /// The default profiling knobs new configurations start from:
+    /// [`ProfConfig::on`] after `set_profile(true)`, else
+    /// [`ProfConfig::off`].
+    pub fn profile(&self) -> ProfConfig {
+        if self.profile.load(Ordering::Relaxed) {
+            ProfConfig::on()
+        } else {
+            ProfConfig::off()
+        }
+    }
+
+    /// Sets the default conflict policy.
+    pub fn set_policy(&self, policy: PolicyKind) {
+        self.policy.store(policy as u8, Ordering::Relaxed);
+    }
+
+    /// The default conflict policy new configurations start from.
+    pub fn policy(&self) -> PolicyKind {
+        match self.policy.load(Ordering::Relaxed) {
+            1 => PolicyKind::Backoff,
+            2 => PolicyKind::Karma,
+            3 => PolicyKind::LazySub,
+            _ => PolicyKind::Timestamp,
+        }
+    }
+}
+
+/// Sets the process-wide default engine. Call once, from a binary's
+/// `main`, before building any configuration.
+pub fn set_default_engine(engine: Engine) {
+    Defaults::get().set_engine(engine);
+}
+
+/// The process-wide default engine new configurations start from.
+pub fn default_engine() -> Engine {
+    Defaults::get().engine()
+}
 
 /// Sets the process-wide default interconnect. Call once, from a
 /// binary's `main`, before building any configuration.
 pub fn set_default_interconnect(interconnect: Interconnect) {
-    DEFAULT_INTERCONNECT.store(interconnect as u8, Ordering::Relaxed);
+    Defaults::get().set_interconnect(interconnect);
 }
 
 /// The process-wide default interconnect new configurations start
 /// from.
 pub fn default_interconnect() -> Interconnect {
-    match DEFAULT_INTERCONNECT.load(Ordering::Relaxed) {
-        0 => Interconnect::Snooping,
-        _ => Interconnect::Directory,
-    }
+    Defaults::get().interconnect()
 }
-
-/// Process-wide default profiling switch, consulted when a
-/// configuration is built — the `--profile` analogue of
-/// [`DEFAULT_ENGINE`], with the same rules: binaries set it once in
-/// `main`, library code and tests never write it (they use
-/// [`MachineConfigBuilder::profile`]).
-static DEFAULT_PROFILE: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 /// Sets the process-wide default profiling switch. Call once, from a
 /// binary's `main`, before building any configuration.
 pub fn set_default_profile(on: bool) {
-    DEFAULT_PROFILE.store(on, Ordering::Relaxed);
+    Defaults::get().set_profile(on);
 }
 
 /// The process-wide default profiling knobs new configurations start
-/// from: [`ProfConfig::on`] after `set_default_profile(true)`, else
-/// [`ProfConfig::off`].
+/// from.
 pub fn default_profile() -> ProfConfig {
-    if DEFAULT_PROFILE.load(Ordering::Relaxed) {
-        ProfConfig::on()
-    } else {
-        ProfConfig::off()
-    }
+    Defaults::get().profile()
+}
+
+/// Sets the process-wide default conflict policy. Call once, from a
+/// binary's `main`, before building any configuration.
+pub fn set_default_policy(policy: PolicyKind) {
+    Defaults::get().set_policy(policy);
+}
+
+/// The process-wide default conflict policy new configurations start
+/// from.
+pub fn default_policy() -> PolicyKind {
+    Defaults::get().policy()
 }
 
 /// Which of the paper's four evaluated hardware/software configurations
@@ -328,7 +464,17 @@ impl Default for LatencyConfig {
 
 /// Full machine configuration (Table 2 of the paper plus the TLR
 /// parameters of §3.3 and §5.3).
+///
+/// Construct through [`MachineConfig::builder`] (or the
+/// [`MachineConfig::paper_default`] / [`MachineConfig::small`]
+/// wrappers, which are equality-tested against their builder forms).
+/// The struct is `#[non_exhaustive]`: literal construction outside
+/// this crate does not compile, so new knobs can be added without
+/// breaking downstream code. Direct field *mutation* after `build()`
+/// is deprecated in favor of builder setters and will lose `pub`
+/// access in a future revision.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct MachineConfig {
     /// Number of processors (the paper evaluates 2..16).
     pub num_procs: usize,
@@ -376,6 +522,10 @@ pub struct MachineConfig {
     pub untimestamped_policy: UntimestampedPolicy,
     /// How conflict winners retain contested blocks (§3).
     pub retention: RetentionPolicy,
+    /// Which contention-management policy resolves conflicts
+    /// (`tlr_core::policy`). [`PolicyKind::Timestamp`] is the paper's
+    /// and the default.
+    pub policy: PolicyKind,
     /// Which coherence interconnect orders requests (snooping bus or
     /// home-node directory).
     pub interconnect: Interconnect,
@@ -433,6 +583,7 @@ impl MachineConfig {
             timestamp_bits: 32,
             untimestamped_policy: UntimestampedPolicy::default(),
             retention: RetentionPolicy::default(),
+            policy: default_policy(),
             interconnect: default_interconnect(),
             dir_banks: 0,
             req_network: 20,
@@ -570,6 +721,15 @@ impl MachineConfigBuilder {
     #[must_use]
     pub fn untimestamped(mut self, policy: UntimestampedPolicy) -> Self {
         self.cfg.untimestamped_policy = policy;
+        self
+    }
+
+    /// Selects the contention-management policy (the paper's
+    /// [`PolicyKind::Timestamp`] default, or one of the alternatives
+    /// in `tlr_core::policy`).
+    #[must_use]
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.cfg.policy = policy;
         self
     }
 
@@ -776,6 +936,41 @@ mod tests {
         assert_eq!(Interconnect::Directory.to_string(), "directory");
         assert_eq!(Interconnect::Snooping.max_procs(), 16);
         assert_eq!(Interconnect::Directory.max_procs(), 256);
+    }
+
+    #[test]
+    fn policy_defaults_to_timestamp_and_builder_overrides() {
+        let cfg = MachineConfig::paper_default(Scheme::Tlr, 4);
+        assert_eq!(cfg.policy, PolicyKind::Timestamp);
+        let cfg = MachineConfig::builder().policy(PolicyKind::Karma).build();
+        assert_eq!(cfg.policy, PolicyKind::Karma);
+    }
+
+    #[test]
+    fn policy_parse_labels_and_order() {
+        assert_eq!(PolicyKind::parse("timestamp"), Ok(PolicyKind::Timestamp));
+        assert_eq!(PolicyKind::parse("ts"), Ok(PolicyKind::Timestamp));
+        assert_eq!(PolicyKind::parse("backoff"), Ok(PolicyKind::Backoff));
+        assert_eq!(PolicyKind::parse("karma"), Ok(PolicyKind::Karma));
+        assert_eq!(PolicyKind::parse("lazysub"), Ok(PolicyKind::LazySub));
+        assert_eq!(PolicyKind::parse("lazy-subscription"), Ok(PolicyKind::LazySub));
+        assert!(PolicyKind::parse("polite").is_err());
+        for (i, p) in PolicyKind::ALL.into_iter().enumerate() {
+            assert_eq!(p as u8 as usize, i, "Defaults registry relies on discriminant order");
+            assert_eq!(PolicyKind::parse(p.label()), Ok(p), "labels must round-trip");
+        }
+        assert_eq!(PolicyKind::Timestamp.to_string(), "timestamp");
+    }
+
+    #[test]
+    fn defaults_registry_reads_match_the_free_functions() {
+        // Tests never *write* the registry (it is process-global), but
+        // the read paths must agree with the legacy free functions.
+        let d = Defaults::get();
+        assert_eq!(d.engine(), default_engine());
+        assert_eq!(d.interconnect(), default_interconnect());
+        assert_eq!(d.profile(), default_profile());
+        assert_eq!(d.policy(), default_policy());
     }
 
     #[test]

@@ -33,6 +33,22 @@
 //! let report = run_workload(&cfg, &single_counter(4, 256));
 //! assert!(report.is_valid(), "faults perturb timing, never correctness");
 //! ```
+//!
+//! Contention management is pluggable ([`tlr_core::policy`]): the
+//! paper's timestamp order is the default, and the builder selects the
+//! alternatives:
+//!
+//! ```no_run
+//! use tlr_repro::prelude::*;
+//!
+//! let cfg = MachineConfig::builder()
+//!     .scheme(Scheme::Tlr)
+//!     .procs(4)
+//!     .policy(PolicyKind::Karma)
+//!     .build();
+//! let report = run_workload(&cfg, &single_counter(4, 256));
+//! assert!(report.is_valid(), "policies trade cycles, never correctness");
+//! ```
 
 pub use tlr_core as core;
 pub use tlr_cpu as cpu;
@@ -43,9 +59,12 @@ pub use tlr_workloads as workloads;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use tlr_core::policy::{
+        policy_for, ConflictPolicy, KarmaSize, LazySubscription, SeededBackoff, TimestampOrder,
+    };
     pub use tlr_core::run::{run_workload, RunReport, WorkloadSpec};
     pub use tlr_core::Machine;
-    pub use tlr_sim::config::{MachineConfig, MachineConfigBuilder, Scheme};
+    pub use tlr_sim::config::{MachineConfig, MachineConfigBuilder, PolicyKind, Scheme};
     pub use tlr_sim::fault::FaultConfig;
     pub use tlr_workloads::micro::{doubly_linked_list, multiple_counter, single_counter};
 }
